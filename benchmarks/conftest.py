@@ -1,0 +1,35 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Scale knobs (environment variables):
+
+- ``REPRO_INSTR``  — committed instructions measured per thread
+  (default 1500; the paper used 15M on a native simulator).
+- ``REPRO_WARMUP`` — architectural warm-up instructions (default 12000).
+- ``REPRO_FULL``   — set to 1 to run every workload combination the
+  paper used (all 15 four-program mixes etc.).
+
+The session-scoped runner shares the single-thread baseline cache across
+figures, exactly as the paper normalises every figure to the same base-
+machine runs.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import Runner
+
+
+def env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner(instructions=env_int("REPRO_INSTR", 1500),
+                  warmup=env_int("REPRO_WARMUP", 12_000))
+
+
+@pytest.fixture(scope="session")
+def full_scale():
+    return os.environ.get("REPRO_FULL", "0") == "1"

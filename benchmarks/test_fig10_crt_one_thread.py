@@ -1,0 +1,29 @@
+"""Section 8 (single-program CMP runs): Lock0 / Lock8 / CRT.
+
+Paper result: for single-program runs CRT performs similarly to
+lockstepping — CRT's leading thread behaves like a lockstepped thread —
+while the realistic checker (Lock8) pays its latency on every cache-miss
+request.
+"""
+
+from repro.harness.experiments import fig10_crt_one_thread
+from repro.harness.reporting import render_table
+
+
+def test_fig10_crt_one_thread(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_crt_one_thread(runner), rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+
+    mean_lock0 = result.summary["mean.lock0"]
+    mean_lock8 = result.summary["mean.lock8"]
+    mean_crt = result.summary["mean.crt"]
+
+    # The ideal checker is free; the realistic one is not.
+    assert mean_lock0 > 0.95
+    assert mean_lock8 < mean_lock0
+    # CRT is at least competitive with lockstepping on one thread
+    # (its forwarding queues are off the miss critical path).
+    assert mean_crt >= mean_lock8 - 0.02
+    assert abs(mean_crt - mean_lock0) < 0.10

@@ -1,0 +1,41 @@
+"""Section 8 (multithreaded CMP runs): the paper's headline result.
+
+Paper result: on multithreaded workloads CRT outperforms lockstepping by
+13% on average (up to 22%), because cross-coupling lets each core spend
+the resources its trailing thread frees on another program's leading
+thread, while lockstepped cores waste resources in duplicate
+misspeculation and stalls.
+"""
+
+import itertools
+
+from repro.harness.experiments import fig11_crt_multithread
+from repro.harness.reporting import render_table
+from repro.isa.profiles import FOUR_THREAD_POOL, TWO_THREAD_POOL
+
+
+def test_fig11_crt_vs_lockstep_multithreaded(runner, benchmark, full_scale):
+    workloads = [list(p) for p in itertools.combinations(TWO_THREAD_POOL, 2)]
+    quads = [list(q) for q in itertools.combinations(FOUR_THREAD_POOL, 4)]
+    workloads += quads if full_scale else quads[:2]
+
+    result = benchmark.pedantic(
+        lambda: fig11_crt_multithread(runner, workloads=workloads),
+        rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+
+    mean_advantage = result.summary["mean.crt_vs_lock8"]
+    max_advantage = result.summary["max.crt_vs_lock8"]
+
+    # Paper: CRT beats Lock8 by ~13% mean, ~22% max.  Our less-contended
+    # Python model reproduces the ordering at a smaller magnitude
+    # (EXPERIMENTS.md discusses the gap); the shape claims checked here
+    # are that CRT wins clearly on average and substantially at best.
+    assert mean_advantage > 1.03
+    assert max_advantage > 1.06
+    assert max_advantage >= mean_advantage
+    # CRT must win on the (large) majority of mixes.
+    wins = sum(1 for row in result.rows.values()
+               if row["crt"] > row["lock8"])
+    assert wins >= 0.7 * len(result.rows)

@@ -1,0 +1,38 @@
+"""Figure 6: SMT-Efficiency for one logical thread (SRT variants).
+
+Paper result: running one program redundantly on SRT degrades
+performance ~32% below the single-thread base machine (our model is a
+less contended Python reproduction, so the absolute degradation is
+smaller but every ordering holds); per-thread store queues recover ~2%
+on average with much larger wins on store-intensive benchmarks; removing
+store comparison (nosc) is the upper bound; and Base2 — two independent
+copies with no RMT hardware — sits above them all.
+"""
+
+from repro.harness.experiments import fig6_srt_one_thread
+from repro.harness.reporting import render_table
+
+
+def test_fig6_srt_one_thread(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6_srt_one_thread(runner), rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+
+    mean_base2 = result.summary["mean.base2"]
+    mean_srt = result.summary["mean.srt"]
+    mean_ptsq = result.summary["mean.srt_ptsq"]
+    mean_nosc = result.summary["mean.srt_nosc"]
+
+    # SRT costs real performance relative to the base machine...
+    assert mean_srt < 0.95
+    # ...and relative to simply running two unchecked copies.
+    assert mean_srt < mean_base2
+    # Per-thread store queues recover part of the loss (paper: 32%->30%).
+    assert mean_ptsq >= mean_srt - 0.01
+    # Removing output comparison is at least as fast as full SRT.
+    assert mean_nosc >= mean_srt - 0.01
+    # Every efficiency is a sane ratio.
+    for row in result.rows.values():
+        for value in row.values():
+            assert 0.2 < value < 1.3

@@ -1,0 +1,38 @@
+"""Section 7.1: store lifetimes and store-queue size sensitivity.
+
+Paper result: SRT lengthens the average leading-thread store lifetime by
+roughly 39 cycles (retirement until the trailing twin verifies it), and
+store-queue size therefore has a major impact on SRT performance.
+"""
+
+from repro.harness.experiments import fig9_store_lifetime, store_queue_sweep
+from repro.harness.reporting import render_table
+
+
+def test_fig9_store_lifetime(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9_store_lifetime(runner), rounds=1, iterations=1)
+    print()
+    print(render_table(result, precision=1))
+
+    mean_delta = result.summary["mean.delta"]
+    # Paper: ~39 extra cycles on average; accept a generous band around it.
+    assert 10 < mean_delta < 90
+    # SRT must lengthen the lifetime for essentially every benchmark.
+    longer = sum(1 for row in result.rows.values()
+                 if row["srt"] > row["base"])
+    assert longer >= 0.8 * len(result.rows)
+
+
+def test_store_queue_size_sweep(runner, benchmark):
+    result = benchmark.pedantic(
+        lambda: store_queue_sweep(runner, benchmark="mgrid"),
+        rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+
+    sizes = [int(s) for s in result.rows]
+    efficiencies = [result.rows[s]["efficiency"] for s in result.rows]
+    # Bigger store queues never hurt, and the small end clearly stalls.
+    assert efficiencies[-1] >= efficiencies[0]
+    assert max(efficiencies) - min(efficiencies) > 0.02

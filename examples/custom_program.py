@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Run your own assembly program redundantly on the SRT machine.
+
+Shows the full public path for custom workloads: write RISC-R assembly,
+assemble it, execute it on the golden architectural model, run it on the
+SRT machine, and confirm the pipeline retired exactly the architectural
+stream while the redundant threads checked each other.
+
+Run:  python examples/custom_program.py
+"""
+
+from repro.core import MachineConfig, make_machine
+from repro.isa import FunctionalExecutor, assemble
+
+# A little checksum kernel: walks an array, mixing values into an
+# accumulator, and stores running checksums back — plenty of loads,
+# stores, branches, and a call, all of it verified redundantly.
+SOURCE = """
+    ldi r1, 0x2000        ; array base
+    ldi r2, 64            ; elements
+    ldi r3, 0             ; checksum
+    ldi r4, 0             ; index (bytes)
+init:
+    add r5, r1, r4
+    st  r5, 0, r4         ; array[i] = i * 8
+    addi r4, r4, 8
+    addi r2, r2, -1
+    bnez r2, init
+
+    ldi r2, 64
+    ldi r4, 0
+sum:
+    add r5, r1, r4
+    ld  r6, r5, 0
+    call r62, mix
+    st  r5, 512, r3       ; store running checksum
+    addi r4, r4, 8
+    addi r2, r2, -1
+    bnez r2, sum
+    membar
+    halt
+
+mix:                      ; r3 = rotate(r3) ^ r6
+    ldi r7, 13
+    shl r8, r3, r7
+    ldi r7, 51
+    shr r9, r3, r7
+    or  r3, r8, r9
+    xor r3, r3, r6
+    ret r62
+"""
+
+
+def main():
+    program = assemble(SOURCE, name="checksum")
+    print(f"assembled {len(program)} instructions")
+
+    # Golden architectural run.
+    executor = FunctionalExecutor(program)
+    executor.run(100_000)
+    golden_checksum = executor.state.read_reg(3)
+    print(f"architectural checksum: {golden_checksum:#018x}")
+
+    # Redundant run on SRT.
+    machine = make_machine("srt", MachineConfig(), [program])
+    result = machine.run(max_instructions=100_000, max_cycles=500_000)
+    leading = machine.cores[0].threads[0]
+    assert leading.done, "program did not finish"
+
+    pipeline_checksum = leading.rename.architectural_value(3)
+    print(f"SRT pipeline checksum : {pipeline_checksum:#018x}")
+    assert pipeline_checksum == golden_checksum, "pipeline diverged!"
+
+    pair = machine.controller.pairs[0]
+    print(f"\nretired {leading.stats.retired} instructions in "
+          f"{result.cycles} cycles (IPC {result.threads[0].ipc:.2f})")
+    print(f"stores compared: {pair.comparator.stats.comparisons}, "
+          f"mismatches: {pair.comparator.stats.mismatches}")
+    print(f"loads replicated: {pair.lvq.stats.writes}")
+    print(f"faults detected: {result.faults_detected} (fault-free run)")
+    print("\nleading and trailing threads agreed on every output.")
+
+
+if __name__ == "__main__":
+    main()

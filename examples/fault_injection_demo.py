@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fault-injection campaign: what each architecture actually catches.
+
+Injects single-bit transient faults at many points into the base, SRT,
+CRT, and lockstep machines and a permanent stuck-functional-unit fault
+into SRT with and without preferential space redundancy, then classifies
+every run against the golden architectural model:
+
+- detected — output comparison / divergence check fired;
+- masked   — the corrupted value was architecturally dead;
+- latent   — execution diverged but no wrong value left the sphere yet;
+- SDC      — a wrong store reached memory with nobody noticing.
+
+Run:  python examples/fault_injection_demo.py [benchmark] [injections]
+"""
+
+import sys
+from collections import Counter
+
+from repro.core import MachineConfig, make_machine
+from repro.core.faults import (FaultOutcome, StuckFunctionalUnit,
+                               TransientResultFault, run_fault_experiment)
+from repro.isa import generate_benchmark
+from repro.isa.instructions import FuClass
+
+BENCHMARK = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+INJECTIONS = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+INSTRUCTIONS = 1200
+
+
+def campaign(kind, program):
+    outcomes = Counter()
+    for index in range(INJECTIONS):
+        machine = make_machine(kind, MachineConfig(), [program])
+        core_index = 1 if (kind in ("lockstep", "crt") and index % 2) else 0
+        fault = TransientResultFault(cycle=80 + 61 * index,
+                                     core_index=core_index,
+                                     bit=(7 * index + 1) % 64)
+        outcome = run_fault_experiment(machine, program, fault,
+                                       instructions=INSTRUCTIONS,
+                                       warmup=4000)
+        outcomes[outcome] += 1
+    return outcomes
+
+
+def print_outcomes(label, outcomes):
+    total = sum(outcomes.values())
+    cells = ", ".join(f"{outcome.value}: {count}"
+                      for outcome, count in sorted(
+                          outcomes.items(), key=lambda kv: kv[0].value))
+    print(f"  {label:<10s} ({total} injections)  {cells}")
+
+
+def main():
+    program = generate_benchmark(BENCHMARK)
+    print(f"transient single-bit faults on {program.name}:")
+    for kind in ("base", "srt", "crt", "lockstep"):
+        print_outcomes(kind, campaign(kind, program))
+
+    print("\npermanent stuck-functional-unit faults on SRT:")
+    for psr in (True, False):
+        outcomes = Counter()
+        config = MachineConfig(preferential_space_redundancy=psr)
+        for unit in range(4):
+            machine = make_machine("srt", config, [program])
+            fault = StuckFunctionalUnit(core_index=0, fu_class=FuClass.INT,
+                                        unit_index=unit, bit=1)
+            outcome = run_fault_experiment(machine, program, fault,
+                                           instructions=INSTRUCTIONS,
+                                           warmup=4000)
+            outcomes[outcome] += 1
+        print_outcomes("PSR on" if psr else "PSR off", outcomes)
+
+    print("\nthe coverage story:")
+    print("  - the base machine lets corruption through silently (SDC);")
+    print("  - SRT/CRT/lockstep never let a wrong store leave the sphere;")
+    print("  - PSR guarantees space redundancy, so even a permanently")
+    print("    stuck unit corrupts only one copy and is caught.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one go.
+
+Runs the complete experiment suite — Figures 6 through 11 plus the
+line-predictor statistics, fault-coverage tables, and the ablations —
+and prints each as a text table with the paper's expected shape noted.
+
+This is the long-running version of what ``pytest benchmarks/`` checks;
+scale it with the two optional arguments.
+
+Run:  python examples/reproduce_paper.py [instructions] [warmup]
+"""
+
+import sys
+import time
+
+from repro.harness import (Runner, ablation_checker_latency,
+                           ablation_cross_latency, ablation_fetch_policy,
+                           ablation_lvq_size, ablation_slack_fetch,
+                           ablation_trailing_fetch_mode, fault_coverage,
+                           fig6_srt_one_thread, fig7_psr,
+                           fig8_srt_two_threads, fig9_store_lifetime,
+                           fig10_crt_one_thread, fig11_crt_multithread,
+                           line_predictor_rates,
+                           psr_permanent_fault_coverage, render_table,
+                           store_queue_sweep)
+
+INSTRUCTIONS = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+WARMUP = int(sys.argv[2]) if len(sys.argv) > 2 else 12_000
+
+EXPERIMENTS = [
+    ("Figure 6 — SRT, one logical thread "
+     "(paper: ~32% degradation; ptsq recovers ~2%)",
+     fig6_srt_one_thread),
+    ("Figure 7 — preferential space redundancy "
+     "(paper: 65% same-unit -> 0.06%)",
+     fig7_psr),
+    ("Figure 8 — SRT, two logical threads "
+     "(paper: ~40% degradation; ptsq -> ~32%)",
+     fig8_srt_two_threads),
+    ("Section 7.1 — store lifetimes (paper: ~+39 cycles under SRT)",
+     fig9_store_lifetime),
+    ("Store-queue size sweep (SRT + ptsq)",
+     store_queue_sweep),
+    ("Section 8 — one logical thread on the CMP machines "
+     "(paper: CRT ~ lockstep)",
+     fig10_crt_one_thread),
+    ("Section 8 — multithreaded lockstep vs CRT "
+     "(paper: CRT +13% mean, +22% max over Lock8)",
+     fig11_crt_multithread),
+    ("Section 4.4 — line predictor rates "
+     "(paper: 14-28% base; 0 trailing misfetches)",
+     line_predictor_rates),
+    ("Fault coverage — transient faults per machine kind",
+     fault_coverage),
+    ("Fault coverage — stuck functional unit with/without PSR",
+     psr_permanent_fault_coverage),
+    ("Ablation — trailing-priority vs ICOUNT fetch",
+     ablation_fetch_policy),
+    ("Ablation — CRT cross-core latency",
+     ablation_cross_latency),
+    ("Ablation — lockstep checker latency",
+     ablation_checker_latency),
+    ("Ablation — load value queue size",
+     ablation_lvq_size),
+    ("Ablation — explicit slack fetch on top of the LPQ",
+     ablation_slack_fetch),
+    ("Ablation — LPQ vs shared-predictor trailing fetch",
+     ablation_trailing_fetch_mode),
+]
+
+
+def main():
+    runner = Runner(instructions=INSTRUCTIONS, warmup=WARMUP)
+    print(f"reproducing all experiments at {INSTRUCTIONS} instructions "
+          f"per thread (warmup {WARMUP})\n")
+    total_start = time.time()
+    for title, experiment in EXPERIMENTS:
+        start = time.time()
+        result = experiment(runner)
+        elapsed = time.time() - start
+        print(f"=== {title}")
+        print(render_table(result))
+        print(f"    [{elapsed:.1f}s]\n")
+    print(f"total: {time.time() - total_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of "Detailed Design and Evaluation of Redundant
+Multithreading Alternatives" (Mukherjee, Kontz & Reinhardt, ISCA 2002).
+
+The package provides:
+
+- ``repro.isa`` — the RISC-R instruction set and synthetic SPEC CPU95-like
+  workloads;
+- ``repro.memory`` / ``repro.predictors`` / ``repro.pipeline`` — a
+  cycle-level SMT processor model resembling the paper's EV8-like base
+  machine;
+- ``repro.core`` — the paper's contributions: SRT, lockstepping, and CRT
+  machines, preferential space redundancy, and fault injection;
+- ``repro.harness`` — runners and per-figure experiment drivers.
+
+Quickstart::
+
+    from repro import make_machine, generate_benchmark, MachineConfig
+
+    program = generate_benchmark("gcc")
+    machine = make_machine("srt", MachineConfig(), [program])
+    result = machine.run(max_instructions=5000)
+    print(result.ipc_per_logical_thread())
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (FaultOutcome, MachineConfig, RunResult,
+                        StuckFunctionalUnit, TransientRegisterFault,
+                        TransientResultFault, make_machine,
+                        run_fault_experiment)
+from repro.harness import Runner, render_table
+from repro.isa import (SPEC95_NAMES, Program, assemble, generate_benchmark,
+                       generate_program, get_profile)
+
+__all__ = [
+    "__version__",
+    # Workloads.
+    "Program",
+    "assemble",
+    "generate_benchmark",
+    "generate_program",
+    "get_profile",
+    "SPEC95_NAMES",
+    # Machines.
+    "MachineConfig",
+    "make_machine",
+    "RunResult",
+    # Faults.
+    "FaultOutcome",
+    "TransientResultFault",
+    "TransientRegisterFault",
+    "StuckFunctionalUnit",
+    "run_fault_experiment",
+    # Harness.
+    "Runner",
+    "render_table",
+]

@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig6 --instructions 2000 --warmup 15000
+    python -m repro fig11 --instructions 1500
+    python -m repro run --kind srt --benchmark gcc --instructions 3000
+"""
+
+import argparse
+import sys
+
+from repro.harness import experiments as exp
+from repro.harness.reporting import render_table
+from repro.harness.runner import Runner
+from repro.isa.profiles import SPEC95_NAMES
+
+EXPERIMENTS = {
+    "fig6": (exp.fig6_srt_one_thread,
+             "SMT-Efficiency, one logical thread (SRT variants)"),
+    "fig7": (exp.fig7_psr, "Preferential space redundancy"),
+    "fig8": (exp.fig8_srt_two_threads,
+             "SMT-Efficiency, two logical threads (SRT)"),
+    "fig9": (exp.fig9_store_lifetime, "Store lifetimes, base vs SRT"),
+    "fig10": (exp.fig10_crt_one_thread,
+              "One logical thread on the CMP machines"),
+    "fig11": (exp.fig11_crt_multithread,
+              "Multithreaded lockstep vs CRT"),
+    "line-pred": (exp.line_predictor_rates, "Line predictor rates"),
+    "faults": (exp.fault_coverage, "Transient fault coverage"),
+    "detect-latency": (exp.detection_latency,
+                       "Fault detection latency per machine kind"),
+    "psr-faults": (exp.psr_permanent_fault_coverage,
+                   "Stuck-unit coverage with/without PSR"),
+    "sq-sweep": (exp.store_queue_sweep, "Store-queue size sweep"),
+    "sq-occupancy": (exp.store_queue_occupancy,
+                     "Store-queue occupancy, base vs SRT"),
+    "slack": (exp.slack_distribution,
+              "Leading-trailing slack distribution"),
+    "ablation-fetch": (exp.ablation_fetch_policy,
+                       "Trailing priority vs ICOUNT"),
+    "ablation-cross": (exp.ablation_cross_latency,
+                       "CRT cross-core latency sweep"),
+    "ablation-checker": (exp.ablation_checker_latency,
+                         "Lockstep checker latency sweep"),
+    "ablation-lvq": (exp.ablation_lvq_size, "LVQ size sweep"),
+    "ablation-slack": (exp.ablation_slack_fetch, "Explicit slack fetch"),
+    "ablation-lpq": (exp.ablation_trailing_fetch_mode,
+                     "LPQ vs shared-predictor trailing fetch"),
+}
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Detailed Design and Evaluation of "
+                    "Redundant Multithreading Alternatives' (ISCA 2002)")
+    parser.add_argument("command",
+                        help="'list', an experiment id (e.g. fig6), or 'run'")
+    parser.add_argument("--instructions", type=positive_int, default=1500,
+                        help="committed instructions per thread")
+    parser.add_argument("--warmup", type=non_negative_int, default=12_000,
+                        help="architectural warm-up instructions")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload generation seed")
+    parser.add_argument("--kind", default="srt",
+                        help="machine kind for 'run' "
+                             "(base/base2/srt/lockstep/crt)")
+    parser.add_argument("--benchmark", action="append", default=None,
+                        help="benchmark name(s) for 'run' (repeatable)")
+    return parser
+
+
+def cmd_list() -> int:
+    print("experiments:")
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"  {name:<18s} {description}")
+    print("\nbenchmarks:")
+    print("  " + ", ".join(SPEC95_NAMES))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, runner: Runner) -> int:
+    names = args.benchmark or ["gcc"]
+    result = runner.run(args.kind, names)
+    print(f"{args.kind} on {'+'.join(names)}: "
+          f"{result.cycles} cycles, faults={result.faults_detected}")
+    for name, ipc in result.ipc_per_logical_thread().items():
+        efficiency = ipc / runner.baseline_ipc(name)
+        print(f"  {name:<12s} IPC={ipc:.3f}  SMT-Efficiency={efficiency:.3f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    runner = Runner(instructions=args.instructions, warmup=args.warmup,
+                    seed=args.seed)
+    try:
+        if args.command == "run":
+            return cmd_run(args, runner)
+        if args.command not in EXPERIMENTS:
+            print(f"unknown command {args.command!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        driver, _ = EXPERIMENTS[args.command]
+        print(render_table(driver(runner)))
+        return 0
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contributions: SRT, lockstep, and CRT machines."""
+
+from repro.core.config import MachineConfig
+from repro.core.crt import CrtMachine
+from repro.core.faults import (Fault, FaultInjector, FaultOutcome,
+                               StuckFunctionalUnit, TransientRegisterFault,
+                               TransientResultFault, classify_outcome,
+                               run_fault_experiment)
+from repro.core.lockstep import LockstepChecker, LockstepMachine
+from repro.core.lpq import ChunkAggregator, LinePredictionQueue, LpqChunk
+from repro.core.lvq import LoadValueQueue
+from repro.core.machine import BaseMachine, Machine, make_machine
+from repro.core.metrics import (FaultEvent, RunResult, ThreadResult,
+                                arithmetic_mean, mean_smt_efficiency,
+                                smt_efficiency)
+from repro.core.psr import FuCorrespondenceTracker, PsrStats
+from repro.core.rmt import RedundantPair, RmtController
+from repro.core.sphere import SphereOfReplication
+from repro.core.srt import SrtMachine
+from repro.core.store_comparator import StoreComparator
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultOutcome",
+    "StuckFunctionalUnit",
+    "TransientRegisterFault",
+    "TransientResultFault",
+    "classify_outcome",
+    "run_fault_experiment",
+    "MachineConfig",
+    "Machine",
+    "BaseMachine",
+    "SrtMachine",
+    "LockstepMachine",
+    "LockstepChecker",
+    "CrtMachine",
+    "make_machine",
+    "RunResult",
+    "ThreadResult",
+    "FaultEvent",
+    "smt_efficiency",
+    "mean_smt_efficiency",
+    "arithmetic_mean",
+    "LoadValueQueue",
+    "LinePredictionQueue",
+    "ChunkAggregator",
+    "LpqChunk",
+    "StoreComparator",
+    "SphereOfReplication",
+    "RmtController",
+    "RedundantPair",
+    "FuCorrespondenceTracker",
+    "PsrStats",
+]

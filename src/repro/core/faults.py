@@ -1,0 +1,263 @@
+"""Fault injection and detection-coverage classification.
+
+The paper's motivation is detecting *transient* faults (particle
+strikes) and, with preferential space redundancy, many *permanent*
+faults (manufacturing defects, electromigration, stuck boot-time
+latches).  The injector models both:
+
+- :class:`TransientRegisterFault` — flip one bit of one physical
+  register at one cycle (a struck latch);
+- :class:`TransientResultFault` — flip one bit of the next result
+  computed on a core at/after a cycle (a struck ALU/latch in flight);
+- :class:`StuckFunctionalUnit` — a permanent fault: every result
+  produced by one specific functional-unit instance is corrupted.
+  Without preferential space redundancy, corresponding leading and
+  trailing instructions frequently execute on the *same* unit, so both
+  copies are corrupted identically and the fault escapes detection;
+  PSR forces them apart (Section 4.5).
+
+Outcomes are classified against the golden architectural model:
+
+- ``DETECTED`` — the machine raised a fault event (store mismatch, LVQ
+  address mismatch, control-flow divergence, lockstep mismatch);
+- ``MASKED``   — no detection, and the retired instruction stream of the
+  measured thread still matches the functional executor (the corrupted
+  value was architecturally dead or overwritten);
+- ``SDC``      — silent data corruption: no detection, wrong stream;
+- ``HUNG``     — the run stopped making progress (fault corrupted
+  control state beyond recovery).
+"""
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.machine import Machine
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.instructions import FuClass
+from repro.pipeline.uop import Uop
+from repro.util.bits import flip_bit
+
+
+class FaultOutcome(enum.Enum):
+    DETECTED = "detected"
+    MASKED = "masked"
+    LATENT = "latent"             # execution diverged, but no wrong value
+    SDC = "silent-data-corruption"  # has left the sphere undetected (yet)
+    HUNG = "hung"
+
+
+class Fault:
+    """Base class; faults attach themselves to a machine."""
+
+    #: Cycle the fault actually struck (set by subclasses when they fire).
+    struck_cycle: Optional[int] = None
+
+    def attach(self, machine: Machine) -> None:
+        raise NotImplementedError
+
+    def tick(self, machine: Machine, now: int) -> None:
+        """Called every cycle before the cores tick."""
+
+
+@dataclass
+class TransientRegisterFault(Fault):
+    """Flip ``bit`` of physical register ``reg`` on ``core_index`` at
+    ``cycle``."""
+
+    cycle: int
+    core_index: int
+    reg: int
+    bit: int
+    fired: bool = False
+
+    def attach(self, machine: Machine) -> None:
+        pass
+
+    def tick(self, machine: Machine, now: int) -> None:
+        if self.fired or now < self.cycle:
+            return
+        regfile = machine.cores[self.core_index].regfile
+        regfile.values[self.reg] = flip_bit(regfile.values[self.reg], self.bit)
+        self.fired = True
+        self.struck_cycle = now
+
+
+@dataclass
+class TransientResultFault(Fault):
+    """Flip ``bit`` of the first result computed on ``core_index`` at or
+    after ``cycle`` (optionally only for hardware thread ``thread``).
+
+    Loads are skipped unless ``target_loads`` is set: a flip on a load's
+    incoming value strikes *before* the load value queue captures it, so
+    both redundant threads consume the identical wrong value — that path
+    is outside the sphere of replication and is protected by ECC in the
+    paper's design, not by redundant execution.  Setting ``target_loads``
+    demonstrates exactly that coverage hole.
+    """
+
+    cycle: int
+    core_index: int
+    bit: int
+    thread: Optional[int] = None
+    target_loads: bool = False
+    fired: bool = False
+
+    def attach(self, machine: Machine) -> None:
+        core = machine.cores[self.core_index]
+        previous = core.result_corruptor
+
+        def corrupt(uop: Uop, now: int) -> None:
+            if previous is not None:
+                previous(uop, now)
+            if self.fired or now < self.cycle:
+                return
+            if self.thread is not None and uop.thread != self.thread:
+                return
+            if self._corrupt_uop(uop):
+                self.fired = True
+                self.struck_cycle = now
+
+        core.result_corruptor = corrupt
+
+    def _corrupt_uop(self, uop: Uop) -> bool:
+        if uop.instr.is_load and not self.target_loads:
+            return False
+        if uop.instr.is_store:
+            uop.store_value = flip_bit(uop.store_value, self.bit)
+            return True
+        if uop.result is not None:
+            uop.result = flip_bit(uop.result, self.bit)
+            return True
+        return False
+
+
+@dataclass
+class StuckFunctionalUnit(Fault):
+    """Permanent fault: every result from one functional-unit instance is
+    corrupted by flipping ``bit``."""
+
+    core_index: int
+    fu_class: FuClass
+    unit_index: int
+    bit: int = 0
+    corrupted: int = 0
+
+    def attach(self, machine: Machine) -> None:
+        core = machine.cores[self.core_index]
+        previous = core.result_corruptor
+        target = (self.fu_class, self.unit_index)
+
+        def corrupt(uop: Uop, now: int) -> None:
+            if previous is not None:
+                previous(uop, now)
+            if uop.fu != target:
+                return
+            if uop.instr.is_store and uop.store_value is not None:
+                uop.store_value = flip_bit(uop.store_value, self.bit)
+                self.corrupted += 1
+            elif uop.result is not None:
+                uop.result = flip_bit(uop.result, self.bit)
+                self.corrupted += 1
+            if self.corrupted and self.struck_cycle is None:
+                self.struck_cycle = now
+
+        core.result_corruptor = corrupt
+
+
+class FaultInjector:
+    """Drives a list of faults against a machine run."""
+
+    def __init__(self, machine: Machine, faults: Iterable[Fault]) -> None:
+        self.machine = machine
+        self.faults: List[Fault] = list(faults)
+        for fault in self.faults:
+            fault.attach(machine)
+        machine.injector = self
+
+    def tick(self, now: int) -> None:
+        for fault in self.faults:
+            fault.tick(self.machine, now)
+
+
+def golden_store_stream(program, instructions: int) -> List[tuple]:
+    """The (op, addr, value) store stream of a fault-free execution."""
+    executor = FunctionalExecutor(program)
+    stores = []
+    for step in executor.run(instructions):
+        if step.store is not None:
+            stores.append((step.instr.op.name, step.store[0], step.store[1]))
+    return stores
+
+
+def classify_outcome(machine: Machine, program, trace: List[Uop],
+                     drained: List[tuple],
+                     target_instructions: int) -> FaultOutcome:
+    """Classify a finished fault run (see module docstring).
+
+    The decisive stream is what *left the sphere of replication*: the
+    drained stores.  A retired-path divergence with no wrong drained
+    store is LATENT — detection is still possible before damage is done.
+    """
+    if machine.fault_events:
+        return FaultOutcome.DETECTED
+    if len(trace) < target_instructions:
+        return FaultOutcome.HUNG
+    golden = golden_store_stream(program, 4 * target_instructions)
+    if drained != golden[:len(drained)]:
+        return FaultOutcome.SDC
+    reference = FunctionalExecutor(program).run(len(trace))
+    for uop, ref in zip(trace, reference):
+        if uop.pc != ref.pc:
+            return FaultOutcome.LATENT
+        if ref.load is not None and uop.result != ref.load[1]:
+            return FaultOutcome.LATENT
+    return FaultOutcome.MASKED
+
+
+@dataclass
+class FaultReport:
+    """Outcome plus timing of one fault-injection run."""
+
+    outcome: FaultOutcome
+    struck_cycle: Optional[int] = None
+    detected_cycle: Optional[int] = None
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        """Cycles from strike to first detection (None if undetected)."""
+        if self.struck_cycle is None or self.detected_cycle is None:
+            return None
+        return self.detected_cycle - self.struck_cycle
+
+
+def run_fault_experiment_detailed(machine: Machine, program, fault: Fault,
+                                  instructions: int = 1500,
+                                  warmup: int = 5000) -> FaultReport:
+    """Like :func:`run_fault_experiment`, also reporting detection latency."""
+    measured = machine._measured[program.name]
+    measured.core.retire_trace[measured.tid] = []
+    measured.core.drain_log[measured.tid] = []
+    FaultInjector(machine, [fault])
+    machine.run(max_instructions=instructions, warmup=warmup)
+    trace = measured.core.retire_trace[measured.tid]
+    drained = measured.core.drain_log[measured.tid]
+    outcome = classify_outcome(machine, program, trace, drained, instructions)
+    detected_cycle = (machine.fault_events[0].cycle
+                      if machine.fault_events else None)
+    return FaultReport(outcome=outcome, struck_cycle=fault.struck_cycle,
+                       detected_cycle=detected_cycle)
+
+
+def run_fault_experiment(machine: Machine, program,
+                         fault: Fault, instructions: int = 1500,
+                         warmup: int = 5000) -> FaultOutcome:
+    """Inject ``fault`` into ``machine`` running ``program`` and classify.
+
+    The machine must have been built for exactly one logical thread of
+    ``program``; the measured hardware thread's retired stream and
+    drained-store stream are traced.
+    """
+    return run_fault_experiment_detailed(
+        machine, program, fault, instructions=instructions,
+        warmup=warmup).outcome

@@ -1,0 +1,209 @@
+"""The line prediction queue (LPQ) — SRT's branch outcome queue adapted
+to a line-prediction-driven fetch architecture (Section 4.4).
+
+The QBOX end (:class:`ChunkAggregator`) watches leading-thread
+retirement and aggregates contiguous retiring instructions into trailing
+fetch chunks, terminating a chunk when
+
+- the next retiring instruction is not contiguous (taken branch),
+- the eight-instruction chunk limit is reached,
+- the oldest leading instruction is a memory barrier that cannot retire
+  until trailing stores verify its predecessors (deadlock rule 1),
+- a leading load is blocked on partial forwarding from a store that has
+  not yet been made visible to the trailing thread (deadlock rule 2), or
+- the leading thread goes idle for a timeout (flush-on-stall safety).
+
+The IBOX end (:class:`LinePredictionQueue`) holds the finished chunks
+and implements the two-head protocol of Figure 4: the *active head*
+advances when the address driver accepts a prediction; the *recovery
+head* advances only when the chunk's instructions were actually fetched,
+so an instruction-cache miss can roll the active head back and reissue
+the same predictions.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class LpqStats:
+    chunks_pushed: int = 0
+    chunks_fetched: int = 0
+    rollbacks: int = 0
+    flush_membar: int = 0
+    flush_partial_store: int = 0
+    flush_timeout: int = 0
+    flush_pressure: int = 0
+    full_stalls: int = 0
+    instructions: int = 0
+
+    @property
+    def mean_chunk_length(self) -> float:
+        return (self.instructions / self.chunks_pushed
+                if self.chunks_pushed else 0.0)
+
+
+@dataclass
+class LpqChunk:
+    """One trailing-thread fetch chunk: the exact retired path."""
+
+    start_pc: int
+    pcs: List[int]
+    next_pc: int
+    half_hints: List[Optional[int]]
+    available_cycle: int
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
+class LinePredictionQueue:
+    """IBOX-side chunk FIFO with active and recovery heads."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self.stats = LpqStats()
+        self._chunks: List[LpqChunk] = []
+        self.active_head = 0
+        self.recovery_head = 0
+
+    def __len__(self) -> int:
+        """Chunks not yet safely fetched (recovery-head occupancy)."""
+        return len(self._chunks)
+
+    @property
+    def full(self) -> bool:
+        return len(self._chunks) >= self.capacity
+
+    def push(self, chunk: LpqChunk) -> None:
+        if self.full:
+            raise RuntimeError("LPQ overflow: aggregator must gate on free "
+                               "space")
+        self._chunks.append(chunk)
+        self.stats.chunks_pushed += 1
+        self.stats.instructions += len(chunk)
+
+    def peek_active(self, now: int) -> Optional[LpqChunk]:
+        """The prediction the active head would send next."""
+        if self.active_head >= len(self._chunks):
+            return None
+        chunk = self._chunks[self.active_head]
+        if now < chunk.available_cycle:
+            return None
+        return chunk
+
+    def ack(self) -> None:
+        """Address driver accepted the prediction: advance the active head."""
+        if self.active_head >= len(self._chunks):
+            raise RuntimeError("ack with no outstanding prediction")
+        self.active_head += 1
+
+    def commit(self) -> None:
+        """Instructions fetched successfully: advance the recovery head and
+        release the storage behind it."""
+        if self.recovery_head >= self.active_head:
+            raise RuntimeError("commit past the active head")
+        self.recovery_head += 1
+        self.stats.chunks_fetched += 1
+        # Storage behind the recovery head is dead; reclaim it.
+        if self.recovery_head:
+            del self._chunks[:self.recovery_head]
+            self.active_head -= self.recovery_head
+            self.recovery_head = 0
+
+    def rollback(self) -> None:
+        """Icache miss (or similar): re-send from the recovery head."""
+        if self.active_head != self.recovery_head:
+            self.stats.rollbacks += 1
+        self.active_head = self.recovery_head
+
+
+class ChunkAggregator:
+    """QBOX-side logic building trailing fetch chunks from retirement."""
+
+    def __init__(self, lpq: LinePredictionQueue, chunk_size: int = 8,
+                 forward_latency: int = 4, wrap: int = 1 << 62,
+                 flush_timeout: int = 24) -> None:
+        self.lpq = lpq
+        self.chunk_size = chunk_size
+        self.forward_latency = forward_latency
+        self.wrap = wrap
+        self.flush_timeout = flush_timeout
+        self._pcs: List[int] = []
+        self._half_hints: List[Optional[int]] = []
+        self._next_pc: Optional[int] = None   # where the retired path goes
+        self._last_add_cycle: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self._pcs)
+
+    def has_room(self) -> bool:
+        """Retirement gate: a retiring instruction must always have
+        somewhere to go, even if it forces a chunk push."""
+        return not self.lpq.full
+
+    def add(self, pc: int, next_pc: int, queue_half: Optional[int],
+            now: int) -> None:
+        """Record one retiring leading-thread instruction.
+
+        ``next_pc`` is where the retired path continues (the actual branch
+        target for control instructions, pc+1 otherwise).  A mispredicted-
+        taken branch that actually fell through keeps the chunk growing,
+        exactly as in Section 4.4.2's last observation.
+        """
+        if self._pcs and pc != self._next_pc:
+            self.flush(now, reason="discontinuity")
+        self._pcs.append(pc)
+        self._half_hints.append(queue_half)
+        self._next_pc = next_pc
+        self._last_add_cycle = now
+        if len(self._pcs) >= self.chunk_size or next_pc != (pc + 1) % self.wrap:
+            # Chunk limit reached, or the path jumps away (taken branch):
+            # the continuation address is known, so terminate now.
+            self.flush(now, reason="full" if len(self._pcs) >= self.chunk_size
+                       else "discontinuity")
+
+    def flush(self, now: int, reason: str = "forced") -> None:
+        """Terminate the pending instructions and push them to the LPQ.
+
+        If a previous flush was blocked by a full LPQ, the pending run may
+        have grown past the chunk size or even across a discontinuity
+        (retirement of non-loads is not gated on LPQ room), so the pending
+        instructions are emitted as proper chunks: split at every
+        discontinuity and every ``chunk_size`` instructions.  Whatever
+        does not fit in the LPQ right now stays pending.
+        """
+        while self._pcs:
+            if self.lpq.full:
+                self.lpq.stats.full_stalls += 1
+                return  # retry on a later flush; stay pending
+            length = 1
+            while (length < min(self.chunk_size, len(self._pcs))
+                   and self._pcs[length]
+                   == (self._pcs[length - 1] + 1) % self.wrap):
+                length += 1
+            pcs = self._pcs[:length]
+            hints = self._half_hints[:length]
+            next_pc = (self._pcs[length] if length < len(self._pcs)
+                       else self._next_pc)
+            self.lpq.push(LpqChunk(
+                start_pc=pcs[0], pcs=pcs, next_pc=next_pc, half_hints=hints,
+                available_cycle=now + self.forward_latency))
+            self._pcs = self._pcs[length:]
+            self._half_hints = self._half_hints[length:]
+        stats = self.lpq.stats
+        if reason == "membar":
+            stats.flush_membar += 1
+        elif reason == "partial-store":
+            stats.flush_partial_store += 1
+        elif reason == "timeout":
+            stats.flush_timeout += 1
+        elif reason == "pressure":
+            stats.flush_pressure += 1
+        self._last_add_cycle = None
+
+    def tick(self, now: int) -> None:
+        """Timeout flush: leading retirement stalled with a partial chunk."""
+        if (self._pcs and self._last_add_cycle is not None
+                and now - self._last_add_cycle >= self.flush_timeout):
+            self.flush(now, reason="timeout")

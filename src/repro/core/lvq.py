@@ -1,0 +1,81 @@
+"""The load value queue (LVQ) — input replication for cached loads.
+
+As each leading-thread load retires, its address and value are written
+to the LVQ (protected by ECC — the LVQ is inside neither the data cache
+nor the sphere, so fault injection never targets it).  Trailing-thread
+loads bypass the load queue and data cache entirely and read the LVQ
+instead.
+
+Unlike the original SRT proposal's strict FIFO, our base processor
+issues up to three loads per cycle out of order, so the LVQ supports
+associative lookup by a *load correlation tag* — the program-order load
+index assigned at rename, identical in both redundant threads
+(Section 4.1).  Entries become visible to the trailing thread after the
+QBOX-to-MBOX forwarding latency (plus the cross-core latency under CRT).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class LvqStats:
+    writes: int = 0
+    reads: int = 0
+    full_stalls: int = 0
+    address_mismatches: int = 0
+    peak_occupancy: int = 0
+
+
+@dataclass
+class LvqEntry:
+    load_index: int
+    addr: int
+    value: int
+    available_cycle: int
+
+
+class LoadValueQueue:
+    def __init__(self, capacity: int = 64, forward_latency: int = 2) -> None:
+        self.capacity = capacity
+        self.forward_latency = forward_latency
+        self.stats = LvqStats()
+        self._entries: Dict[int, LvqEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def has_room(self) -> bool:
+        if self.full:
+            self.stats.full_stalls += 1
+            return False
+        return True
+
+    def write(self, load_index: int, addr: int, value: int, now: int) -> None:
+        """Record a retiring leading-thread load."""
+        if self.full:
+            raise RuntimeError("LVQ overflow: caller must gate retirement "
+                               "on has_room()")
+        self._entries[load_index] = LvqEntry(
+            load_index, addr, value, now + self.forward_latency)
+        self.stats.writes += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy,
+                                        len(self._entries))
+
+    def probe(self, load_index: int, now: int) -> Optional[Tuple[int, int]]:
+        """Associative lookup by tag; None until the entry has arrived."""
+        entry = self._entries.get(load_index)
+        if entry is None or now < entry.available_cycle:
+            return None
+        return entry.addr, entry.value
+
+    def consume(self, load_index: int) -> None:
+        self._entries.pop(load_index, None)
+        self.stats.reads += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,250 @@
+"""Machine models and the machine factory.
+
+A *machine* is one single-chip device configuration from the paper:
+
+- ``base`` — the base SMT processor (Section 3), one core, up to four
+  independent logical threads;
+- ``srt``  — the base core with SRT extensions (Section 4);
+- ``lockstep`` — two cores running every logical thread twice in
+  cycle-lockstep with a central checker (Section 5);
+- ``crt``  — chip-level redundant threading across two cores (Section 5).
+
+``make_machine(kind, config, programs)`` builds any of them.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.core.config import MachineConfig
+from repro.core.metrics import FaultEvent, RunResult, ThreadResult
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.pipeline.thread import HwThread, ThreadRole
+
+
+class Machine:
+    """Common run loop and result collection."""
+
+    kind = "abstract"
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.memory: Dict[int, int] = {}
+        self.cores: List[Core] = []
+        self.hierarchies: List[MemoryHierarchy] = []
+        self.fault_events: List[FaultEvent] = []
+        self.injector = None  # optional repro.core.faults.FaultInjector
+        self.now = 0
+        # name -> the hardware thread whose retirement measures progress.
+        self._measured: Dict[str, HwThread] = {}
+
+    # -- to be populated by subclasses -------------------------------------
+    def _register_logical_thread(self, name: str, thread: HwThread) -> None:
+        if name in self._measured:
+            raise ValueError(f"duplicate logical thread name {name!r}")
+        self._measured[name] = thread
+
+    def report_fault(self, cycle: int, kind: str, thread: int,
+                     detail: str = "") -> None:
+        self.fault_events.append(FaultEvent(cycle, kind, thread, detail))
+
+    # -- warm-up -----------------------------------------------------------------
+    def warm(self, instructions: int = 5_000) -> None:
+        """Warm caches and branch predictors before measuring.
+
+        Mirrors the paper's methodology (Section 6.2: structures are
+        warmed before statistics are collected).  The architectural
+        executor walks each program's future path; the blocks it touches
+        are installed in every hierarchy, and its branch outcomes train
+        the conditional predictors of the cores that will run the thread.
+        """
+        from repro.isa.executor import FunctionalExecutor
+
+        for name, hw in self._measured.items():
+            executor = FunctionalExecutor(hw.program)
+            cores = [core for core in self.cores
+                     if any(t.program is hw.program for t in core.threads)]
+            for step in executor.run(instructions):
+                code_addr = hw.phys_addr(hw.program.pc_to_addr(step.pc))
+                data_addr = None
+                if step.load is not None:
+                    data_addr = hw.phys_addr(step.load[0])
+                elif step.store is not None:
+                    data_addr = hw.phys_addr(step.store[0])
+                for hierarchy in self.hierarchies:
+                    for index in range(hierarchy.num_cores):
+                        hierarchy.l1i[index].warm(code_addr)
+                        if data_addr is not None:
+                            hierarchy.l1d[index].warm(data_addr)
+                    hierarchy.l2.warm(code_addr)
+                    if data_addr is not None:
+                        hierarchy.l2.warm(data_addr)
+                if step.instr.is_conditional:
+                    for core in cores:
+                        for thread in core.threads:
+                            if (thread.program is hw.program
+                                    and not thread.is_trailing):
+                                predicted = (
+                                    core.branch_predictor.predict_conditional(
+                                        thread.tid, step.pc))
+                                core.branch_predictor.update_conditional(
+                                    thread.tid, step.pc, step.taken, predicted)
+
+    # -- run loop ---------------------------------------------------------------
+    def run(self, max_instructions: int = 10_000,
+            max_cycles: Optional[int] = None,
+            warmup: int = 0) -> RunResult:
+        """Run every logical thread for ``max_instructions`` retirements.
+
+        Threads keep executing after reaching their target (so contention
+        stays realistic); each thread's IPC is frozen at the cycle it hit
+        its own target, the Section 6.4 methodology.
+        """
+        if warmup:
+            self.warm(warmup)
+        if max_cycles is None:
+            max_cycles = max_instructions * 60 + 20_000
+        for thread in self._measured.values():
+            thread.target_instructions = max_instructions
+        while self.now < max_cycles:
+            if all(t.stats.done_cycle is not None or t.done
+                   for t in self._measured.values()):
+                break
+            self.step()
+        self._drain(max_cycles)
+        return self._collect(max_instructions)
+
+    def _drain(self, max_cycles: int, grace: int = 20_000) -> None:
+        """Let in-flight stores leave the machine after the measured
+        threads finish (trailing threads may still need to retire their
+        copies so leading stores can verify and drain).
+
+        Only needed when a program actually terminated (HALT): the final
+        memory image must include its last stores.  Instruction-count
+        runs of non-terminating workloads skip this — their store queues
+        are never durably empty and their IPCs were frozen at the target
+        already.
+        """
+        if not any(thread.done for thread in self._measured.values()):
+            return
+        deadline = min(self.now + grace, max_cycles + grace)
+        while self.now < deadline:
+            if not any(thread.store_queue
+                       for core in self.cores for thread in core.threads):
+                break
+            self.step()
+
+    def step(self) -> None:
+        if self.injector is not None:
+            self.injector.tick(self.now)
+        for core in self.cores:
+            core.tick(self.now)
+        self._post_tick()
+        for hierarchy in self.hierarchies:
+            hierarchy.tick(self.now)
+        self.now += 1
+
+    def _post_tick(self) -> None:
+        """Machine-specific per-cycle work (RMT controllers etc.)."""
+
+    # -- results ---------------------------------------------------------------------
+    def _collect(self, target: int) -> RunResult:
+        threads = []
+        for name, hw in self._measured.items():
+            cycles = hw.stats.done_cycle
+            if cycles is None:
+                cycles = self.now
+            threads.append(ThreadResult(name=name, retired=min(
+                hw.stats.retired, target), cycles=cycles))
+        return RunResult(kind=self.kind, cycles=self.now, threads=threads,
+                         fault_events=list(self.fault_events),
+                         stats=self.machine_stats())
+
+    def machine_stats(self) -> Dict[str, float]:
+        stats: Dict[str, float] = {}
+        for core in self.cores:
+            prefix = f"core{core.core_id}."
+            stats[prefix + "cycles"] = core.stats.cycles
+            stats[prefix + "retired"] = core.stats.retired_total
+            stats[prefix + "squashes"] = core.stats.squashes
+            stats[prefix + "line_mispredict_rate"] = (
+                core.line_predictor.stats.misprediction_rate)
+            stats[prefix + "branch_mispredict_rate"] = (
+                core.branch_predictor.stats.conditional_misprediction_rate)
+            for thread in core.threads:
+                tprefix = f"{prefix}t{thread.tid}."
+                ts = thread.stats
+                stats[tprefix + "retired"] = ts.retired
+                stats[tprefix + "mispredicts"] = ts.branch_mispredicts
+                stats[tprefix + "misfetches"] = ts.misfetches
+                stats[tprefix + "violations"] = ts.memory_violations
+                stats[tprefix + "squashed"] = ts.squashed_uops
+                if ts.store_lifetime_count:
+                    stats[tprefix + "store_lifetime_avg"] = (
+                        ts.store_lifetime_sum / ts.store_lifetime_count)
+        for hierarchy in self.hierarchies:
+            stats.update(hierarchy.stats_summary())
+        return stats
+
+
+def partition(total: int, parts: int) -> int:
+    """Static partitioning of a shared structure (Section 3.4)."""
+    return total // max(parts, 1)
+
+
+class BaseMachine(Machine):
+    """The base SMT processor running independent logical threads.
+
+    ``duplicate`` runs every program twice as two independent hardware
+    threads with *separate* address spaces and no replication/comparison
+    — the paper's "Base2" reference point in Figure 6.
+    """
+
+    kind = "base"
+
+    def __init__(self, config: MachineConfig, programs: List[Program],
+                 duplicate: bool = False) -> None:
+        super().__init__(config)
+        hierarchy = MemoryHierarchy(config.hierarchy, num_cores=1)
+        self.hierarchies.append(hierarchy)
+        core = Core(0, config.core, hierarchy, self.memory,
+                    trailing_priority=config.trailing_priority)
+        self.cores.append(core)
+
+        copies = 2 if duplicate else 1
+        hw_count = len(programs) * copies
+        lq = partition(config.core.load_queue_entries, hw_count)
+        sq = partition(config.core.store_queue_entries, hw_count)
+        asid = 0
+        for program in programs:
+            for copy in range(copies):
+                thread = core.add_thread(program, ThreadRole.SINGLE,
+                                         asid=asid, lq_capacity=lq,
+                                         sq_capacity=sq)
+                asid += 1
+                if copy == 0:
+                    self._register_logical_thread(program.name, thread)
+
+
+def make_machine(kind: str, config: MachineConfig,
+                 programs: List[Program], **kwargs) -> Machine:
+    """Build a machine by kind: base / base2 / srt / lockstep / crt."""
+    from repro.core.crt import CrtMachine
+    from repro.core.lockstep import LockstepMachine
+    from repro.core.srt import SrtMachine
+
+    kinds = {
+        "base": lambda: BaseMachine(config, programs, **kwargs),
+        "base2": lambda: BaseMachine(config, programs, duplicate=True,
+                                     **kwargs),
+        "srt": lambda: SrtMachine(config, programs, **kwargs),
+        "lockstep": lambda: LockstepMachine(config, programs, **kwargs),
+        "crt": lambda: CrtMachine(config, programs, **kwargs),
+    }
+    try:
+        builder = kinds[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine kind {kind!r}; expected one of {sorted(kinds)}"
+        ) from None
+    return builder()

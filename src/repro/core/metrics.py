@@ -1,0 +1,84 @@
+"""Run results and the paper's SMT-Efficiency metric (Section 6.4).
+
+SMT-Efficiency of a thread = IPC of the thread in the evaluated
+configuration divided by its IPC running alone, single-threaded, on the
+base machine.  The figure-of-merit for a workload is the arithmetic mean
+over its logical threads — Snavely & Tullsen's weighted speedup.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ThreadResult:
+    """Measured outcome for one *logical* thread (program)."""
+
+    name: str
+    retired: int
+    cycles: int              # cycle at which this thread hit its target
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class FaultEvent:
+    """A detected redundancy violation (output mismatch / divergence)."""
+
+    cycle: int
+    kind: str
+    thread: int
+    detail: str = ""
+
+
+@dataclass
+class RunResult:
+    """Everything a machine run produced."""
+
+    kind: str                         # machine kind: base/srt/lockstep/crt
+    cycles: int                       # total cycles simulated
+    threads: List[ThreadResult]       # one per logical thread
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def ipc_of(self, name: str) -> float:
+        for thread in self.threads:
+            if thread.name == name:
+                return thread.ipc
+        raise KeyError(f"no logical thread named {name!r}")
+
+    def ipc_per_logical_thread(self) -> Dict[str, float]:
+        return {t.name: t.ipc for t in self.threads}
+
+    @property
+    def total_ipc(self) -> float:
+        return sum(t.ipc for t in self.threads)
+
+    @property
+    def faults_detected(self) -> int:
+        return len(self.fault_events)
+
+
+def smt_efficiency(result: RunResult,
+                   baseline_ipc: Dict[str, float]) -> Dict[str, float]:
+    """Per-logical-thread SMT-Efficiency against single-thread base IPCs."""
+    efficiencies: Dict[str, float] = {}
+    for thread in result.threads:
+        base = baseline_ipc.get(thread.name)
+        if base is None:
+            raise KeyError(f"no baseline IPC for {thread.name!r}")
+        efficiencies[thread.name] = thread.ipc / base if base else 0.0
+    return efficiencies
+
+
+def mean_smt_efficiency(result: RunResult,
+                        baseline_ipc: Dict[str, float]) -> float:
+    """Arithmetic mean of per-thread efficiencies (weighted speedup)."""
+    values = smt_efficiency(result, baseline_ipc)
+    return sum(values.values()) / len(values) if values else 0.0
+
+
+def arithmetic_mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

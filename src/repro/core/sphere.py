@@ -1,0 +1,52 @@
+"""Sphere-of-replication accounting (Section 2).
+
+The sphere chosen in the paper (and here) contains the processor
+pipeline(s) and register files but excludes the L1 instruction and data
+caches.  Everything crossing the boundary is tallied: values entering
+must be replicated (cached load values via the LVQ; instruction values
+are read-only and need no replication), values leaving must be compared
+(cacheable stores via the store comparator).
+
+This bookkeeping is what the fault-coverage experiments reason about:
+faults inside the sphere are detectable through output comparison;
+structures outside it (caches, LVQ, forwarding wires) need ECC/parity.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SphereOfReplication:
+    """Counters for one redundant thread pair's sphere boundary."""
+
+    name: str = "sphere"
+    inputs_replicated: int = 0       # LVQ writes (cached load values)
+    outputs_compared: int = 0        # store comparisons
+    outputs_forwarded: int = 0       # verified stores released outside
+    mismatches: int = 0              # detected faults at the boundary
+    uncovered: Dict[str, int] = field(default_factory=dict)
+
+    def record_input(self, count: int = 1) -> None:
+        self.inputs_replicated += count
+
+    def record_comparison(self, matched: bool) -> None:
+        self.outputs_compared += 1
+        if not matched:
+            self.mismatches += 1
+
+    def record_forwarded(self) -> None:
+        self.outputs_forwarded += 1
+
+    def record_uncovered(self, kind: str) -> None:
+        """An event outside the sphere that relies on information
+        redundancy instead (e.g. an ECC-protected LVQ access)."""
+        self.uncovered[kind] = self.uncovered.get(kind, 0) + 1
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "inputs_replicated": self.inputs_replicated,
+            "outputs_compared": self.outputs_compared,
+            "outputs_forwarded": self.outputs_forwarded,
+            "mismatches": self.mismatches,
+        }

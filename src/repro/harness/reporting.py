@@ -1,0 +1,49 @@
+"""Text rendering for experiment results (the paper-style tables)."""
+
+from typing import List
+
+from repro.harness.experiments import ExperimentResult
+
+
+def render_table(result: ExperimentResult, precision: int = 3,
+                 width: int = 10) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    label_width = max([len(result.experiment)]
+                      + [len(label) for label in result.rows]
+                      + [len("arith.mean")])
+    lines: List[str] = []
+    lines.append(f"# {result.experiment}: {result.description}")
+    header = " ".join([" " * label_width]
+                      + [series.rjust(width) for series in result.series])
+    lines.append(header)
+    for label, row in result.rows.items():
+        cells = []
+        for series in result.series:
+            value = row.get(series)
+            if value is None:
+                cells.append("-".rjust(width))
+            elif isinstance(value, int):
+                cells.append(str(value).rjust(width))
+            else:
+                cells.append(f"{value:.{precision}f}".rjust(width))
+        lines.append(" ".join([label.ljust(label_width)] + cells))
+    mean_cells = []
+    for series in result.series:
+        mean = result.summary.get(f"mean.{series}")
+        mean_cells.append("-".rjust(width) if mean is None
+                          else f"{mean:.{precision}f}".rjust(width))
+    lines.append(" ".join(["arith.mean".ljust(label_width)] + mean_cells))
+    for key, value in result.summary.items():
+        if not key.startswith("mean."):
+            lines.append(f"  {key} = {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def render_comparison(title: str, entries: List[tuple],
+                      precision: int = 3) -> str:
+    """Render simple (label, value) pairs."""
+    width = max(len(label) for label, _ in entries)
+    lines = [f"# {title}"]
+    for label, value in entries:
+        lines.append(f"{label.ljust(width)}  {value:.{precision}f}")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""RISC-R: the instruction set, programs, and synthetic workloads."""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.executor import (ArchState, FunctionalExecutor, StepResult,
+                                align_word, alu_result, branch_taken,
+                                merge_partial_store)
+from repro.isa.generator import generate_benchmark, generate_program
+from repro.isa.instructions import (INSTRUCTION_BYTES, NUM_ARCH_REGS,
+                                    ZERO_REG, FuClass, Instruction, Op)
+from repro.isa.profiles import (FOUR_THREAD_POOL, SPEC95_NAMES,
+                                SPEC95_PROFILES, TWO_THREAD_POOL,
+                                WorkloadProfile, get_profile)
+from repro.isa.program import Program
+
+__all__ = [
+    "assemble",
+    "AssemblyError",
+    "ArchState",
+    "FunctionalExecutor",
+    "StepResult",
+    "align_word",
+    "alu_result",
+    "branch_taken",
+    "merge_partial_store",
+    "generate_benchmark",
+    "generate_program",
+    "Instruction",
+    "Op",
+    "FuClass",
+    "INSTRUCTION_BYTES",
+    "NUM_ARCH_REGS",
+    "ZERO_REG",
+    "Program",
+    "WorkloadProfile",
+    "get_profile",
+    "SPEC95_NAMES",
+    "SPEC95_PROFILES",
+    "TWO_THREAD_POOL",
+    "FOUR_THREAD_POOL",
+]

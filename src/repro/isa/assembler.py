@@ -1,0 +1,162 @@
+"""A tiny two-pass assembler for RISC-R.
+
+Used by tests and examples to write small, exactly-predictable programs.
+Syntax, one instruction per line (``;`` starts a comment)::
+
+    .data  <addr> <value>        ; initial data memory word
+    label:
+        ldi   r1, 100
+        add   r2, r1, r3
+        addi  r1, r1, -1
+        ld    r4, r1, 8          ; r4 <- MEM[r1 + 8]
+        st    r1, 8, r4          ; MEM[r1 + 8] <- r4
+        beqz  r1, label
+        call  r30, subroutine
+        ret   r30
+        halt
+"""
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import Program
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly input."""
+
+
+_REG_RE = re.compile(r"^r(\d{1,2})$")
+
+_THREE_REG = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "and": Op.AND, "or": Op.OR,
+    "xor": Op.XOR, "shl": Op.SHL, "shr": Op.SHR, "cmplt": Op.CMPLT,
+    "cmpeq": Op.CMPEQ, "fadd": Op.FADD, "fmul": Op.FMUL, "fma": Op.FMA,
+    "fdiv": Op.FDIV,
+}
+_REG_REG_IMM = {"addi": Op.ADDI, "andi": Op.ANDI, "xori": Op.XORI}
+_NO_OPERAND = {"nop": Op.NOP, "membar": Op.MEMBAR, "halt": Op.HALT}
+_COND_BRANCH = {"beqz": Op.BEQZ, "bnez": Op.BNEZ}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    match = _REG_RE.match(token.strip())
+    if not match:
+        raise AssemblyError(f"line {line_no}: expected register, got {token!r}")
+    reg = int(match.group(1))
+    if reg >= 64:
+        raise AssemblyError(f"line {line_no}: register out of range: {token!r}")
+    return reg
+
+
+def _parse_imm(token: str, line_no: int) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError as exc:
+        raise AssemblyError(f"line {line_no}: bad immediate {token!r}") from exc
+
+
+def assemble(source: str, name: str = "asm") -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    labels: Dict[str, int] = {}
+    pending: List[Tuple[int, str, List[str]]] = []  # (line_no, mnemonic, args)
+    data: Dict[int, int] = {}
+
+    # Pass 1: strip comments, collect labels and raw instructions.
+    index = 0
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".data"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError(f"line {line_no}: .data needs addr and value")
+            data[_parse_imm(parts[1], line_no)] = _parse_imm(parts[2], line_no)
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = index
+            line = rest.strip()
+        if not line:
+            continue
+        mnemonic, _, operand_text = line.partition(" ")
+        args = [arg.strip() for arg in operand_text.split(",")] if operand_text else []
+        pending.append((line_no, mnemonic.lower(), args))
+        index += 1
+
+    def resolve(token: str, line_no: int) -> int:
+        token = token.strip()
+        if token in labels:
+            return labels[token]
+        return _parse_imm(token, line_no)
+
+    # Pass 2: encode.
+    instructions: List[Instruction] = []
+    for line_no, mnemonic, args in pending:
+        def need(count: int) -> None:
+            if len(args) != count:
+                raise AssemblyError(
+                    f"line {line_no}: {mnemonic} expects {count} operands, "
+                    f"got {len(args)}")
+
+        if mnemonic in _THREE_REG:
+            need(3)
+            instructions.append(Instruction(
+                _THREE_REG[mnemonic], rd=_parse_reg(args[0], line_no),
+                ra=_parse_reg(args[1], line_no), rb=_parse_reg(args[2], line_no)))
+        elif mnemonic in _REG_REG_IMM:
+            need(3)
+            instructions.append(Instruction(
+                _REG_REG_IMM[mnemonic], rd=_parse_reg(args[0], line_no),
+                ra=_parse_reg(args[1], line_no), imm=_parse_imm(args[2], line_no)))
+        elif mnemonic == "ldi":
+            need(2)
+            instructions.append(Instruction(
+                Op.LDI, rd=_parse_reg(args[0], line_no),
+                imm=_parse_imm(args[1], line_no)))
+        elif mnemonic == "ld":
+            need(3)
+            instructions.append(Instruction(
+                Op.LD, rd=_parse_reg(args[0], line_no),
+                ra=_parse_reg(args[1], line_no), imm=_parse_imm(args[2], line_no)))
+        elif mnemonic in ("st", "sth"):
+            need(3)
+            instructions.append(Instruction(
+                Op.ST if mnemonic == "st" else Op.STH,
+                ra=_parse_reg(args[0], line_no),
+                imm=_parse_imm(args[1], line_no), rb=_parse_reg(args[2], line_no)))
+        elif mnemonic in _COND_BRANCH:
+            need(2)
+            instructions.append(Instruction(
+                _COND_BRANCH[mnemonic], ra=_parse_reg(args[0], line_no),
+                target=resolve(args[1], line_no)))
+        elif mnemonic == "br":
+            need(1)
+            instructions.append(Instruction(Op.BR, target=resolve(args[0], line_no)))
+        elif mnemonic == "call":
+            need(2)
+            instructions.append(Instruction(
+                Op.CALL, rd=_parse_reg(args[0], line_no),
+                target=resolve(args[1], line_no)))
+        elif mnemonic == "ret":
+            need(1)
+            instructions.append(Instruction(Op.RET, ra=_parse_reg(args[0], line_no)))
+        elif mnemonic == "jmp":
+            need(1)
+            instructions.append(Instruction(Op.JMP, ra=_parse_reg(args[0], line_no)))
+        elif mnemonic in _NO_OPERAND:
+            need(0)
+            instructions.append(Instruction(_NO_OPERAND[mnemonic]))
+        else:
+            raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+    if not instructions:
+        raise AssemblyError("no instructions in source")
+    return Program(name=name, instructions=instructions, initial_memory=data)

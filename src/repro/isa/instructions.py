@@ -1,0 +1,241 @@
+"""The RISC-R instruction set.
+
+A small 64-bit RISC ISA standing in for Alpha.  The RMT mechanisms in
+the paper never depend on opcode semantics beyond the load / store /
+control-flow / memory-barrier classification, so the set below is chosen
+to exercise every pipeline structure: integer and logic units, the
+floating-point pool (modelled as long-latency integer arithmetic so
+results stay exactly comparable between redundant threads), loads,
+stores, conditional branches, calls/returns (return-address stack), and
+indirect jumps (jump target predictor).
+
+Register convention: 64 architectural registers per thread; ``r0`` is
+hardwired to zero.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+NUM_ARCH_REGS = 64
+ZERO_REG = 0
+INSTRUCTION_BYTES = 4
+
+
+class Op(enum.Enum):
+    """Opcodes, grouped by the functional-unit class that executes them."""
+
+    # Integer arithmetic (integer unit pool).
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    ADDI = enum.auto()
+    LDI = enum.auto()       # rd <- imm
+    CMPLT = enum.auto()     # rd <- (ra <s rb)
+    CMPEQ = enum.auto()     # rd <- (ra == rb)
+    # Logic / shift (logic unit pool).
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SHL = enum.auto()
+    SHR = enum.auto()
+    ANDI = enum.auto()
+    XORI = enum.auto()
+    NOP = enum.auto()
+    # Floating point (FP unit pool; integer-exact semantics).
+    FADD = enum.auto()
+    FMUL = enum.auto()
+    FMA = enum.auto()       # rd <- ra * rb + rd  (reads rd as third source)
+    FDIV = enum.auto()
+    # Memory (memory unit pool).
+    LD = enum.auto()        # rd <- MEM[ra + imm]
+    ST = enum.auto()        # MEM[ra + imm] <- rb (full 8-byte word)
+    STH = enum.auto()       # 4-byte store into half of the word at ra + imm
+    MEMBAR = enum.auto()
+    # Control flow.
+    BEQZ = enum.auto()      # if ra == 0: pc <- target
+    BNEZ = enum.auto()      # if ra != 0: pc <- target
+    BR = enum.auto()        # pc <- target (unconditional)
+    JMP = enum.auto()       # pc <- ra (indirect)
+    CALL = enum.auto()      # rd <- pc + 1; pc <- target
+    RET = enum.auto()       # pc <- ra (return, pops RAS)
+    HALT = enum.auto()
+
+
+class FuClass(enum.Enum):
+    """Functional-unit pools of the EBOX/FBOX/MBOX (Table 1)."""
+
+    INT = "int"
+    LOGIC = "logic"
+    MEM = "mem"
+    FP = "fp"
+
+
+_FU_CLASS = {
+    Op.ADD: FuClass.INT,
+    Op.SUB: FuClass.INT,
+    Op.MUL: FuClass.INT,
+    Op.ADDI: FuClass.INT,
+    Op.LDI: FuClass.INT,
+    Op.CMPLT: FuClass.INT,
+    Op.CMPEQ: FuClass.INT,
+    Op.AND: FuClass.LOGIC,
+    Op.OR: FuClass.LOGIC,
+    Op.XOR: FuClass.LOGIC,
+    Op.SHL: FuClass.LOGIC,
+    Op.SHR: FuClass.LOGIC,
+    Op.ANDI: FuClass.LOGIC,
+    Op.XORI: FuClass.LOGIC,
+    Op.NOP: FuClass.LOGIC,
+    Op.FADD: FuClass.FP,
+    Op.FMUL: FuClass.FP,
+    Op.FMA: FuClass.FP,
+    Op.FDIV: FuClass.FP,
+    Op.LD: FuClass.MEM,
+    Op.ST: FuClass.MEM,
+    Op.STH: FuClass.MEM,
+    Op.MEMBAR: FuClass.MEM,
+    # Control flow resolves on the integer pool.
+    Op.BEQZ: FuClass.INT,
+    Op.BNEZ: FuClass.INT,
+    Op.BR: FuClass.INT,
+    Op.JMP: FuClass.INT,
+    Op.CALL: FuClass.INT,
+    Op.RET: FuClass.INT,
+    Op.HALT: FuClass.INT,
+}
+
+# Execute latency (cycles in the EBOX/FBOX) per opcode; memory latency is
+# modelled by the MBOX, so LD/ST carry only their issue latency here.
+_EXEC_LATENCY = {
+    Op.MUL: 7,
+    Op.FADD: 4,
+    Op.FMUL: 4,
+    Op.FMA: 4,
+    Op.FDIV: 12,
+}
+DEFAULT_EXEC_LATENCY = 1
+
+_CONTROL_OPS = {Op.BEQZ, Op.BNEZ, Op.BR, Op.JMP, Op.CALL, Op.RET}
+_CONDITIONAL_OPS = {Op.BEQZ, Op.BNEZ}
+_INDIRECT_OPS = {Op.JMP, Op.RET}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static RISC-R instruction.
+
+    ``target`` is an instruction index (the ISA's PCs count instructions;
+    byte addresses are derived as ``pc * INSTRUCTION_BYTES``).
+    """
+
+    op: Op
+    rd: int = ZERO_REG
+    ra: int = ZERO_REG
+    rb: int = ZERO_REG
+    imm: int = 0
+    target: Optional[int] = None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        for name, reg in (("rd", self.rd), ("ra", self.ra), ("rb", self.rb)):
+            if not 0 <= reg < NUM_ARCH_REGS:
+                raise ValueError(f"{self.op.name}: {name} out of range: {reg}")
+        if self.op in _CONTROL_OPS and self.op not in _INDIRECT_OPS:
+            if self.target is None:
+                raise ValueError(f"{self.op.name} requires a target")
+
+    # -- classification ------------------------------------------------
+    @property
+    def fu_class(self) -> FuClass:
+        return _FU_CLASS[self.op]
+
+    @property
+    def exec_latency(self) -> int:
+        return _EXEC_LATENCY.get(self.op, DEFAULT_EXEC_LATENCY)
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Op.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in (Op.ST, Op.STH)
+
+    @property
+    def is_partial_store(self) -> bool:
+        """True for sub-word stores that cannot fully forward to a word load."""
+        return self.op is Op.STH
+
+    @property
+    def is_membar(self) -> bool:
+        return self.op is Op.MEMBAR
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in _CONTROL_OPS
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.op in _CONDITIONAL_OPS
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.op in _INDIRECT_OPS
+
+    @property
+    def is_call(self) -> bool:
+        return self.op is Op.CALL
+
+    @property
+    def is_return(self) -> bool:
+        return self.op is Op.RET
+
+    @property
+    def is_halt(self) -> bool:
+        return self.op is Op.HALT
+
+    @property
+    def writes_reg(self) -> bool:
+        if self.op in (Op.ST, Op.STH, Op.MEMBAR, Op.NOP, Op.HALT, Op.BEQZ,
+                       Op.BNEZ, Op.BR, Op.JMP, Op.RET):
+            return False
+        return self.rd != ZERO_REG
+
+    @property
+    def source_regs(self) -> tuple:
+        """Architectural registers read by this instruction."""
+        if self.op in (Op.LDI, Op.NOP, Op.HALT, Op.BR, Op.CALL, Op.MEMBAR):
+            return ()
+        if self.op in (Op.ADDI, Op.ANDI, Op.XORI, Op.LD, Op.BEQZ, Op.BNEZ,
+                       Op.JMP, Op.RET):
+            return (self.ra,)
+        if self.op in (Op.ST, Op.STH):
+            return (self.ra, self.rb)
+        if self.op is Op.FMA:
+            return (self.ra, self.rb, self.rd)
+        return (self.ra, self.rb)
+
+    def __str__(self) -> str:
+        parts = [self.op.name.lower()]
+        if self.writes_reg or self.op is Op.FMA:
+            parts.append(f"r{self.rd}")
+        if self.op in (Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL,
+                       Op.SHR, Op.CMPLT, Op.CMPEQ, Op.FADD, Op.FMUL, Op.FMA,
+                       Op.FDIV):
+            parts += [f"r{self.ra}", f"r{self.rb}"]
+        elif self.op in (Op.ADDI, Op.ANDI, Op.XORI):
+            parts += [f"r{self.ra}", str(self.imm)]
+        elif self.op is Op.LDI:
+            parts.append(str(self.imm))
+        elif self.op is Op.LD:
+            parts.append(f"r{self.ra}+{self.imm}")
+        elif self.op in (Op.ST, Op.STH):
+            parts += [f"r{self.ra}+{self.imm}", f"r{self.rb}"]
+        elif self.op in (Op.BEQZ, Op.BNEZ):
+            parts += [f"r{self.ra}", f"@{self.target}"]
+        elif self.op in (Op.BR, Op.CALL):
+            parts.append(f"@{self.target}")
+        elif self.op in (Op.JMP, Op.RET):
+            parts.append(f"r{self.ra}")
+        return " ".join(parts)

@@ -1,0 +1,207 @@
+"""Behavioural profiles for the 18 SPEC CPU95-like synthetic workloads.
+
+The paper evaluates on SPEC CPU95.  We cannot ship those binaries, so
+each benchmark is replaced by a synthetic program generated from a
+profile that reproduces the aggregate behaviours RMT performance depends
+on: basic-block size (branch density), branch predictability, load/store
+mix, floating-point mix, static code footprint (instruction-cache
+pressure), data working-set size (data-cache pressure), and dependency
+density (ILP).  The knob values below follow the well-documented
+character of each benchmark (e.g. *go* is branchy and hard to predict,
+*fpppp* has enormous basic blocks of dependent FP code, *swim* and
+*tomcatv* stream through arrays far larger than the L1 data cache).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+KIB_WORDS = 128  # 1 KiB of 8-byte words
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator knobs for one synthetic benchmark."""
+
+    name: str
+    description: str
+    # Static shape.
+    blocks: int                      # basic blocks in the main region
+    block_size: Tuple[int, int]      # body instructions per block (min, max)
+    subroutines: int                 # callable leaf subroutines
+    sub_block_size: Tuple[int, int]  # body size of subroutine blocks
+    # Instruction mix (fractions of block-body instructions).
+    load_frac: float
+    store_frac: float
+    fp_frac: float
+    mul_frac: float
+    partial_store_frac: float = 0.01  # of stores, fraction that are STH
+    membar_frac: float = 0.001        # per-body-slot probability of MEMBAR
+    # Block-terminator mix (probabilities; remainder falls through).
+    loop_frac: float = 0.25           # loop tail (well-predicted backward)
+    random_branch_frac: float = 0.10  # LCG-driven 50/50 forward branch
+    biased_branch_frac: float = 0.15  # rarely-taken forward branch
+    call_frac: float = 0.05           # call/return pair
+    indirect_frac: float = 0.0        # table-driven indirect jump
+    loop_trip: Tuple[int, int] = (4, 24)
+    # Data behaviour.
+    working_set_words: int = 8 * KIB_WORDS
+    access_pattern: str = "strided"   # 'strided' | 'random' | 'mixed'
+    stride_words: int = 8
+    # ILP: probability an operand comes from a very recent result.
+    dep_density: float = 0.35
+
+    def __post_init__(self) -> None:
+        total = (self.loop_frac + self.random_branch_frac
+                 + self.biased_branch_frac + self.call_frac
+                 + self.indirect_frac)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"{self.name}: terminator fractions sum to {total}")
+        if self.working_set_words & (self.working_set_words - 1):
+            raise ValueError(f"{self.name}: working set must be a power of two")
+        if self.access_pattern not in ("strided", "random", "mixed"):
+            raise ValueError(f"{self.name}: bad access pattern {self.access_pattern}")
+
+
+def _int_profile(name: str, description: str, **overrides) -> WorkloadProfile:
+    """Base template for SPECint-like behaviour."""
+    params = dict(
+        name=name, description=description,
+        blocks=220, block_size=(4, 10), subroutines=6, sub_block_size=(3, 8),
+        load_frac=0.26, store_frac=0.12, fp_frac=0.0, mul_frac=0.03,
+        loop_frac=0.24, random_branch_frac=0.05, biased_branch_frac=0.22,
+        call_frac=0.08, indirect_frac=0.02, partial_store_frac=0.04,
+        working_set_words=16 * KIB_WORDS, access_pattern="mixed",
+        dep_density=0.32,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+def _fp_profile(name: str, description: str, **overrides) -> WorkloadProfile:
+    """Base template for SPECfp-like behaviour."""
+    params = dict(
+        name=name, description=description,
+        blocks=90, block_size=(14, 30), subroutines=3, sub_block_size=(8, 18),
+        load_frac=0.30, store_frac=0.13, fp_frac=0.38, mul_frac=0.02,
+        loop_frac=0.42, random_branch_frac=0.02, biased_branch_frac=0.08,
+        call_frac=0.03, indirect_frac=0.0, loop_trip=(8, 48),
+        membar_frac=0.0001,
+        working_set_words=512 * KIB_WORDS, access_pattern="strided",
+        stride_words=16, dep_density=0.12,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+# The 18 SPEC CPU95 benchmarks the paper evaluates (Figure 6 order).
+SPEC95_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile for profile in [
+        _fp_profile(
+            "applu", "parabolic/elliptic PDE solver: nested FP loops, "
+            "large arrays", working_set_words=256 * KIB_WORDS),
+        _fp_profile(
+            "apsi", "mesoscale hydrodynamics: moderate FP loops with some "
+            "branchiness", blocks=130, random_branch_frac=0.06,
+            working_set_words=128 * KIB_WORDS, access_pattern="mixed"),
+        _int_profile(
+            "compress", "LZW compression: tight data-dependent loop, "
+            "hash-table accesses", blocks=60, block_size=(4, 10),
+            random_branch_frac=0.10, biased_branch_frac=0.16,
+            working_set_words=64 * KIB_WORDS, access_pattern="random",
+            dep_density=0.45),
+        _fp_profile(
+            "fpppp", "quantum chemistry: enormous straight-line FP blocks, "
+            "very few branches", blocks=24, block_size=(40, 90),
+            subroutines=2, loop_frac=0.50, random_branch_frac=0.0,
+            biased_branch_frac=0.04, call_frac=0.04, fp_frac=0.52,
+            working_set_words=16 * KIB_WORDS, dep_density=0.15),
+        _int_profile(
+            "gcc", "compiler: very large static code, branchy, "
+            "moderate prediction", blocks=900, block_size=(3, 9),
+            subroutines=24, random_branch_frac=0.07, biased_branch_frac=0.24,
+            call_frac=0.10, indirect_frac=0.03,
+            working_set_words=32 * KIB_WORDS, dep_density=0.38),
+        _int_profile(
+            "go", "game playing: extremely branchy, data-dependent and "
+            "hard to predict", blocks=700, block_size=(3, 7),
+            subroutines=16, loop_frac=0.16, random_branch_frac=0.13,
+            biased_branch_frac=0.22, call_frac=0.08, indirect_frac=0.02,
+            working_set_words=16 * KIB_WORDS, dep_density=0.38),
+        _fp_profile(
+            "hydro2d", "Navier-Stokes: regular FP loops over large grids",
+            working_set_words=256 * KIB_WORDS, stride_words=8),
+        _int_profile(
+            "ijpeg", "image compression: multiply-heavy, predictable loops",
+            blocks=110, block_size=(6, 14), loop_frac=0.38,
+            random_branch_frac=0.05, biased_branch_frac=0.10,
+            mul_frac=0.12, working_set_words=64 * KIB_WORDS,
+            access_pattern="strided", dep_density=0.35),
+        _int_profile(
+            "li", "lisp interpreter: call/return-dominated pointer chasing",
+            blocks=160, block_size=(3, 7), subroutines=18,
+            loop_frac=0.15, call_frac=0.22, random_branch_frac=0.05,
+            biased_branch_frac=0.18, indirect_frac=0.03,
+            working_set_words=8 * KIB_WORDS, access_pattern="random",
+            dep_density=0.45),
+        _int_profile(
+            "m88ksim", "CPU simulator: predictable dispatch loop",
+            blocks=140, block_size=(4, 10), loop_frac=0.34,
+            random_branch_frac=0.05, biased_branch_frac=0.14,
+            indirect_frac=0.04, working_set_words=8 * KIB_WORDS,
+            dep_density=0.40),
+        _fp_profile(
+            "mgrid", "multigrid solver: deeply nested predictable FP loops",
+            loop_trip=(16, 64), working_set_words=512 * KIB_WORDS,
+            stride_words=4),
+        _int_profile(
+            "perl", "interpreter: branchy dispatch with calls and tables",
+            blocks=420, block_size=(3, 8), subroutines=20,
+            random_branch_frac=0.06, biased_branch_frac=0.22,
+            call_frac=0.12, indirect_frac=0.05,
+            working_set_words=16 * KIB_WORDS, dep_density=0.38),
+        _fp_profile(
+            "su2cor", "quantum physics Monte Carlo: FP with some "
+            "irregular access", access_pattern="mixed",
+            random_branch_frac=0.05, working_set_words=256 * KIB_WORDS),
+        _fp_profile(
+            "swim", "shallow-water model: streaming stencils over huge "
+            "arrays", blocks=60, block_size=(16, 32), loop_frac=0.48,
+            biased_branch_frac=0.04, working_set_words=1024 * KIB_WORDS,
+            stride_words=16, dep_density=0.10),
+        _fp_profile(
+            "tomcatv", "mesh generation: vectorizable stencils, huge "
+            "arrays", blocks=50, block_size=(16, 30), loop_frac=0.46,
+            working_set_words=1024 * KIB_WORDS, stride_words=32,
+            dep_density=0.10),
+        _fp_profile(
+            "turb3d", "turbulence simulation: FFT-like strided FP",
+            access_pattern="mixed", stride_words=64,
+            working_set_words=256 * KIB_WORDS),
+        _int_profile(
+            "vortex", "object database: very large code, load/store heavy, "
+            "fairly predictable", blocks=800, block_size=(4, 9),
+            subroutines=24, load_frac=0.30, store_frac=0.17,
+            loop_frac=0.24, random_branch_frac=0.06, biased_branch_frac=0.18,
+            call_frac=0.12, working_set_words=64 * KIB_WORDS,
+            access_pattern="mixed", dep_density=0.45),
+        _fp_profile(
+            "wave5", "plasma physics: particle pushes with gather/scatter",
+            access_pattern="mixed", random_branch_frac=0.04,
+            working_set_words=512 * KIB_WORDS),
+    ]
+}
+
+SPEC95_NAMES = list(SPEC95_PROFILES)
+
+# The multiprogrammed subsets used by the paper (Section 6.2).
+TWO_THREAD_POOL = ["gcc", "go", "fpppp", "swim"]
+FOUR_THREAD_POOL = ["gcc", "go", "ijpeg", "fpppp", "swim"]
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    try:
+        return SPEC95_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(SPEC95_NAMES)}"
+        ) from None

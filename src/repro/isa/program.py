@@ -1,0 +1,68 @@
+"""Static program representation.
+
+A :class:`Program` is the unit of work the machines run: an instruction
+sequence plus initial data-memory contents.  Each *logical thread* in a
+run gets its own address-space id, so multiprogrammed workloads never
+interfere through memory.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.instructions import INSTRUCTION_BYTES, Instruction
+
+
+@dataclass
+class Program:
+    """An immutable instruction sequence with initial data memory.
+
+    ``code_base`` is the byte address of instruction 0 (used by the
+    instruction cache); program counters count instructions, not bytes.
+    """
+
+    name: str
+    instructions: List[Instruction]
+    initial_memory: Dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+    code_base: int = 0x1000_0000
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError(f"program {self.name!r} has no instructions")
+        if not 0 <= self.entry < len(self.instructions):
+            raise ValueError(f"program {self.name!r}: entry {self.entry} out of range")
+        for index, instr in enumerate(self.instructions):
+            if instr.target is not None and not (
+                0 <= instr.target < len(self.instructions)
+            ):
+                raise ValueError(
+                    f"program {self.name!r}: instruction {index} ({instr}) "
+                    f"targets {instr.target}, outside [0, {len(self.instructions)})"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Instruction:
+        """Return the instruction at instruction-index ``pc``."""
+        return self.instructions[pc]
+
+    def in_range(self, pc: int) -> bool:
+        return 0 <= pc < len(self.instructions)
+
+    def pc_to_addr(self, pc: int) -> int:
+        """Byte address of instruction ``pc`` (for the instruction cache)."""
+        return self.code_base + pc * INSTRUCTION_BYTES
+
+    @property
+    def static_branch_count(self) -> int:
+        return sum(1 for instr in self.instructions if instr.is_control)
+
+    @property
+    def static_load_count(self) -> int:
+        return sum(1 for instr in self.instructions if instr.is_load)
+
+    @property
+    def static_store_count(self) -> int:
+        return sum(1 for instr in self.instructions if instr.is_store)

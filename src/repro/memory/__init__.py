@@ -1,0 +1,19 @@
+"""Memory-system substrate: caches, merge buffer, memory, on-chip router."""
+
+from repro.memory.cache import (CacheStats, MemoryController, NextLevel,
+                                SetAssociativeCache)
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.merge_buffer import CoalescingMergeBuffer, MergeBufferStats
+from repro.memory.router import MeshRouter
+
+__all__ = [
+    "CacheStats",
+    "MemoryController",
+    "NextLevel",
+    "SetAssociativeCache",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "CoalescingMergeBuffer",
+    "MergeBufferStats",
+    "MeshRouter",
+]

@@ -1,0 +1,102 @@
+"""The full memory hierarchy of a single-chip device.
+
+Per core: L1 instruction cache, L1 data cache, coalescing merge buffer.
+Shared: L2 cache, memory controllers, mesh router.  Matches Table 1:
+64 KB 2-way L1s with 64-byte blocks, a 3 MB 8-way L2, and two
+Rambus-style memory controllers.
+
+The ``checker_latency`` knob charges the lockstep checker penalty on
+every L1-miss request (paper Section 5: in a lockstepped pair all cache
+miss requests must be compared before leaving the sphere of
+replication).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.memory.cache import MemoryController, SetAssociativeCache
+from repro.memory.merge_buffer import CoalescingMergeBuffer
+from repro.memory.router import MeshRouter
+
+
+@dataclass
+class HierarchyConfig:
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 2
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 2
+    block_bytes: int = 64
+    l1_hit_latency: int = 0      # L1 hit time is part of the MBOX stage
+    l2_size: int = 3 * 1024 * 1024
+    l2_assoc: int = 8
+    l2_hit_latency: int = 12
+    memory_latency: int = 80
+    memory_channels: int = 10
+    merge_buffer_entries: int = 16
+    merge_drain_interval: int = 2
+    checker_latency: int = 0     # lockstep checker penalty on miss requests
+
+
+class MemoryHierarchy:
+    """Caches and memory shared by the core(s) of one chip."""
+
+    def __init__(self, config: HierarchyConfig, num_cores: int = 1) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self.router = MeshRouter()
+        self.memory = MemoryController(latency=config.memory_latency,
+                                       channels=config.memory_channels)
+        self.l2 = SetAssociativeCache(
+            "L2", config.l2_size, config.l2_assoc, config.block_bytes,
+            hit_latency=config.l2_hit_latency, next_level=self.memory)
+        self.l1i: List[SetAssociativeCache] = []
+        self.l1d: List[SetAssociativeCache] = []
+        self.merge_buffers: List[CoalescingMergeBuffer] = []
+        for core in range(num_cores):
+            l1i = SetAssociativeCache(
+                f"L1I.{core}", config.l1i_size, config.l1i_assoc,
+                config.block_bytes, hit_latency=config.l1_hit_latency,
+                next_level=self.l2,
+                extra_miss_latency=config.checker_latency)
+            l1d = SetAssociativeCache(
+                f"L1D.{core}", config.l1d_size, config.l1d_assoc,
+                config.block_bytes, hit_latency=config.l1_hit_latency,
+                next_level=self.l2,
+                extra_miss_latency=config.checker_latency)
+            self.l1i.append(l1i)
+            self.l1d.append(l1d)
+            self.merge_buffers.append(CoalescingMergeBuffer(
+                capacity=config.merge_buffer_entries,
+                block_bytes=config.block_bytes, dcache=l1d,
+                drain_interval=config.merge_drain_interval))
+
+    # -- per-core access points -----------------------------------------
+    # Core ids are taken modulo the hierarchy's core count so that a
+    # machine with per-core private hierarchies (lockstep) can hand each
+    # core a single-core hierarchy without renumbering.
+    def fetch(self, core: int, addr: int, now: int) -> int:
+        """Instruction fetch; returns availability cycle."""
+        return self.l1i[core % self.num_cores].access(addr, now)
+
+    def load(self, core: int, addr: int, now: int) -> int:
+        """Data load; returns availability cycle."""
+        return self.l1d[core % self.num_cores].access(addr, now)
+
+    def store_drain(self, core: int, addr: int, now: int) -> bool:
+        """Retired store enters the merge buffer; False = back-pressure."""
+        return self.merge_buffers[core % self.num_cores].try_insert(addr, now)
+
+    def tick(self, now: int) -> None:
+        for buffer in self.merge_buffers:
+            buffer.tick(now)
+
+    # -- stats ------------------------------------------------------------
+    def stats_summary(self) -> Dict[str, float]:
+        summary: Dict[str, float] = {
+            "l2_miss_rate": self.l2.stats.miss_rate,
+            "memory_requests": self.memory.requests,
+        }
+        for core in range(self.num_cores):
+            summary[f"l1i{core}_miss_rate"] = self.l1i[core].stats.miss_rate
+            summary[f"l1d{core}_miss_rate"] = self.l1d[core].stats.miss_rate
+        return summary

@@ -1,0 +1,25 @@
+"""On-chip network latency model.
+
+The base machine integrates a two-dimensional mesh router (Table 1,
+"Network Router & Interface", like the Alpha 21364).  For the CMP
+machines we only need the latency a message incurs crossing the chip:
+CRT's forwarded line predictions, load values, and store comparisons all
+ride these wires, as do lockstep's checker inputs.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeshRouter:
+    """Per-hop latency model for a small on-chip 2D mesh."""
+
+    hop_latency: int = 2
+    router_overhead: int = 2
+
+    def latency(self, src: int, dst: int) -> int:
+        """Latency between two on-chip agents (core ids / checker id)."""
+        if src == dst:
+            return 0
+        hops = abs(src - dst)  # cores laid out along one mesh dimension
+        return self.router_overhead + hops * self.hop_latency

@@ -1,0 +1,27 @@
+"""The base SMT processor pipeline (Section 3 of the paper)."""
+
+from repro.pipeline.config import CoreConfig
+from repro.pipeline.core import Core, CoreStats
+from repro.pipeline.ebox import FunctionalUnitPools
+from repro.pipeline.hooks import CoreHooks
+from repro.pipeline.regfile import (OutOfPhysicalRegisters,
+                                    PhysicalRegisterFile, RenameMap)
+from repro.pipeline.thread import HwThread, ThreadRole, ThreadStats
+from repro.pipeline.uop import FetchChunk, Uop, UopState
+
+__all__ = [
+    "CoreConfig",
+    "Core",
+    "CoreStats",
+    "CoreHooks",
+    "FunctionalUnitPools",
+    "PhysicalRegisterFile",
+    "RenameMap",
+    "OutOfPhysicalRegisters",
+    "HwThread",
+    "ThreadRole",
+    "ThreadStats",
+    "FetchChunk",
+    "Uop",
+    "UopState",
+]

@@ -1,0 +1,71 @@
+"""Functional-unit pools (EBOX integer/logic, FBOX floating point, MBOX
+memory ports).
+
+Table 1: 8 integer units, 8 logic units, 4 memory units, 4 floating
+point units; 8 operations issue per cycle.  Units are partitioned
+between the two instruction-queue halves (each half can issue 4 per
+cycle to its own unit subset), which is the structural basis for
+preferential space redundancy: steering a trailing uop to the opposite
+queue half guarantees it a physically different unit instance.
+
+Per-instance occupancy is tracked so the paper's Figure 7 statistic
+(fraction of corresponding instruction pairs executing on the *same*
+unit) can be measured directly.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import FuClass
+
+POOL_SIZES = {
+    FuClass.INT: 8,
+    FuClass.LOGIC: 8,
+    FuClass.MEM: 4,
+    FuClass.FP: 4,
+}
+
+
+@dataclass
+class FunctionalUnitStats:
+    issues: int = 0
+    structural_stalls: int = 0
+    per_unit_issues: Dict[Tuple[FuClass, int], int] = field(default_factory=dict)
+
+
+class FunctionalUnitPools:
+    """Busy-until tracking for every individual unit instance."""
+
+    def __init__(self, pool_sizes: Optional[Dict[FuClass, int]] = None) -> None:
+        self.pool_sizes = dict(pool_sizes or POOL_SIZES)
+        self._busy_until: Dict[Tuple[FuClass, int], int] = {}
+        self.stats = FunctionalUnitStats()
+
+    def units_for_half(self, fu_class: FuClass, half: int) -> range:
+        """Unit indices of ``fu_class`` reachable from queue half ``half``."""
+        size = self.pool_sizes[fu_class]
+        per_half = size // 2
+        start = half * per_half
+        return range(start, start + per_half)
+
+    def acquire(self, fu_class: FuClass, half: int, now: int,
+                busy_cycles: int = 1) -> Optional[Tuple[FuClass, int]]:
+        """Claim a free unit of ``fu_class`` in ``half``'s partition.
+
+        Returns the (class, index) actually used, or None when every unit
+        in the partition is busy this cycle (a structural stall).
+        """
+        for index in self.units_for_half(fu_class, half):
+            key = (fu_class, index)
+            if self._busy_until.get(key, 0) <= now:
+                self._busy_until[key] = now + busy_cycles
+                self.stats.issues += 1
+                self.stats.per_unit_issues[key] = (
+                    self.stats.per_unit_issues.get(key, 0) + 1)
+                return key
+        self.stats.structural_stalls += 1
+        return None
+
+    def is_free(self, fu_class: FuClass, half: int, now: int) -> bool:
+        return any(self._busy_until.get((fu_class, index), 0) <= now
+                   for index in self.units_for_half(fu_class, half))

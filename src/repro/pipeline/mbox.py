@@ -1,0 +1,183 @@
+"""MBOX: load/store disambiguation, data-cache access, store drain.
+
+Loads probe the store queue and data cache; stores record themselves in
+the store queue at dispatch and check the load queue for order
+violations when their address resolves (Section 3.4).  Retired stores
+drain in program order through the coalescing merge buffer — but only
+once verified when the thread is a leading RMT thread, which is the
+store-queue-pressure effect at the heart of the paper's Section 7.1
+results.
+
+Trailing-thread loads bypass the load queue, store queue, and data
+cache entirely and read the load value queue instead (Section 4.1).
+"""
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.isa.executor import align_word, merge_partial_store
+from repro.pipeline.thread import HwThread
+from repro.pipeline.uop import Uop, UopState
+from repro.util.bits import MASK64
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import Core
+
+
+@dataclass
+class LoadPlan:
+    """How an issuing load will get its data."""
+
+    raw_addr: int
+    addr: int
+    value: int
+    extra_latency: int              # beyond the MBOX stage latency
+    forwarded_from: Optional[int] = None
+    lvq_entry: bool = False
+    lvq_addr: Optional[int] = None  # address recorded by the leading thread
+
+
+class MBox:
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        self.config = core.config
+
+    # -- address computation ------------------------------------------------
+    def effective_address(self, uop: Uop) -> tuple:
+        base = self.core.regfile.read(uop.phys_srcs[0])
+        raw = (base + uop.instr.imm) & MASK64
+        return raw, align_word(raw)
+
+    # -- load planning ---------------------------------------------------------
+    def plan_load(self, thread: HwThread, uop: Uop, now: int) -> Optional[LoadPlan]:
+        """Decide whether the load can issue this cycle and how.
+
+        Returns None when the load must wait (forwarding data not ready,
+        partial-store overlap, store-set dependence, or a missing LVQ
+        entry for a trailing load).
+        """
+        raw, addr = self.effective_address(uop)
+        if thread.is_trailing:
+            return self._plan_trailing_load(thread, uop, raw, addr, now)
+
+        if (uop.memdep_seq is not None
+                and self._store_pending(thread, uop.memdep_seq)):
+            return None
+
+        for store in reversed(thread.store_queue):
+            if store.seq >= uop.seq:
+                continue
+            if store.mem_addr is None:
+                continue  # unknown address: speculate past it
+            if store.mem_addr != addr:
+                continue
+            if store.instr.is_partial_store:
+                # Partial forwarding is not supported: the store must drain
+                # to the cache first (Section 4.4.2's chunk-termination case).
+                self.core.hooks.on_partial_store_block(
+                    self.core, thread, store, now)
+                return None
+            if now < store.data_ready_cycle:
+                return None  # store data not yet available to forward
+            return LoadPlan(raw_addr=raw, addr=addr, value=store.store_value,
+                            extra_latency=0, forwarded_from=store.seq)
+
+        value = self.read_memory(thread, addr)
+        t0 = now + self.config.rbox_latency
+        avail = self.core.hierarchy.load(
+            self.core.core_id, thread.phys_addr(addr), t0)
+        return LoadPlan(raw_addr=raw, addr=addr, value=value,
+                        extra_latency=avail - t0)
+
+    def _plan_trailing_load(self, thread: HwThread, uop: Uop, raw: int,
+                            addr: int, now: int) -> Optional[LoadPlan]:
+        entry = self.core.hooks.trailing_load_probe(self.core, thread, uop, now)
+        if entry is None:
+            return None  # LVQ entry not yet arrived (CRT cross-core delay)
+        entry_addr, entry_value = entry
+        return LoadPlan(raw_addr=raw, addr=addr, value=entry_value,
+                        extra_latency=0, lvq_entry=True, lvq_addr=entry_addr)
+
+    def _store_pending(self, thread: HwThread, seq: int) -> bool:
+        """Is the store-set dependence target still unexecuted?"""
+        for store in thread.store_queue:
+            if store.seq == seq:
+                return store.mem_addr is None
+        return False
+
+    # -- store execution --------------------------------------------------------
+    def execute_store(self, thread: HwThread, uop: Uop, now: int) -> None:
+        """Resolve a store's address and data; check for order violations."""
+        raw, addr = self.effective_address(uop)
+        uop.raw_addr = raw
+        uop.mem_addr = addr
+        uop.store_value = self.core.regfile.read(uop.phys_srcs[1])
+        uop.data_ready_cycle = now + self.config.store_data_delay
+        self.core.store_sets.store_completed(thread.tid, uop.pc, uop.seq)
+        self._check_violations(thread, uop, now)
+
+    def _check_violations(self, thread: HwThread, store: Uop, now: int) -> None:
+        """Squash younger loads that read stale data past this store."""
+        victim: Optional[Uop] = None
+        for load in thread.load_queue:
+            if load.seq <= store.seq or load.mem_addr != store.mem_addr:
+                continue
+            if load.state not in (UopState.ISSUED, UopState.EXECUTED,
+                                  UopState.RETIRED):
+                continue
+            if (load.forwarded_from is not None
+                    and load.forwarded_from >= store.seq):
+                continue  # got its value from this store or a younger one
+            if victim is None or load.seq < victim.seq:
+                victim = load
+        if victim is not None:
+            thread.stats.memory_violations += 1
+            self.core.store_sets.record_violation(victim.pc, store.pc)
+            self.core.squash_from(thread, victim.seq, now,
+                                  redirect_pc=victim.pc,
+                                  reason="memory-order violation")
+
+    # -- architectural memory ------------------------------------------------
+    def read_memory(self, thread: HwThread, addr: int) -> int:
+        return self.core.memory.get(thread.phys_addr(addr), 0)
+
+    def commit_store(self, thread: HwThread, uop: Uop) -> None:
+        """Write a draining store's value to the architectural memory image."""
+        key = thread.phys_addr(uop.mem_addr)
+        if uop.instr.is_partial_store:
+            old = self.core.memory.get(key, 0)
+            self.core.memory[key] = merge_partial_store(
+                uop.raw_addr, old, uop.store_value)
+        else:
+            self.core.memory[key] = uop.store_value
+
+    # -- store drain ----------------------------------------------------------
+    def drain_stores(self, now: int) -> None:
+        """Move verified/retired stores into the merge buffer, in order."""
+        budget = 4
+        for thread in self.core.threads:
+            while budget and thread.store_queue:
+                head = thread.store_queue[0]
+                if head.state is not UopState.RETIRED:
+                    break
+                if now < head.retire_cycle + self.core.store_release_delay:
+                    break  # central checker holds the store (lockstep)
+                if (self.core.hooks.store_needs_verification(thread)
+                        and not head.verified):
+                    break
+                if not self.core.hierarchy.store_drain(
+                        self.core.core_id, thread.phys_addr(head.mem_addr), now):
+                    break  # merge buffer full: back-pressure
+                thread.store_queue.pop(0)
+                self.commit_store(thread, head)
+                log = self.core.drain_log.get(thread.tid)
+                if log is not None:
+                    # Record the committed memory word (merged for partial
+                    # stores) so the stream compares against the golden
+                    # model's architectural store effects.
+                    committed = self.core.memory[thread.phys_addr(head.mem_addr)]
+                    log.append((head.instr.op.name, head.mem_addr, committed))
+                thread.stats.store_lifetime_sum += now - head.retire_cycle
+                thread.stats.store_lifetime_count += 1
+                self.core.hooks.on_store_drained(self.core, thread, head, now)
+                budget -= 1

@@ -1,0 +1,169 @@
+"""QBOX: the 128-entry instruction queue, split into two 64-entry halves.
+
+Each half can issue up to four instructions per cycle to its own subset
+of functional units (Section 3.3).  A uop's default half follows from
+its position in the map chunk; the RMT hooks can override this, which is
+how preferential space redundancy steers trailing instructions to the
+half opposite their leading counterparts (Section 4.5).
+
+Memory issue is limited to four operations per cycle, at most three
+loads and two stores (Section 3.4).
+"""
+
+from typing import TYPE_CHECKING, List
+
+from repro.isa.executor import alu_result, branch_taken
+from repro.isa.instructions import FuClass, Op
+from repro.pipeline.thread import HwThread
+from repro.pipeline.uop import Uop, UopState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import Core
+
+class QBox:
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        self.config = core.config
+        self.half_capacity = self.config.iq_entries // 2
+        # Half of the QBOX traversal (Figure 2's Q = 4) is the minimum
+        # insertion-to-issue wait; the other half overlaps with wakeup
+        # and select.
+        self.min_queue_wait = self.config.qbox_latency // 2
+        self.halves: List[List[Uop]] = [[], []]
+
+    # -- occupancy -------------------------------------------------------
+    def occupancy(self, half: int) -> int:
+        return len(self.halves[half])
+
+    # -- insertion ---------------------------------------------------------
+    def insert_chunk(self, thread: HwThread, uops: List[Uop], now: int) -> None:
+        for position, uop in enumerate(uops):
+            if uop.state is UopState.SQUASHED:
+                continue
+            default_half = position % 2
+            half = self.core.hooks.queue_half_for(
+                self.core, thread, uop, default_half)
+            if len(self.halves[half]) >= self.half_capacity:
+                half = 1 - half
+            uop.queue_half = half
+            uop.state = UopState.QUEUED
+            uop.queue_cycle = now
+            self.halves[half].append(uop)
+
+    # -- issue ----------------------------------------------------------------
+    def issue(self, now: int) -> None:
+        core = self.core
+        mem_issued = loads_issued = stores_issued = 0
+        for half in (0, 1):
+            entries = [u for u in self.halves[half]
+                       if u.state is UopState.QUEUED]
+            self.halves[half] = entries
+            issued_this_half = 0
+            for uop in entries:
+                if issued_this_half >= self.config.issue_width // 2:
+                    break
+                if uop.state is not UopState.QUEUED:
+                    continue  # squashed by a violation earlier this cycle
+                if now < uop.queue_cycle + self.min_queue_wait:
+                    continue
+                if not self._sources_ready(uop):
+                    continue
+                instr = uop.instr
+                is_mem = instr.fu_class is FuClass.MEM
+                if is_mem:
+                    if mem_issued >= self.config.max_mem_issue:
+                        continue
+                    if instr.is_load and loads_issued >= self.config.max_load_issue:
+                        continue
+                    if instr.is_store and stores_issued >= self.config.max_store_issue:
+                        continue
+                thread = core.threads[uop.thread]
+                plan = None
+                if instr.is_load:
+                    plan = core.mbox.plan_load(thread, uop, now)
+                    if plan is None:
+                        continue  # must wait; retries next cycle
+                fu = core.fus.acquire(instr.fu_class, half, now)
+                if fu is None:
+                    continue  # structural hazard on this half's units
+                self._do_issue(thread, uop, fu, plan, now)
+                issued_this_half += 1
+                if is_mem:
+                    mem_issued += 1
+                    loads_issued += int(instr.is_load)
+                    stores_issued += int(instr.is_store)
+            # Remove issued uops from the queue (they move to the
+            # in-flight table).
+            self.halves[half] = [u for u in self.halves[half]
+                                 if u.state is UopState.QUEUED]
+
+    def _sources_ready(self, uop: Uop) -> bool:
+        regfile = self.core.regfile
+        return all(regfile.is_ready(reg) for reg in uop.phys_srcs)
+
+    # -- execution (value computation happens here; sources are final) ------
+    def _do_issue(self, thread: HwThread, uop: Uop, fu: tuple, plan, now: int) -> None:
+        core = self.core
+        instr = uop.instr
+        uop.state = UopState.ISSUED
+        uop.issue_cycle = now
+        uop.fu = fu
+        thread.iq_occupancy -= 1
+        # Dependents wake up after the execute latency alone (results are
+        # bypassed around the RBOX register-read stages); the instruction
+        # itself completes — resolves branches, becomes retire-eligible —
+        # only after the full RBOX+EBOX traversal.
+        bypass_latency = instr.exec_latency
+
+        if instr.is_load:
+            uop.raw_addr = plan.raw_addr
+            uop.mem_addr = plan.addr
+            uop.result = plan.value
+            uop.forwarded_from = plan.forwarded_from
+            if plan.lvq_entry:
+                # The entry is consumed (and its address cross-checked) at
+                # retirement, so wrong-path trailing loads in predictor
+                # fetch mode neither deallocate nor falsely flag entries.
+                uop.lvq_addr_check = plan.lvq_addr
+            bypass_latency = self.config.mbox_latency + plan.extra_latency
+        elif instr.is_store:
+            core.mbox.execute_store(thread, uop, now + 1)
+            bypass_latency = 1
+        elif instr.is_control:
+            self._resolve_control_values(thread, uop)
+        elif instr.writes_reg:
+            values = [core.regfile.read(reg) for reg in uop.phys_srcs]
+            if instr.op is Op.FMA:
+                uop.result = alu_result(instr, values[0], values[1], values[2])
+            elif len(values) == 1:
+                uop.result = alu_result(instr, values[0], 0)
+            elif len(values) == 0:
+                uop.result = alu_result(instr, 0, 0)
+            else:
+                uop.result = alu_result(instr, values[0], values[1])
+
+        if core.result_corruptor is not None:
+            core.result_corruptor(uop, now)
+        core.schedule(now + bypass_latency, "bypass", uop)
+        core.schedule(now + bypass_latency + self.config.rbox_latency,
+                      "complete", uop)
+
+    def _resolve_control_values(self, thread: HwThread, uop: Uop) -> None:
+        """Compute a control uop's actual outcome from register values."""
+        core = self.core
+        instr = uop.instr
+        wrap = len(thread.program)
+        value = (core.regfile.read(uop.phys_srcs[0])
+                 if uop.phys_srcs else 0)
+        taken = branch_taken(instr, value)
+        if instr.is_call:
+            target = instr.target
+            uop.result = (uop.pc + 1) % wrap  # return address into rd
+        elif instr.is_indirect:  # JMP / RET
+            target = value % wrap
+        elif taken:
+            target = instr.target
+        else:
+            target = (uop.pc + 1) % wrap
+        uop.actual_taken = taken
+        uop.actual_target = target % wrap

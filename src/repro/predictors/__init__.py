@@ -1,0 +1,19 @@
+"""Control-flow and memory-dependence predictors of the base machine."""
+
+from repro.predictors.branch_predictor import (BranchPredictorStats,
+                                               GshareBranchPredictor,
+                                               JumpTargetPredictor,
+                                               ReturnAddressStack)
+from repro.predictors.line_predictor import LinePredictor, LinePredictorStats
+from repro.predictors.store_sets import StoreSets, StoreSetsStats
+
+__all__ = [
+    "GshareBranchPredictor",
+    "JumpTargetPredictor",
+    "ReturnAddressStack",
+    "BranchPredictorStats",
+    "LinePredictor",
+    "LinePredictorStats",
+    "StoreSets",
+    "StoreSetsStats",
+]

@@ -1,0 +1,74 @@
+"""The line predictor that drives instruction fetch.
+
+As in the Alpha 21264/21464 fetch scheme the paper describes (Section
+3.1), the *line predictor* — not the branch predictor — produces the
+next instruction-cache index each cycle.  The branch/jump/return
+predictors only *verify* line predictions a stage later; a disagreement
+retrains the line predictor and re-initiates the fetch (a "misfetch").
+
+We model the line-index table as a next-chunk-PC table indexed by a hash
+of the current chunk PC.  It is shared by all hardware threads of a
+core, which is exactly why the paper's attempt to let the trailing
+thread reuse the leading thread's training fails ("excessive aliasing",
+Section 4.4): time-shifted redundant threads and unrelated coscheduled
+threads retrain each other's entries.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class LinePredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+    cold_misses: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        total = self.predictions
+        return self.mispredictions / total if total else 0.0
+
+
+class LinePredictor:
+    """Next-chunk predictor, 28K entries as in Table 1."""
+
+    def __init__(self, entries: int = 28 * 1024, chunk_size: int = 8) -> None:
+        self.entries = entries
+        self.chunk_size = chunk_size
+        self.stats = LinePredictorStats()
+        self._table: Dict[int, int] = {}
+
+    def _index(self, pc: int) -> int:
+        # Chunk-granular hash; deliberately drops high bits so distinct
+        # threads/programs alias, as a real (set, way) index table would.
+        return (pc // 1) % self.entries ^ ((pc >> 7) % self.entries)
+
+    def predict(self, pc: int) -> int:
+        """Predict the chunk start following the chunk at ``pc``.
+
+        Cold entries fall back to sequential (next chunk), which is what
+        a real line predictor's default next-line behaviour gives.
+        """
+        self.stats.predictions += 1
+        index = self._index(pc)
+        predicted = self._table.get(index)
+        if predicted is None:
+            self.stats.cold_misses += 1
+            return pc + self.chunk_size
+        return predicted
+
+    def verify(self, pc: int, predicted: int, actual: int) -> bool:
+        """Check a prediction against the verified next-chunk address.
+
+        Returns True when correct; retrains and counts a misfetch
+        otherwise.
+        """
+        if predicted == actual:
+            return True
+        self.stats.mispredictions += 1
+        self.train(pc, actual)
+        return False
+
+    def train(self, pc: int, actual_next: int) -> None:
+        self._table[self._index(pc)] = actual_next

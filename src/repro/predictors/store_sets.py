@@ -1,0 +1,66 @@
+"""Store-sets memory dependence predictor (Chrysos & Emer), Table 1: 4K
+entries.
+
+Loads that have previously conflicted with an in-flight store are placed
+in that store's *store set*; at schedule time a load in a set waits for
+the most recent unexecuted store of the same set instead of speculating
+past it.  Violations (a load issuing before an older overlapping store)
+train the tables.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class StoreSetsStats:
+    violations: int = 0
+    forced_waits: int = 0
+
+
+class StoreSets:
+    def __init__(self, entries: int = 4096, num_threads: int = 4) -> None:
+        self.entries = entries
+        self.stats = StoreSetsStats()
+        # Store Set ID Table: static pc hash -> set id (shared, aliases).
+        self._ssit: Dict[int, int] = {}
+        self._next_set_id = 1
+        # Last Fetched Store Table: (thread, set id) -> store uop sequence.
+        self._lfst: Dict[Tuple[int, int], int] = {}
+
+    def _index(self, pc: int) -> int:
+        return pc % self.entries
+
+    # -- training ---------------------------------------------------------
+    def record_violation(self, load_pc: int, store_pc: int) -> None:
+        """A load at ``load_pc`` issued before an older conflicting store."""
+        self.stats.violations += 1
+        load_index = self._index(load_pc)
+        store_index = self._index(store_pc)
+        set_id = self._ssit.get(store_index) or self._ssit.get(load_index)
+        if set_id is None:
+            set_id = self._next_set_id
+            self._next_set_id += 1
+        self._ssit[load_index] = set_id
+        self._ssit[store_index] = set_id
+
+    # -- prediction --------------------------------------------------------
+    def store_dispatched(self, thread: int, store_pc: int, seq: int) -> None:
+        set_id = self._ssit.get(self._index(store_pc))
+        if set_id is not None:
+            self._lfst[(thread, set_id)] = seq
+
+    def store_completed(self, thread: int, store_pc: int, seq: int) -> None:
+        set_id = self._ssit.get(self._index(store_pc))
+        if set_id is not None and self._lfst.get((thread, set_id)) == seq:
+            del self._lfst[(thread, set_id)]
+
+    def load_dependence(self, thread: int, load_pc: int) -> Optional[int]:
+        """Sequence number of the store this load must wait for, if any."""
+        set_id = self._ssit.get(self._index(load_pc))
+        if set_id is None:
+            return None
+        dep = self._lfst.get((thread, set_id))
+        if dep is not None:
+            self.stats.forced_waits += 1
+        return dep

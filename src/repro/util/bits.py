@@ -1,0 +1,39 @@
+"""64-bit integer helpers.
+
+The simulated ISA operates on 64-bit two's-complement values.  Python
+integers are unbounded, so every architectural value is kept masked to
+64 bits and converted to/from signed form only where semantics demand
+it (comparisons, sign extension).
+"""
+
+MASK64 = (1 << 64) - 1
+
+
+def to_unsigned(value: int) -> int:
+    """Clamp an arbitrary Python int to a 64-bit unsigned value."""
+    return value & MASK64
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as two's-complement signed."""
+    value &= MASK64
+    if value >= 1 << 63:
+        return value - (1 << 64)
+    return value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value`` to 64 bits."""
+    if bits <= 0 or bits > 64:
+        raise ValueError(f"bit width out of range: {bits}")
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value & MASK64
+
+
+def flip_bit(value: int, bit: int) -> int:
+    """Return ``value`` with bit index ``bit`` inverted (64-bit domain)."""
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit index out of range: {bit}")
+    return (value ^ (1 << bit)) & MASK64

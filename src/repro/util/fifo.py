@@ -1,0 +1,70 @@
+"""Bounded FIFO used for hardware queues with fixed capacity."""
+
+from collections import deque
+from typing import Deque, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class FifoFullError(Exception):
+    """Raised when pushing to a full :class:`BoundedFifo`."""
+
+
+class BoundedFifo(Generic[T]):
+    """A FIFO with a hard capacity, mirroring a hardware queue.
+
+    ``push`` raises :class:`FifoFullError` when full so that callers
+    model back-pressure explicitly (hardware stalls rather than drops).
+    """
+
+    def __init__(self, capacity: int, name: str = "fifo") -> None:
+        if capacity <= 0:
+            raise ValueError(f"{name}: capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: T) -> None:
+        if self.full:
+            raise FifoFullError(f"{self.name} is full (capacity {self.capacity})")
+        self._items.append(item)
+
+    def try_push(self, item: T) -> bool:
+        """Push unless full; return whether the push happened."""
+        if self.full:
+            return False
+        self._items.append(item)
+        return True
+
+    def pop(self) -> T:
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def remove_if(self, predicate) -> int:
+        """Remove all entries matching ``predicate``; return count removed."""
+        kept = [item for item in self._items if not predicate(item)]
+        removed = len(self._items) - len(kept)
+        self._items = deque(kept)
+        return removed

@@ -1,0 +1,93 @@
+"""The pipeline's retired stream must equal the architectural executor.
+
+This is the repository's strongest correctness property: for every
+synthetic benchmark, the out-of-order, speculating, forwarding pipeline
+must retire exactly the instruction stream — same PCs, same load values,
+same store addresses and data — that the simple in-order functional
+executor produces.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import BaseMachine
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.generator import generate_benchmark
+from repro.isa.profiles import SPEC95_NAMES
+
+INSTRUCTIONS = 1200
+
+
+def check_equivalence(program, machine, core, tid=0):
+    trace = core.retire_trace[tid]
+    reference = FunctionalExecutor(program).run(len(trace))
+    assert len(trace) > 0
+    for index, (uop, ref) in enumerate(zip(trace, reference)):
+        assert uop.pc == ref.pc, (
+            f"pc diverged at retired instruction {index}: "
+            f"{uop.pc} != {ref.pc} ({uop.instr} vs {ref.instr})")
+        if ref.load is not None:
+            assert uop.mem_addr == ref.load[0], f"load address @{index}"
+            assert uop.result == ref.load[1], f"load value @{index}"
+        if ref.store is not None:
+            assert uop.mem_addr == ref.store[0], f"store address @{index}"
+
+
+@pytest.mark.parametrize("name", SPEC95_NAMES)
+def test_base_machine_matches_functional_executor(name):
+    program = generate_benchmark(name)
+    machine = BaseMachine(MachineConfig(), [program])
+    core = machine.cores[0]
+    core.retire_trace[0] = []
+    result = machine.run(max_instructions=INSTRUCTIONS, warmup=3000)
+    assert result.threads[0].retired == INSTRUCTIONS, "stalled before target"
+    check_equivalence(program, machine, core)
+
+
+@pytest.mark.parametrize("name", ["gcc", "swim", "li", "fpppp"])
+def test_base_machine_matches_with_different_seeds(name):
+    program = generate_benchmark(name, seed=7)
+    machine = BaseMachine(MachineConfig(), [program])
+    core = machine.cores[0]
+    core.retire_trace[0] = []
+    machine.run(max_instructions=800, warmup=2000)
+    check_equivalence(program, machine, core)
+
+
+def test_two_threads_both_match():
+    """Coscheduled threads must not corrupt each other's state."""
+    programs = [generate_benchmark("gcc"), generate_benchmark("swim")]
+    machine = BaseMachine(MachineConfig(), programs)
+    core = machine.cores[0]
+    core.retire_trace[0] = []
+    core.retire_trace[1] = []
+    machine.run(max_instructions=800, warmup=2000)
+    for tid, program in enumerate(programs):
+        trace = core.retire_trace[tid]
+        reference = FunctionalExecutor(program).run(len(trace))
+        for uop, ref in zip(trace, reference):
+            assert uop.pc == ref.pc
+            if ref.load is not None:
+                assert uop.result == ref.load[1]
+
+
+def test_srt_leading_and_trailing_match_reference():
+    """Both redundant threads retire the identical correct stream."""
+    from repro.core.machine import make_machine
+
+    program = generate_benchmark("vortex")
+    machine = make_machine("srt", MachineConfig(), [program])
+    core = machine.cores[0]
+    core.retire_trace[0] = []
+    core.retire_trace[1] = []
+    result = machine.run(max_instructions=800, warmup=2000)
+    assert result.faults_detected == 0
+    lead, trail = core.retire_trace[0], core.retire_trace[1]
+    reference = FunctionalExecutor(program).run(len(lead))
+    for uop, ref in zip(lead, reference):
+        assert uop.pc == ref.pc
+    for lead_uop, trail_uop in zip(lead, trail):
+        assert lead_uop.pc == trail_uop.pc
+        if lead_uop.instr.is_store:
+            assert lead_uop.mem_addr == trail_uop.mem_addr
+            assert lead_uop.store_value == trail_uop.store_value

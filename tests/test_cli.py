@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "fig11" in out and "gcc" in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_run_command(self, capsys):
+        code = main(["run", "--kind", "srt", "--benchmark", "m88ksim",
+                     "--instructions", "300", "--warmup", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SMT-Efficiency" in out and "m88ksim" in out
+
+    def test_experiment_command(self, capsys):
+        code = main(["sq-sweep", "--instructions", "250",
+                     "--warmup", "800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sq_sweep" in out and "arith.mean" in out
+
+    def test_every_experiment_registered_is_callable(self):
+        for name, (driver, description) in EXPERIMENTS.items():
+            assert callable(driver)
+            assert description

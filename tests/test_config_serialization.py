@@ -1,0 +1,43 @@
+"""MachineConfig JSON round-trip (experiment reproducibility)."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+
+
+class TestSerialization:
+    def test_roundtrip_defaults(self):
+        config = MachineConfig()
+        restored = MachineConfig.from_json(config.to_json())
+        assert restored == config
+
+    def test_roundtrip_customised(self):
+        config = MachineConfig(per_thread_store_queues=True,
+                               store_comparison=False,
+                               crt_cross_latency=16,
+                               trailing_fetch_mode="predictors")
+        config.core.store_queue_entries = 96
+        config.hierarchy.l2_hit_latency = 20
+        restored = MachineConfig.from_json(config.to_json())
+        assert restored == config
+        assert restored.core.store_queue_entries == 96
+        assert restored.hierarchy.l2_hit_latency == 20
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown MachineConfig"):
+            MachineConfig.from_dict({"flux_capacitor": True})
+
+    def test_json_is_stable_and_readable(self):
+        text = MachineConfig().to_json()
+        assert '"checker_latency": 8' in text
+        assert '"store_queue_entries": 64' in text
+
+    def test_restored_config_builds_machines(self):
+        from repro.core.machine import make_machine
+        from repro.isa.generator import generate_benchmark
+
+        restored = MachineConfig.from_json(MachineConfig().to_json())
+        machine = make_machine("srt", restored,
+                               [generate_benchmark("m88ksim")])
+        result = machine.run(max_instructions=100, warmup=500)
+        assert result.threads[0].retired == 100

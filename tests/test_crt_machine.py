@@ -1,0 +1,92 @@
+"""Integration tests for the CRT machine (Section 5, Figure 5)."""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import make_machine
+from repro.isa.generator import generate_benchmark
+
+
+def run_crt(names, config=None, instructions=500, warmup=2000):
+    programs = [generate_benchmark(n) for n in names]
+    machine = make_machine("crt", config or MachineConfig(), programs)
+    result = machine.run(max_instructions=instructions, warmup=warmup)
+    return machine, result
+
+
+class TestPlacement:
+    def test_single_program_spans_cores(self):
+        machine, _ = run_crt(["gcc"], instructions=50)
+        lead = machine.controller.pairs[0].leading
+        trail = machine.controller.pairs[0].trailing
+        assert lead.core.core_id == 0
+        assert trail.core.core_id == 1
+
+    def test_two_programs_cross_coupled(self):
+        """Figure 5: leading of A with trailing of B on each core."""
+        machine, _ = run_crt(["gcc", "swim"], instructions=50)
+        pair_a, pair_b = machine.controller.pairs
+        assert pair_a.leading.core.core_id == 0
+        assert pair_a.trailing.core.core_id == 1
+        assert pair_b.leading.core.core_id == 1
+        assert pair_b.trailing.core.core_id == 0
+
+    def test_four_programs_fill_both_cores(self):
+        machine, _ = run_crt(["gcc", "go", "ijpeg", "swim"], instructions=50)
+        for core in machine.cores:
+            assert len(core.threads) == 4
+            roles = sorted(t.role.value for t in core.threads)
+            assert roles == ["leading", "leading", "trailing", "trailing"]
+
+
+class TestRedundantExecution:
+    def test_no_false_faults(self):
+        machine, result = run_crt(["gcc", "swim"])
+        assert result.faults_detected == 0
+
+    def test_outputs_compared_across_cores(self):
+        machine, result = run_crt(["vortex"])
+        pair = machine.controller.pairs[0]
+        assert pair.comparator.stats.comparisons > 0
+        assert pair.comparator.stats.mismatches == 0
+
+    def test_cross_latency_applied(self):
+        machine, _ = run_crt(["gcc"], instructions=50)
+        pair = machine.controller.pairs[0]
+        config = MachineConfig()
+        assert pair.lvq.forward_latency == (
+            config.srt_load_forward_latency + config.crt_cross_latency)
+        assert pair.aggregator.forward_latency == (
+            config.srt_line_forward_latency + config.crt_cross_latency)
+        assert pair.comparator.forward_latency == config.crt_cross_latency
+
+    def test_all_programs_reach_target(self):
+        machine, result = run_crt(["gcc", "go", "ijpeg", "swim"],
+                                  instructions=300)
+        assert all(t.retired == 300 for t in result.threads)
+
+
+class TestCrtPerformance:
+    def test_crt_beats_lock8_on_multiprogrammed(self):
+        """The paper's headline: CRT outperforms realistic lockstepping
+        on multithreaded workloads."""
+        names = ["gcc", "swim"]
+        programs = [generate_benchmark(n) for n in names]
+        lock8 = make_machine("lockstep", MachineConfig(), programs,
+                             checker_latency=8).run(
+            max_instructions=700, warmup=4000)
+        crt = make_machine("crt", MachineConfig(),
+                           [generate_benchmark(n) for n in names]).run(
+            max_instructions=700, warmup=4000)
+        assert crt.total_ipc > lock8.total_ipc
+
+    def test_trailing_frees_resources_for_other_program(self):
+        """Each core's trailing thread must never use the load queue."""
+        machine, _ = run_crt(["gcc", "swim"], instructions=200)
+        for pair in machine.controller.pairs:
+            assert pair.trailing.lq_capacity == 0
+
+    def test_higher_cross_latency_hurts(self):
+        fast = MachineConfig(crt_cross_latency=0)
+        slow = MachineConfig(crt_cross_latency=64)
+        _, fast_result = run_crt(["swim", "gcc"], config=fast)
+        _, slow_result = run_crt(["swim", "gcc"], config=slow)
+        assert slow_result.cycles >= fast_result.cycles

@@ -1,0 +1,55 @@
+"""Determinism guarantees: identical inputs produce identical runs."""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import make_machine
+from repro.isa.generator import generate_benchmark
+
+
+def run_once(kind, name="gcc", instructions=400, **kwargs):
+    machine = make_machine(kind, MachineConfig(), [generate_benchmark(name)],
+                           **kwargs)
+    result = machine.run(max_instructions=instructions, warmup=2000)
+    stats = machine.cores[0].threads[0].stats
+    return (result.cycles,
+            tuple(t.cycles for t in result.threads),
+            tuple(t.ipc for t in result.threads),
+            stats.branch_mispredicts, stats.squashed_uops)
+
+
+class TestDeterminism:
+    def test_base_machine_bit_identical(self):
+        assert run_once("base") == run_once("base")
+
+    def test_srt_machine_bit_identical(self):
+        assert run_once("srt") == run_once("srt")
+
+    def test_crt_machine_bit_identical(self):
+        assert run_once("crt") == run_once("crt")
+
+    def test_lockstep_machine_bit_identical(self):
+        assert run_once("lockstep") == run_once("lockstep")
+
+    def test_different_seeds_differ(self):
+        a = make_machine("base", MachineConfig(),
+                         [generate_benchmark("gcc", seed=0)])
+        b = make_machine("base", MachineConfig(),
+                         [generate_benchmark("gcc", seed=1)])
+        ra = a.run(max_instructions=400, warmup=2000)
+        rb = b.run(max_instructions=400, warmup=2000)
+        assert ra.threads[0].cycles != rb.threads[0].cycles
+
+    def test_config_does_not_mutate_across_runs(self):
+        config = MachineConfig()
+        snapshot = config.to_json()
+        make_machine("srt", config, [generate_benchmark("gcc")]).run(
+            max_instructions=200, warmup=500)
+        assert config.to_json() == snapshot
+
+    def test_memory_image_identical_across_runs(self):
+        machines = []
+        for _ in range(2):
+            machine = make_machine("srt", MachineConfig(),
+                                   [generate_benchmark("vortex")])
+            machine.run(max_instructions=400, warmup=1500)
+            machines.append(machine)
+        assert machines[0].memory == machines[1].memory

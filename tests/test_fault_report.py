@@ -1,0 +1,50 @@
+"""Tests for detailed fault reports and detection latency."""
+
+from repro.core.config import MachineConfig
+from repro.core.faults import (FaultOutcome, FaultReport,
+                               TransientResultFault,
+                               run_fault_experiment_detailed)
+from repro.core.machine import make_machine
+from repro.isa.generator import generate_benchmark
+
+PROGRAM = generate_benchmark("gcc")
+
+
+class TestFaultReport:
+    def test_latency_requires_both_cycles(self):
+        assert FaultReport(FaultOutcome.MASKED).detection_latency is None
+        assert FaultReport(FaultOutcome.DETECTED,
+                           struck_cycle=10).detection_latency is None
+        report = FaultReport(FaultOutcome.DETECTED, struck_cycle=10,
+                             detected_cycle=70)
+        assert report.detection_latency == 60
+
+    def test_struck_cycle_recorded(self):
+        machine = make_machine("srt", MachineConfig(), [PROGRAM])
+        fault = TransientResultFault(cycle=150, core_index=0, bit=1)
+        report = run_fault_experiment_detailed(
+            machine, PROGRAM, fault, instructions=600, warmup=2000)
+        assert fault.fired
+        assert report.struck_cycle is not None
+        assert report.struck_cycle >= 150
+
+    def test_detected_faults_have_positive_latency(self):
+        found = 0
+        for index in range(8):
+            machine = make_machine("srt", MachineConfig(), [PROGRAM])
+            fault = TransientResultFault(cycle=100 + 70 * index,
+                                         core_index=0, bit=1)
+            report = run_fault_experiment_detailed(
+                machine, PROGRAM, fault, instructions=800, warmup=2000)
+            if report.outcome is FaultOutcome.DETECTED:
+                found += 1
+                assert report.detection_latency is not None
+                assert report.detection_latency > 0
+        assert found > 0
+
+    def test_masked_faults_have_no_detection_cycle(self):
+        machine = make_machine("base", MachineConfig(), [PROGRAM])
+        fault = TransientResultFault(cycle=150, core_index=0, bit=1)
+        report = run_fault_experiment_detailed(
+            machine, PROGRAM, fault, instructions=400, warmup=2000)
+        assert report.detected_cycle is None

@@ -1,0 +1,103 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import Op
+
+
+class TestAssemble:
+    def test_simple_program(self):
+        program = assemble("""
+            ldi r1, 42
+            add r2, r1, r1
+            halt
+        """)
+        assert len(program) == 3
+        assert program.instructions[0].op is Op.LDI
+        assert program.instructions[0].imm == 42
+        assert program.instructions[1].source_regs == (1, 1)
+        assert program.instructions[2].is_halt
+
+    def test_labels_forward_and_backward(self):
+        program = assemble("""
+        top:
+            addi r1, r1, -1
+            bnez r1, top
+            br end
+            nop
+        end:
+            halt
+        """)
+        assert program.instructions[1].target == 0
+        assert program.instructions[2].target == 4
+
+    def test_label_on_same_line(self):
+        program = assemble("loop: bnez r1, loop\nhalt")
+        assert program.instructions[0].target == 0
+
+    def test_memory_ops(self):
+        program = assemble("""
+            ld r4, r2, 16
+            st r2, 8, r4
+            membar
+            halt
+        """)
+        ld, st, membar, _ = program.instructions
+        assert ld.op is Op.LD and ld.imm == 16 and ld.ra == 2
+        assert st.op is Op.ST and st.ra == 2 and st.rb == 4
+        assert membar.is_membar
+
+    def test_data_directive(self):
+        program = assemble("""
+            .data 0x1000 99
+            ld r1, r0, 0x1000
+            halt
+        """)
+        assert program.initial_memory[0x1000] == 99
+
+    def test_call_ret(self):
+        program = assemble("""
+            call r62, sub
+            halt
+        sub:
+            ret r62
+        """)
+        assert program.instructions[0].op is Op.CALL
+        assert program.instructions[0].target == 2
+        assert program.instructions[2].op is Op.RET
+
+    def test_comments_ignored(self):
+        program = assemble("nop ; this is a comment\n; full line\nhalt")
+        assert len(program) == 2
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("addi r1, r1, -5\nldi r2, 0xFF\nhalt")
+        assert program.instructions[0].imm == -5
+        assert program.instructions[1].imm == 255
+
+
+class TestAssembleErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="register"):
+            assemble("add r1, r99, r2")
+
+    def test_undefined_label_is_immediate_error(self):
+        with pytest.raises(AssemblyError):
+            assemble("br nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: nop\nx: halt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_empty_program(self):
+        with pytest.raises(AssemblyError, match="no instructions"):
+            assemble("; nothing here")

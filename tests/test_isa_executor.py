@@ -1,0 +1,179 @@
+"""Unit tests for the architectural executor (the ISA's golden model)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.executor import (FunctionalExecutor, align_word, alu_result,
+                                branch_taken, merge_partial_store)
+from repro.isa.instructions import Instruction, Op
+from repro.util.bits import MASK64, to_unsigned
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def run_asm(source, max_instructions=10_000):
+    executor = FunctionalExecutor(assemble(source))
+    executor.run(max_instructions)
+    return executor
+
+
+class TestAluSemantics:
+    @given(U64, U64)
+    def test_add_wraps(self, a, b):
+        instr = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        assert alu_result(instr, a, b) == (a + b) & MASK64
+
+    @given(U64, U64)
+    def test_sub_wraps(self, a, b):
+        instr = Instruction(Op.SUB, rd=1, ra=2, rb=3)
+        assert alu_result(instr, a, b) == (a - b) & MASK64
+
+    def test_cmplt_is_signed(self):
+        instr = Instruction(Op.CMPLT, rd=1, ra=2, rb=3)
+        assert alu_result(instr, to_unsigned(-1), 0) == 1
+        assert alu_result(instr, 0, to_unsigned(-1)) == 0
+
+    @given(U64, st.integers(min_value=0, max_value=200))
+    def test_shifts_use_low_six_bits(self, a, sh):
+        shl = Instruction(Op.SHL, rd=1, ra=2, rb=3)
+        shr = Instruction(Op.SHR, rd=1, ra=2, rb=3)
+        assert alu_result(shl, a, sh) == (a << (sh & 63)) & MASK64
+        assert alu_result(shr, a, sh) == a >> (sh & 63)
+
+    def test_fdiv_never_divides_by_zero(self):
+        instr = Instruction(Op.FDIV, rd=1, ra=2, rb=3)
+        assert alu_result(instr, 10, 0) == 10  # divisor forced odd: 0|1 == 1
+
+    @given(U64, U64, U64)
+    def test_fma_reads_old_dest(self, a, b, c):
+        instr = Instruction(Op.FMA, rd=1, ra=2, rb=3)
+        assert alu_result(instr, a, b, c) == (a * b + c) & MASK64
+
+    def test_alu_result_rejects_control(self):
+        with pytest.raises(ValueError):
+            alu_result(Instruction(Op.BR, target=0), 0, 0)
+
+
+class TestBranchSemantics:
+    def test_beqz_bnez(self):
+        beqz = Instruction(Op.BEQZ, ra=1, target=0)
+        bnez = Instruction(Op.BNEZ, ra=1, target=0)
+        assert branch_taken(beqz, 0) and not branch_taken(beqz, 7)
+        assert branch_taken(bnez, 7) and not branch_taken(bnez, 0)
+
+    def test_unconditionals_always_taken(self):
+        assert branch_taken(Instruction(Op.BR, target=0), 0)
+        assert branch_taken(Instruction(Op.CALL, rd=1, target=0), 0)
+        assert branch_taken(Instruction(Op.RET, ra=1), 5)
+
+
+class TestAlignAndMerge:
+    @given(U64)
+    def test_align_word_clears_low_bits(self, addr):
+        assert align_word(addr) % 8 == 0
+        assert align_word(addr) <= addr
+
+    @given(U64, U64)
+    def test_merge_low_half(self, old, value):
+        merged = merge_partial_store(0x1000, old, value)
+        assert merged & 0xFFFF_FFFF == value & 0xFFFF_FFFF
+        assert merged >> 32 == old >> 32
+
+    @given(U64, U64)
+    def test_merge_high_half(self, old, value):
+        merged = merge_partial_store(0x1004, old, value)
+        assert merged >> 32 == value & 0xFFFF_FFFF
+        assert merged & 0xFFFF_FFFF == old & 0xFFFF_FFFF
+
+
+class TestProgramExecution:
+    def test_counted_loop(self):
+        executor = run_asm("""
+            ldi r1, 5
+            ldi r2, 0
+        loop:
+            addi r2, r2, 3
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """)
+        assert executor.state.read_reg(2) == 15
+        assert executor.state.halted
+
+    def test_memory_roundtrip(self):
+        executor = run_asm("""
+            ldi r1, 0x2000
+            ldi r2, 77
+            st r1, 0, r2
+            ld r3, r1, 0
+            halt
+        """)
+        assert executor.state.read_reg(3) == 77
+        assert executor.state.read_mem(0x2000) == 77
+
+    def test_partial_store_merges_halves(self):
+        executor = run_asm("""
+            .data 0x2000 0xAAAAAAAABBBBBBBB
+            ldi r1, 0x2000
+            ldi r2, 0x11111111
+            sth r1, 4, r2       ; high half
+            ld r3, r1, 0
+            halt
+        """)
+        assert executor.state.read_reg(3) == 0x11111111_BBBBBBBB
+
+    def test_call_and_return(self):
+        executor = run_asm("""
+            ldi r1, 1
+            call r62, double
+            call r62, double
+            halt
+        double:
+            add r1, r1, r1
+            ret r62
+        """)
+        assert executor.state.read_reg(1) == 4
+
+    def test_r0_is_hardwired_zero(self):
+        executor = run_asm("""
+            ldi r0, 99
+            add r1, r0, r0
+            halt
+        """)
+        assert executor.state.read_reg(0) == 0
+        assert executor.state.read_reg(1) == 0
+
+    def test_halt_stops_and_further_step_raises(self):
+        executor = run_asm("halt")
+        assert executor.state.halted
+        with pytest.raises(RuntimeError, match="halted"):
+            executor.step()
+
+    def test_step_results_record_loads_and_stores(self):
+        executor = FunctionalExecutor(assemble("""
+            ldi r1, 0x2000
+            ldi r2, 5
+            st r1, 0, r2
+            ld r3, r1, 0
+            halt
+        """))
+        results = executor.run(10)
+        assert results[2].store == (0x2000, 5)
+        assert results[3].load == (0x2000, 5)
+
+    def test_unaligned_access_is_word_aligned(self):
+        executor = run_asm("""
+            ldi r1, 0x2003
+            ldi r2, 9
+            st r1, 0, r2
+            ld r3, r1, 4    ; 0x2007 aligns to 0x2000
+            halt
+        """)
+        assert executor.state.read_reg(3) == 9
+
+    def test_retired_count(self):
+        executor = FunctionalExecutor(assemble("nop\nnop\nhalt"))
+        executor.run(100)
+        assert executor.retired == 3

@@ -1,0 +1,125 @@
+"""Tests for the synthetic benchmark generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.generator import generate_benchmark, generate_program
+from repro.isa.profiles import SPEC95_NAMES, SPEC95_PROFILES, get_profile
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        a = generate_benchmark("gcc", seed=3)
+        b = generate_benchmark("gcc", seed=3)
+        assert a.instructions == b.instructions
+        assert a.initial_memory == b.initial_memory
+
+    def test_different_seed_different_program(self):
+        a = generate_benchmark("gcc", seed=0)
+        b = generate_benchmark("gcc", seed=1)
+        assert a.instructions != b.instructions
+
+
+class TestStructuralValidity:
+    @pytest.mark.parametrize("name", SPEC95_NAMES)
+    def test_all_profiles_generate_valid_programs(self, name):
+        program = generate_benchmark(name)
+        # Program.__post_init__ validates targets; also check density sanity.
+        assert len(program) > 100
+        assert program.static_branch_count > 0
+        assert program.static_load_count > 0
+        assert program.static_store_count > 0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("doom")
+
+
+class TestExecutionBehaviour:
+    @pytest.mark.parametrize("name", SPEC95_NAMES)
+    def test_runs_without_trapping(self, name):
+        """Programs must keep making progress over a wide code footprint."""
+        program = generate_benchmark(name)
+        executor = FunctionalExecutor(program)
+        results = executor.run(8000)
+        assert len(results) == 8000  # never halts
+        covered = {r.pc for r in results}
+        # A trapped program spins over a handful of PCs.
+        assert len(covered) > 50
+
+    def test_loops_respect_trip_counts(self):
+        """Backward conditional branches must eventually fall through."""
+        program = generate_benchmark("swim")
+        executor = FunctionalExecutor(program)
+        results = executor.run(20000)
+        backward_conditionals = [
+            r for r in results
+            if r.instr.is_conditional and r.instr.target is not None
+            and r.instr.target < r.pc
+        ]
+        assert backward_conditionals
+        fallthroughs = sum(1 for r in backward_conditionals if not r.taken)
+        assert fallthroughs > 0
+
+    def test_memory_mix_close_to_profile(self):
+        profile = get_profile("vortex")
+        program = generate_program(profile, seed=0)
+        results = FunctionalExecutor(program).run(20000)
+        n = len(results)
+        load_rate = sum(1 for r in results if r.load) / n
+        store_rate = sum(1 for r in results if r.store) / n
+        # Rates land within a loose band of the requested fractions
+        # (control-flow and address-arithmetic overhead dilutes them).
+        assert 0.3 * profile.load_frac < load_rate <= profile.load_frac + 0.1
+        assert 0.2 * profile.store_frac < store_rate <= profile.store_frac + 0.1
+
+    def test_random_branches_are_balanced(self):
+        """LCG-driven 50/50 branches should actually be near 50/50."""
+        program = generate_benchmark("go")
+        results = FunctionalExecutor(program).run(30000)
+        forward_conditionals = [
+            r for r in results
+            if r.instr.is_conditional and r.instr.op.name == "BNEZ"
+            and r.instr.target is not None and r.instr.target > r.pc
+        ]
+        assert len(forward_conditionals) > 60
+        taken_rate = (sum(1 for r in forward_conditionals if r.taken)
+                      / len(forward_conditionals))
+        assert 0.2 < taken_rate < 0.8
+
+    def test_indirect_jumps_hit_table_targets(self):
+        program = generate_benchmark("perl")
+        results = FunctionalExecutor(program).run(30000)
+        jumps = [r for r in results if r.instr.op.name == "JMP"]
+        if jumps:  # profile-dependent, but targets must always be valid
+            for r in jumps:
+                assert program.in_range(r.next_pc)
+
+    def test_working_set_respected(self):
+        """All data addresses stay inside the profile's working set."""
+        from repro.isa.generator import DATA_BASE, TABLE_BASE
+
+        profile = get_profile("compress")
+        program = generate_program(profile, seed=0)
+        results = FunctionalExecutor(program).run(20000)
+        ws_bytes = profile.working_set_words * 8
+        slack = 8 * 64  # block-local immediate offsets
+        for r in results:
+            for access in (r.load, r.store):
+                if access is None:
+                    continue
+                addr = access[0]
+                in_data = DATA_BASE <= addr < DATA_BASE + ws_bytes + slack
+                in_table = TABLE_BASE <= addr < TABLE_BASE + 8 * 64
+                assert in_data or in_table, hex(addr)
+
+
+class TestSeedVariation:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_any_seed_generates_runnable_program(self, seed):
+        program = generate_benchmark("li", seed=seed)
+        results = FunctionalExecutor(program).run(2000)
+        assert len(results) == 2000

@@ -1,0 +1,85 @@
+"""Unit tests for the RISC-R instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import FuClass, Instruction, Op
+
+
+class TestClassification:
+    def test_load_store(self):
+        ld = Instruction(Op.LD, rd=1, ra=2, imm=8)
+        st = Instruction(Op.ST, ra=2, imm=8, rb=3)
+        sth = Instruction(Op.STH, ra=2, imm=4, rb=3)
+        assert ld.is_load and not ld.is_store
+        assert st.is_store and not st.is_load
+        assert sth.is_store and sth.is_partial_store
+        assert not st.is_partial_store
+
+    def test_control_flags(self):
+        beqz = Instruction(Op.BEQZ, ra=1, target=0)
+        br = Instruction(Op.BR, target=0)
+        call = Instruction(Op.CALL, rd=5, target=0)
+        ret = Instruction(Op.RET, ra=5)
+        jmp = Instruction(Op.JMP, ra=5)
+        assert beqz.is_control and beqz.is_conditional
+        assert br.is_control and not br.is_conditional
+        assert call.is_call and call.is_control
+        assert ret.is_return and ret.is_indirect
+        assert jmp.is_indirect and not jmp.is_return
+
+    def test_membar(self):
+        assert Instruction(Op.MEMBAR).is_membar
+
+    def test_fu_classes(self):
+        assert Instruction(Op.ADD, rd=1, ra=2, rb=3).fu_class is FuClass.INT
+        assert Instruction(Op.XOR, rd=1, ra=2, rb=3).fu_class is FuClass.LOGIC
+        assert Instruction(Op.FADD, rd=1, ra=2, rb=3).fu_class is FuClass.FP
+        assert Instruction(Op.LD, rd=1, ra=2).fu_class is FuClass.MEM
+        assert Instruction(Op.BNEZ, ra=1, target=0).fu_class is FuClass.INT
+
+    def test_exec_latency(self):
+        assert Instruction(Op.ADD, rd=1, ra=2, rb=3).exec_latency == 1
+        assert Instruction(Op.MUL, rd=1, ra=2, rb=3).exec_latency == 7
+        assert Instruction(Op.FDIV, rd=1, ra=2, rb=3).exec_latency == 12
+
+
+class TestRegisterSemantics:
+    def test_writes_reg(self):
+        assert Instruction(Op.ADD, rd=1, ra=2, rb=3).writes_reg
+        assert not Instruction(Op.ADD, rd=0, ra=2, rb=3).writes_reg  # r0 sink
+        assert not Instruction(Op.ST, ra=1, rb=2).writes_reg
+        assert Instruction(Op.CALL, rd=5, target=0).writes_reg
+        assert Instruction(Op.LD, rd=4, ra=1).writes_reg
+
+    def test_source_regs(self):
+        assert Instruction(Op.ADD, rd=1, ra=2, rb=3).source_regs == (2, 3)
+        assert Instruction(Op.LD, rd=1, ra=2).source_regs == (2,)
+        assert Instruction(Op.ST, ra=2, rb=3).source_regs == (2, 3)
+        assert Instruction(Op.LDI, rd=1, imm=5).source_regs == ()
+        assert Instruction(Op.BEQZ, ra=4, target=0).source_regs == (4,)
+        # FMA reads its destination as a third source.
+        assert Instruction(Op.FMA, rd=1, ra=2, rb=3).source_regs == (2, 3, 1)
+
+    def test_register_range_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=64, ra=1, rb=2)
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=1, ra=-1, rb=2)
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.BEQZ, ra=1)
+        with pytest.raises(ValueError):
+            Instruction(Op.BR)
+        # Indirect jumps carry no static target.
+        Instruction(Op.JMP, ra=1)
+        Instruction(Op.RET, ra=1)
+
+
+class TestStr:
+    def test_renderings(self):
+        assert str(Instruction(Op.ADD, rd=1, ra=2, rb=3)) == "add r1 r2 r3"
+        assert str(Instruction(Op.LD, rd=4, ra=2, imm=16)) == "ld r4 r2+16"
+        assert str(Instruction(Op.ST, ra=2, imm=8, rb=5)) == "st r2+8 r5"
+        assert str(Instruction(Op.BNEZ, ra=1, target=7)) == "bnez r1 @7"
+        assert str(Instruction(Op.NOP)) == "nop"

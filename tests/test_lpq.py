@@ -1,0 +1,168 @@
+"""Unit tests for the line prediction queue and chunk aggregator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lpq import ChunkAggregator, LinePredictionQueue, LpqChunk
+
+
+def chunk(start, length=4, avail=0):
+    pcs = list(range(start, start + length))
+    return LpqChunk(start_pc=start, pcs=pcs, next_pc=start + length,
+                    half_hints=[None] * length, available_cycle=avail)
+
+
+class TestTwoHeadProtocol:
+    """The Figure 4 active-head / recovery-head protocol."""
+
+    def test_peek_ack_commit(self):
+        lpq = LinePredictionQueue(capacity=4)
+        lpq.push(chunk(0))
+        lpq.push(chunk(4))
+        first = lpq.peek_active(now=0)
+        assert first.start_pc == 0
+        lpq.ack()
+        assert lpq.peek_active(now=0).start_pc == 4
+        lpq.commit()
+        assert lpq.stats.chunks_fetched == 1
+
+    def test_rollback_resends_prediction(self):
+        """Icache miss: the same prediction must be re-sent."""
+        lpq = LinePredictionQueue(capacity=4)
+        lpq.push(chunk(0))
+        lpq.ack()                       # address driver accepted
+        lpq.rollback()                  # cache miss
+        assert lpq.stats.rollbacks == 1
+        assert lpq.peek_active(now=0).start_pc == 0
+
+    def test_rollback_to_recovery_head_after_partial_progress(self):
+        lpq = LinePredictionQueue(capacity=4)
+        lpq.push(chunk(0))
+        lpq.push(chunk(4))
+        lpq.ack()
+        lpq.commit()                    # chunk 0 safely fetched
+        lpq.ack()                       # chunk 4 accepted...
+        lpq.rollback()                  # ...but missed
+        assert lpq.peek_active(now=0).start_pc == 4
+
+    def test_availability_delay_respected(self):
+        lpq = LinePredictionQueue(capacity=4)
+        lpq.push(chunk(0, avail=10))
+        assert lpq.peek_active(now=9) is None
+        assert lpq.peek_active(now=10) is not None
+
+    def test_ack_without_prediction_raises(self):
+        with pytest.raises(RuntimeError):
+            LinePredictionQueue().ack()
+
+    def test_commit_past_active_raises(self):
+        lpq = LinePredictionQueue()
+        lpq.push(chunk(0))
+        with pytest.raises(RuntimeError):
+            lpq.commit()
+
+    def test_capacity_overflow_raises(self):
+        lpq = LinePredictionQueue(capacity=1)
+        lpq.push(chunk(0))
+        assert lpq.full
+        with pytest.raises(RuntimeError):
+            lpq.push(chunk(4))
+
+
+class TestChunkAggregator:
+    def make(self, capacity=8, chunk_size=8, timeout=24, wrap=1000):
+        lpq = LinePredictionQueue(capacity=capacity)
+        agg = ChunkAggregator(lpq, chunk_size=chunk_size, forward_latency=0,
+                              wrap=wrap, flush_timeout=timeout)
+        return lpq, agg
+
+    def test_contiguous_run_fills_one_chunk(self):
+        lpq, agg = self.make()
+        for pc in range(8):
+            agg.add(pc, pc + 1, queue_half=pc % 2, now=pc)
+        assert lpq.stats.chunks_pushed == 1
+        pushed = lpq.peek_active(now=100)
+        assert pushed.pcs == list(range(8))
+        assert pushed.next_pc == 8
+        assert pushed.half_hints == [0, 1] * 4
+
+    def test_taken_branch_terminates_chunk(self):
+        lpq, agg = self.make()
+        agg.add(10, 11, None, now=0)
+        agg.add(11, 50, None, now=1)   # control transfer to 50
+        assert lpq.stats.chunks_pushed == 1
+        pushed = lpq.peek_active(now=100)
+        assert pushed.pcs == [10, 11]
+        assert pushed.next_pc == 50
+
+    def test_mispredicted_fallthrough_keeps_chunk_growing(self):
+        """Section 4.4.2: a branch that actually fell through extends the
+        trailing chunk."""
+        lpq, agg = self.make()
+        agg.add(10, 11, None, now=0)   # branch, fell through
+        agg.add(11, 12, None, now=1)
+        agg.add(12, 13, None, now=2)
+        assert lpq.stats.chunks_pushed == 0
+        assert len(agg) == 3
+
+    def test_membar_flush(self):
+        lpq, agg = self.make()
+        agg.add(10, 11, None, now=0)
+        agg.flush(now=1, reason="membar")
+        assert lpq.stats.chunks_pushed == 1
+        assert lpq.stats.flush_membar == 1
+
+    def test_timeout_flush(self):
+        lpq, agg = self.make(timeout=5)
+        agg.add(10, 11, None, now=0)
+        agg.tick(now=4)
+        assert lpq.stats.chunks_pushed == 0
+        agg.tick(now=5)
+        assert lpq.stats.chunks_pushed == 1
+        assert lpq.stats.flush_timeout == 1
+
+    def test_flush_blocked_when_lpq_full(self):
+        lpq, agg = self.make(capacity=1)
+        for pc in range(8):
+            agg.add(pc, pc + 1, None, now=0)    # fills the only LPQ slot
+        agg.add(8, 9, None, now=1)
+        agg.flush(now=2)
+        assert lpq.stats.full_stalls >= 1
+        assert len(agg) == 1                    # still pending
+
+    def test_wrap_around_is_contiguous(self):
+        """The PC space wraps modulo the program length, so 99 -> 0 with
+        wrap=100 continues the chunk rather than terminating it."""
+        lpq, agg = self.make(wrap=100)
+        agg.add(99, 0, None, now=0)
+        assert lpq.stats.chunks_pushed == 0
+        agg.add(0, 1, None, now=1)
+        assert len(agg) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=12), min_size=1,
+                    max_size=12))
+    def test_stream_reconstruction_property(self, run_lengths):
+        """Concatenating all pushed chunks reproduces the retired path
+        exactly, with every chunk at most 8 instructions."""
+        lpq = LinePredictionQueue(capacity=256)
+        agg = ChunkAggregator(lpq, chunk_size=8, forward_latency=0,
+                              wrap=1 << 30)
+        path = []
+        pc = 0
+        for run in run_lengths:
+            for offset in range(run):
+                path.append(pc)
+                next_pc = pc + 1 if offset < run - 1 else pc + 100
+                agg.add(pc, next_pc, None, now=len(path))
+                pc = next_pc
+        agg.flush(now=10_000)
+        collected = []
+        while lpq.peek_active(now=1 << 30) is not None:
+            chunk_out = lpq.peek_active(now=1 << 30)
+            assert len(chunk_out) <= 8
+            collected.extend(chunk_out.pcs)
+            lpq.ack()
+            lpq.commit()
+        assert collected == path

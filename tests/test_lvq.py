@@ -1,0 +1,66 @@
+"""Unit tests for the load value queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lvq import LoadValueQueue
+
+
+class TestLvq:
+    def test_write_probe_roundtrip(self):
+        lvq = LoadValueQueue(capacity=4, forward_latency=2)
+        lvq.write(0, addr=0x100, value=42, now=10)
+        assert lvq.probe(0, now=11) is None      # not yet forwarded
+        assert lvq.probe(0, now=12) == (0x100, 42)
+
+    def test_out_of_order_probe_by_tag(self):
+        """The trailing thread issues loads out of order (Section 4.1)."""
+        lvq = LoadValueQueue(capacity=8, forward_latency=0)
+        lvq.write(0, 0x100, 1, now=0)
+        lvq.write(1, 0x200, 2, now=0)
+        lvq.write(2, 0x300, 3, now=0)
+        assert lvq.probe(2, now=0) == (0x300, 3)
+        assert lvq.probe(0, now=0) == (0x100, 1)
+
+    def test_consume_deallocates(self):
+        lvq = LoadValueQueue(capacity=2, forward_latency=0)
+        lvq.write(0, 0x100, 1, now=0)
+        lvq.consume(0)
+        assert lvq.probe(0, now=5) is None
+        assert len(lvq) == 0
+
+    def test_capacity_gates_via_has_room(self):
+        lvq = LoadValueQueue(capacity=2, forward_latency=0)
+        lvq.write(0, 0, 0, now=0)
+        lvq.write(1, 0, 0, now=0)
+        assert not lvq.has_room()
+        assert lvq.stats.full_stalls == 1
+        with pytest.raises(RuntimeError):
+            lvq.write(2, 0, 0, now=0)
+
+    def test_missing_tag_is_none(self):
+        lvq = LoadValueQueue()
+        assert lvq.probe(99, now=100) is None
+
+    def test_peak_occupancy(self):
+        lvq = LoadValueQueue(capacity=8, forward_latency=0)
+        for i in range(5):
+            lvq.write(i, 0, 0, now=0)
+        for i in range(5):
+            lvq.consume(i)
+        assert lvq.stats.peak_occupancy == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1000),
+                              st.integers(0, 1 << 40),
+                              st.integers(0, 1 << 63)),
+                    min_size=1, max_size=30, unique_by=lambda t: t[0]))
+    def test_roundtrip_property(self, entries):
+        lvq = LoadValueQueue(capacity=64, forward_latency=3)
+        for tag, addr, value in entries[:60]:
+            lvq.write(tag, addr, value, now=0)
+        for tag, addr, value in entries[:60]:
+            assert lvq.probe(tag, now=3) == (addr, value)
+            lvq.consume(tag)
+        assert len(lvq) == 0

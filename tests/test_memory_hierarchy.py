@@ -1,0 +1,78 @@
+"""Integration tests for the full memory hierarchy."""
+
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.router import MeshRouter
+
+
+class TestHierarchy:
+    def test_default_geometry_matches_table1(self):
+        config = HierarchyConfig()
+        assert config.l1i_size == 64 * 1024 and config.l1i_assoc == 2
+        assert config.l1d_size == 64 * 1024 and config.l1d_assoc == 2
+        assert config.block_bytes == 64
+        assert config.l2_size == 3 * 1024 * 1024 and config.l2_assoc == 8
+        assert config.memory_channels == 10
+        assert config.merge_buffer_entries == 16
+
+    def test_per_core_l1_shared_l2(self):
+        hierarchy = MemoryHierarchy(HierarchyConfig(), num_cores=2)
+        assert len(hierarchy.l1i) == 2 and len(hierarchy.l1d) == 2
+        hierarchy.load(0, 0x1000, 0)
+        # Core 1 misses its own L1 but hits the shared, now-warm L2.
+        t = hierarchy.load(1, 0x1000, 100)
+        assert hierarchy.l1d[1].stats.misses == 1
+        assert hierarchy.l2.stats.hits == 1
+        assert t - 100 <= HierarchyConfig().l2_hit_latency + 1
+
+    def test_miss_goes_through_l2_to_memory(self):
+        config = HierarchyConfig()
+        hierarchy = MemoryHierarchy(config, num_cores=1)
+        t = hierarchy.load(0, 0x5000, 0)
+        assert t >= config.memory_latency
+        assert hierarchy.memory.requests == 1
+
+    def test_fetch_and_load_use_separate_l1s(self):
+        hierarchy = MemoryHierarchy(HierarchyConfig(), num_cores=1)
+        hierarchy.fetch(0, 0x1000, 0)
+        hierarchy.load(0, 0x1000, 0)
+        assert hierarchy.l1i[0].stats.misses == 1
+        assert hierarchy.l1d[0].stats.misses == 1
+
+    def test_core_id_modulo_for_private_hierarchies(self):
+        """Lockstep hands core 1 a single-core hierarchy."""
+        hierarchy = MemoryHierarchy(HierarchyConfig(), num_cores=1)
+        hierarchy.load(1, 0x1000, 0)  # must not raise
+        assert hierarchy.l1d[0].stats.misses == 1
+
+    def test_store_drain_backpressure(self):
+        config = HierarchyConfig(merge_buffer_entries=1)
+        hierarchy = MemoryHierarchy(config, num_cores=1)
+        assert hierarchy.store_drain(0, 0x000, 0)
+        assert not hierarchy.store_drain(0, 0x040, 0)
+        # After a drain tick, room again.
+        hierarchy.tick(10)
+        assert hierarchy.store_drain(0, 0x040, 11)
+
+    def test_checker_latency_propagates(self):
+        plain = MemoryHierarchy(HierarchyConfig(), num_cores=1)
+        checked = MemoryHierarchy(HierarchyConfig(checker_latency=8),
+                                  num_cores=1)
+        t_plain = plain.load(0, 0x9000, 0)
+        t_checked = checked.load(0, 0x9000, 0)
+        assert t_checked == t_plain + 8
+
+    def test_stats_summary_keys(self):
+        hierarchy = MemoryHierarchy(HierarchyConfig(), num_cores=2)
+        summary = hierarchy.stats_summary()
+        assert "l2_miss_rate" in summary
+        assert "l1d0_miss_rate" in summary and "l1d1_miss_rate" in summary
+
+
+class TestMeshRouter:
+    def test_same_agent_free(self):
+        assert MeshRouter().latency(0, 0) == 0
+
+    def test_hop_scaling(self):
+        router = MeshRouter(hop_latency=2, router_overhead=2)
+        assert router.latency(0, 1) == 4
+        assert router.latency(0, 3) == 8

@@ -1,0 +1,68 @@
+"""Unit tests for the coalescing merge buffer."""
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.merge_buffer import CoalescingMergeBuffer
+
+
+class TestCoalescing:
+    def test_same_block_coalesces(self):
+        buf = CoalescingMergeBuffer(capacity=4)
+        assert buf.try_insert(0x100, 0)
+        assert buf.try_insert(0x108, 1)  # same 64-byte block
+        assert len(buf) == 1
+        assert buf.stats.coalesced == 1
+
+    def test_distinct_blocks_take_entries(self):
+        buf = CoalescingMergeBuffer(capacity=4)
+        buf.try_insert(0x100, 0)
+        buf.try_insert(0x140, 0)
+        assert len(buf) == 2
+
+
+class TestBackPressure:
+    def test_full_rejects(self):
+        buf = CoalescingMergeBuffer(capacity=2)
+        assert buf.try_insert(0x000, 0)
+        assert buf.try_insert(0x040, 0)
+        assert not buf.try_insert(0x080, 0)
+        assert buf.stats.full_stalls == 1
+
+    def test_full_still_coalesces(self):
+        buf = CoalescingMergeBuffer(capacity=1)
+        buf.try_insert(0x100, 0)
+        assert buf.try_insert(0x110, 0)  # coalesces into existing entry
+
+
+class TestDrain:
+    def test_drains_oldest_first(self):
+        dcache = SetAssociativeCache("d", 1024, 2, 64, 0)
+        buf = CoalescingMergeBuffer(capacity=4, dcache=dcache,
+                                    drain_interval=1)
+        buf.try_insert(0x100, 0)
+        buf.try_insert(0x140, 1)
+        buf.tick(2)
+        assert len(buf) == 1
+        assert 0x140 in buf._entries  # 0x100 (older) drained first
+
+    def test_drain_rate_limited(self):
+        buf = CoalescingMergeBuffer(capacity=8, drain_interval=2)
+        for i in range(4):
+            buf.try_insert(i * 64, 0)
+        buf.tick(2)
+        buf.tick(3)  # too soon after the previous drain
+        assert buf.stats.drains == 1
+        buf.tick(4)
+        assert buf.stats.drains == 2
+
+    def test_drain_writes_to_dcache(self):
+        dcache = SetAssociativeCache("d", 1024, 2, 64, 0)
+        buf = CoalescingMergeBuffer(capacity=4, dcache=dcache,
+                                    drain_interval=1)
+        buf.try_insert(0x100, 0)
+        buf.tick(5)
+        assert dcache.stats.accesses == 1
+
+    def test_empty_tick_is_noop(self):
+        buf = CoalescingMergeBuffer(capacity=4)
+        buf.tick(0)
+        assert buf.stats.drains == 0

@@ -1,0 +1,237 @@
+"""End-to-end pipeline tests using small hand-written assembly programs.
+
+Each test runs a program through the full out-of-order core and checks
+the committed architectural state — the strongest possible check that
+renaming, scheduling, forwarding, squashing, and retirement cooperate.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.machine import BaseMachine
+from repro.isa.assembler import assemble
+
+
+def run_program(source, max_instructions=5000, max_cycles=100_000):
+    program = assemble(source)
+    machine = BaseMachine(MachineConfig(), [program])
+    machine.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    thread = machine.cores[0].threads[0]
+    assert thread.done, "program did not reach HALT"
+    return machine, thread
+
+
+def reg(thread, index):
+    return thread.rename.architectural_value(index)
+
+
+class TestArithmetic:
+    def test_dependent_chain(self):
+        _, thread = run_program("""
+            ldi r1, 7
+            add r2, r1, r1
+            mul r3, r2, r2
+            sub r4, r3, r1
+            halt
+        """)
+        assert reg(thread, 4) == 14 * 14 - 7
+
+    def test_independent_streams(self):
+        _, thread = run_program("""
+            ldi r1, 1
+            ldi r2, 2
+            ldi r3, 3
+            add r4, r1, r1
+            add r5, r2, r2
+            add r6, r3, r3
+            halt
+        """)
+        assert (reg(thread, 4), reg(thread, 5), reg(thread, 6)) == (2, 4, 6)
+
+    def test_r0_writes_discarded(self):
+        _, thread = run_program("""
+            ldi r0, 99
+            add r1, r0, r0
+            halt
+        """)
+        assert reg(thread, 1) == 0
+
+
+class TestControlFlow:
+    def test_counted_loop(self):
+        _, thread = run_program("""
+            ldi r1, 20
+            ldi r2, 0
+        loop:
+            addi r2, r2, 5
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """)
+        assert reg(thread, 2) == 100
+
+    def test_taken_and_not_taken_paths(self):
+        _, thread = run_program("""
+            ldi r1, 0
+            beqz r1, skip
+            ldi r2, 111
+        skip:
+            ldi r3, 5
+            halt
+        """)
+        assert reg(thread, 2) == 0  # skipped
+        assert reg(thread, 3) == 5
+
+    def test_call_return(self):
+        _, thread = run_program("""
+            ldi r1, 10
+            call r62, double
+            call r62, double
+            halt
+        double:
+            add r1, r1, r1
+            ret r62
+        """)
+        assert reg(thread, 1) == 40
+
+    def test_nested_loops(self):
+        _, thread = run_program("""
+            ldi r1, 5
+            ldi r3, 0
+        outer:
+            ldi r2, 4
+        inner:
+            addi r3, r3, 1
+            addi r2, r2, -1
+            bnez r2, inner
+            addi r1, r1, -1
+            bnez r1, outer
+            halt
+        """)
+        assert reg(thread, 3) == 20
+
+    def test_mispredicted_branch_recovers_state(self):
+        """Data-dependent branch flips each iteration; state must stay
+        architecturally exact through the squashes."""
+        _, thread = run_program("""
+            ldi r1, 30
+            ldi r2, 0
+            ldi r4, 0
+        loop:
+            andi r3, r1, 1
+            beqz r3, even
+            addi r2, r2, 10
+            br next
+        even:
+            addi r4, r4, 1
+        next:
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """)
+        assert reg(thread, 2) == 150  # 15 odd values of r1 in 30..1
+        assert reg(thread, 4) == 15
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        _, thread = run_program("""
+            ldi r1, 0x2000
+            ldi r2, 777
+            st r1, 0, r2
+            ld r3, r1, 0
+            halt
+        """)
+        assert reg(thread, 3) == 777
+
+    def test_store_to_load_forwarding_correct_value(self):
+        """A younger load must see the older in-flight store's value."""
+        _, thread = run_program("""
+            ldi r1, 0x2000
+            ldi r2, 1
+            ldi r4, 0
+            ldi r5, 50
+        loop:
+            add r2, r2, r2
+            st r1, 0, r2
+            ld r3, r1, 0
+            add r4, r4, r3
+            addi r5, r5, -1
+            bnez r5, loop
+            halt
+        """)
+        expected = sum(2 ** i for i in range(1, 51))
+        assert reg(thread, 4) == expected
+
+    def test_memory_disambiguation_different_addresses(self):
+        _, thread = run_program("""
+            ldi r1, 0x2000
+            ldi r2, 0x3000
+            .data 0x3000 42
+            ldi r3, 9
+            st r1, 0, r3
+            ld r4, r2, 0
+            halt
+        """)
+        assert reg(thread, 4) == 42
+
+    def test_partial_store_then_load_blocks_until_drain(self):
+        _, thread = run_program("""
+            .data 0x2000 0xFFFFFFFFFFFFFFFF
+            ldi r1, 0x2000
+            ldi r2, 0
+            sth r1, 0, r2
+            ld r3, r1, 0
+            halt
+        """)
+        assert reg(thread, 3) == 0xFFFFFFFF_00000000
+
+    def test_membar_orders_stores(self):
+        machine, thread = run_program("""
+            ldi r1, 0x2000
+            ldi r2, 5
+            st r1, 0, r2
+            membar
+            ld r3, r1, 0
+            halt
+        """)
+        assert reg(thread, 3) == 5
+        # After the membar retired, the store must have drained.
+        assert machine.memory[thread.phys_addr(0x2000)] == 5
+
+    def test_final_memory_image(self):
+        machine, thread = run_program("""
+            ldi r1, 0x4000
+            ldi r2, 10
+            ldi r3, 3
+        loop:
+            st r1, 0, r2
+            addi r1, r1, 8
+            addi r2, r2, 10
+            addi r3, r3, -1
+            bnez r3, loop
+            membar
+            halt
+        """)
+        base = thread.addr_offset
+        assert machine.memory[base + 0x4000] == 10
+        assert machine.memory[base + 0x4008] == 20
+        assert machine.memory[base + 0x4010] == 30
+
+
+class TestStructuralLimits:
+    def test_more_writers_than_a_chunk(self):
+        """64+ independent writers stress rename and the free list."""
+        body = "\n".join(f"ldi r{i}, {i}" for i in range(1, 60))
+        _, thread = run_program(f"{body}\nhalt")
+        for i in range(1, 60):
+            assert reg(thread, i) == i
+
+    def test_long_program_exceeding_queues(self):
+        lines = ["ldi r1, 0x2000", "ldi r2, 0"]
+        for i in range(200):
+            lines.append(f"addi r2, r2, 1")
+            lines.append(f"st r1, {8 * (i % 30)}, r2")
+        lines.append("halt")
+        _, thread = run_program("\n".join(lines))
+        assert reg(thread, 2) == 200

@@ -1,0 +1,147 @@
+"""Speculation edge cases: memory-order violations, indirect control
+flow, return-stack behaviour."""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import BaseMachine
+from repro.isa.assembler import assemble
+
+
+def run_program(source, max_instructions=20_000, max_cycles=200_000):
+    program = assemble(source)
+    machine = BaseMachine(MachineConfig(), [program])
+    machine.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    thread = machine.cores[0].threads[0]
+    assert thread.done, "program did not reach HALT"
+    return machine, thread
+
+
+def reg(thread, index):
+    return thread.rename.architectural_value(index)
+
+
+class TestMemoryOrderViolation:
+    SOURCE = """
+        ldi r1, 0x2000
+        ldi r10, 5          ; loop count
+        ldi r11, 0          ; sum
+    loop:
+        ldi r2, 1
+        ldi r3, 3
+        fdiv r4, r2, r3     ; long-latency chain ...
+        fdiv r4, r4, r3
+        add r5, r1, r4      ; ... store address depends on it (r4 == 0)
+        ldi r6, 77
+        st r5, 0, r6        ; store resolves late, to 0x2000
+        ld r7, r1, 0        ; load issues early to the same address
+        add r11, r11, r7
+        addi r10, r10, -1
+        bnez r10, loop
+        halt
+    """
+
+    def test_violation_detected_and_state_correct(self):
+        machine, thread = run_program(self.SOURCE)
+        # The load must architecturally observe the store's 77 each pass.
+        assert reg(thread, 11) == 5 * 77
+        # At least the first pass speculated wrongly (store sets then learn).
+        assert thread.stats.memory_violations >= 1
+
+    def test_store_sets_learn(self):
+        """After the first violation the predictor should prevent most
+        repeats of the same load/store pair."""
+        machine, thread = run_program(self.SOURCE)
+        assert thread.stats.memory_violations < 5
+        assert machine.cores[0].store_sets.stats.violations >= 1
+
+
+class TestIndirectControl:
+    def test_jump_table_dispatch(self):
+        machine, thread = run_program("""
+            .data 0x3000 5
+            .data 0x3008 8
+            ldi r1, 0x3000    ; pc 0
+            ldi r10, 0        ; pc 1
+            ld r2, r1, 0      ; pc 2: first target (pc 5)
+            jmp r2            ; pc 3
+            halt              ; pc 4: skipped
+        target1:              ; pc 5
+            addi r10, r10, 1  ; pc 5
+            ld r2, r1, 8      ; pc 6
+            jmp r2            ; pc 7
+        target2:              ; pc 8
+            addi r10, r10, 10
+            halt
+        """)
+        # The .data values 5 and 8 must match the label positions.
+        assert reg(thread, 10) == 11
+
+    def test_mispredicted_return_recovers(self):
+        """Call the same function from two sites; the RAS must sort the
+        returns out (and recover from any corruption)."""
+        machine, thread = run_program("""
+            ldi r1, 0
+            ldi r10, 30
+        loop:
+            call r62, bump
+            call r62, bump
+            addi r10, r10, -1
+            bnez r10, loop
+            halt
+        bump:
+            addi r1, r1, 1
+            ret r62
+        """)
+        assert reg(thread, 1) == 60
+
+    def test_deep_recursion_overflows_ras_gracefully(self):
+        """Calls nested beyond the RAS depth must still execute correctly
+        (through mispredicted returns)."""
+        lines = ["ldi r1, 0"]
+        # 40 nested call sites (> 32-entry RAS), distinct link registers
+        # are impossible, so chain through memory.
+        lines += ["ldi r2, 0x4000",
+                  "call r62, f0",
+                  "halt"]
+        for depth in range(40):
+            lines += [f"f{depth}:",
+                      f"st r2, {8 * depth}, r62",
+                      "addi r1, r1, 1",
+                      (f"call r62, f{depth + 1}" if depth < 39 else "nop"),
+                      f"ld r62, r2, {8 * depth}",
+                      "ret r62"]
+        lines += ["f40:", "ret r62"]
+        machine, thread = run_program("\n".join(lines))
+        assert reg(thread, 1) == 40
+
+
+class TestWrongPathBehaviour:
+    def test_wrong_path_stores_never_commit(self):
+        machine, thread = run_program("""
+            ldi r1, 0x2000
+            ldi r2, 0
+            ldi r3, 99
+            beqz r2, skip      ; always taken; fall-through is wrong path
+            st r1, 0, r3       ; wrong-path store
+        skip:
+            ldi r4, 1
+            halt
+        """)
+        assert machine.memory.get(thread.phys_addr(0x2000)) is None
+
+    def test_wrong_path_loads_do_not_corrupt(self):
+        machine, thread = run_program("""
+            .data 0x2000 5
+            ldi r1, 0x2000
+            ldi r10, 40
+            ldi r11, 0
+        loop:
+            andi r2, r10, 3
+            bnez r2, noload
+            ld r3, r1, 0
+            add r11, r11, r3
+        noload:
+            addi r10, r10, -1
+            bnez r10, loop
+            halt
+        """)
+        assert reg(thread, 11) == 10 * 5

@@ -1,0 +1,105 @@
+"""Unit tests for the tournament branch predictor, jump table, and RAS."""
+
+from repro.predictors.branch_predictor import (GshareBranchPredictor,
+                                               JumpTargetPredictor,
+                                               ReturnAddressStack)
+
+
+class TestTournamentPredictor:
+    def test_learns_always_taken(self):
+        predictor = GshareBranchPredictor()
+        pc = 0x40
+        for _ in range(8):
+            predicted = predictor.predict_conditional(0, pc)
+            predictor.update_conditional(0, pc, taken=True,
+                                         predicted=predicted)
+        assert predictor.predict_conditional(0, pc) is True
+
+    def test_learns_strongly_not_taken_quickly(self):
+        """The bimodal component must pin rarely-taken branches fast."""
+        predictor = GshareBranchPredictor()
+        pc = 0x80
+        wrong = 0
+        for _ in range(50):
+            predicted = predictor.predict_conditional(0, pc)
+            if predicted:
+                wrong += 1
+            predictor.update_conditional(0, pc, taken=False,
+                                         predicted=predicted)
+        assert wrong <= 4
+
+    def test_gshare_learns_alternating_pattern(self):
+        predictor = GshareBranchPredictor()
+        pc = 0xC0
+        outcomes = [True, False] * 60
+        wrong_tail = 0
+        for i, taken in enumerate(outcomes):
+            predicted = predictor.predict_conditional(0, pc)
+            if i >= 60 and predicted != taken:
+                wrong_tail += 1
+            predictor.update_conditional(0, pc, taken, predicted)
+        # After convergence the correlated predictor nails the pattern.
+        assert wrong_tail <= 10
+
+    def test_histories_are_per_thread(self):
+        predictor = GshareBranchPredictor()
+        predictor.update_conditional(0, 0x10, True)
+        assert predictor.snapshot_history(0) != predictor.snapshot_history(1)
+
+    def test_history_snapshot_restore(self):
+        predictor = GshareBranchPredictor()
+        predictor.update_conditional(0, 0x10, True)
+        saved = predictor.snapshot_history(0)
+        predictor.update_conditional(0, 0x10, False)
+        predictor.restore_history(0, saved)
+        assert predictor.snapshot_history(0) == saved
+
+    def test_misprediction_stats(self):
+        predictor = GshareBranchPredictor()
+        predictor.update_conditional(0, 0x10, taken=True, predicted=False)
+        assert predictor.stats.conditional_mispredictions == 1
+
+
+class TestJumpTargetPredictor:
+    def test_cold_returns_none(self):
+        assert JumpTargetPredictor().predict(0x100) is None
+
+    def test_remembers_last_target(self):
+        predictor = JumpTargetPredictor()
+        predictor.update(0x100, 0x500)
+        assert predictor.predict(0x100) == 0x500
+        predictor.update(0x100, 0x700)
+        assert predictor.predict(0x100) == 0x700
+
+    def test_aliases_by_table_size(self):
+        predictor = JumpTargetPredictor(entries=16)
+        predictor.update(0, 111)
+        assert predictor.predict(16) == 111  # same entry
+
+
+class TestReturnAddressStack:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack()
+        ras.push(10)
+        ras.push(20)
+        assert ras.predict_pop() == 20
+        assert ras.predict_pop() == 10
+
+    def test_empty_pop_returns_none(self):
+        assert ReturnAddressStack().predict_pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.predict_pop() == 3
+        assert ras.predict_pop() == 2
+        assert ras.predict_pop() is None
+
+    def test_outcome_recording(self):
+        ras = ReturnAddressStack()
+        ras.record_outcome(None, 5)
+        ras.record_outcome(5, 5)
+        ras.record_outcome(4, 5)
+        assert ras.stats.ras_mispredictions == 2

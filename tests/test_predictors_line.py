@@ -1,0 +1,45 @@
+"""Unit tests for the line predictor."""
+
+from repro.predictors.line_predictor import LinePredictor
+
+
+class TestLinePredictor:
+    def test_cold_predicts_sequential(self):
+        predictor = LinePredictor(entries=1024, chunk_size=8)
+        assert predictor.predict(100) == 108
+        assert predictor.stats.cold_misses == 1
+
+    def test_trains_on_verify_mismatch(self):
+        predictor = LinePredictor(entries=1024)
+        predicted = predictor.predict(100)
+        assert not predictor.verify(100, predicted, actual=300)
+        assert predictor.stats.mispredictions == 1
+        assert predictor.predict(100) == 300
+
+    def test_correct_verify_counts_no_misprediction(self):
+        predictor = LinePredictor(entries=1024)
+        predictor.train(100, 300)
+        predicted = predictor.predict(100)
+        assert predictor.verify(100, predicted, actual=300)
+        assert predictor.stats.mispredictions == 0
+
+    def test_aliasing_between_pcs(self):
+        """Distinct PCs sharing a table entry retrain each other —
+        the effect that defeats sharing the line predictor between
+        redundant threads (Section 4.4)."""
+        predictor = LinePredictor(entries=16)
+        pcs = range(0, 16 * 40, 16)
+        aliased = False
+        predictor.train(0, 999)
+        for pc in pcs:
+            predictor.train(pc, pc + 8)
+        if predictor.predict(0) != 999:
+            aliased = True
+        assert aliased
+
+    def test_misprediction_rate(self):
+        predictor = LinePredictor(entries=1024)
+        for _ in range(10):
+            p = predictor.predict(0)
+            predictor.verify(0, p, actual=0 + 8)
+        assert predictor.stats.misprediction_rate == 0.0

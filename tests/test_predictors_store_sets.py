@@ -1,0 +1,54 @@
+"""Unit tests for the store-sets memory dependence predictor."""
+
+from repro.predictors.store_sets import StoreSets
+
+
+class TestStoreSets:
+    def test_untrained_loads_unconstrained(self):
+        sets = StoreSets()
+        assert sets.load_dependence(0, load_pc=0x10) is None
+
+    def test_violation_creates_dependence(self):
+        sets = StoreSets()
+        sets.record_violation(load_pc=0x10, store_pc=0x20)
+        sets.store_dispatched(0, store_pc=0x20, seq=5)
+        assert sets.load_dependence(0, load_pc=0x10) == 5
+
+    def test_completed_store_clears_dependence(self):
+        sets = StoreSets()
+        sets.record_violation(0x10, 0x20)
+        sets.store_dispatched(0, 0x20, seq=5)
+        sets.store_completed(0, 0x20, seq=5)
+        assert sets.load_dependence(0, 0x10) is None
+
+    def test_newer_store_supersedes(self):
+        sets = StoreSets()
+        sets.record_violation(0x10, 0x20)
+        sets.store_dispatched(0, 0x20, seq=5)
+        sets.store_dispatched(0, 0x20, seq=9)
+        assert sets.load_dependence(0, 0x10) == 9
+        # Completion of the older instance must not clear the newer one.
+        sets.store_completed(0, 0x20, seq=5)
+        assert sets.load_dependence(0, 0x10) == 9
+
+    def test_dependences_are_per_thread(self):
+        sets = StoreSets()
+        sets.record_violation(0x10, 0x20)
+        sets.store_dispatched(0, 0x20, seq=5)
+        assert sets.load_dependence(1, 0x10) is None
+
+    def test_merging_existing_sets(self):
+        sets = StoreSets()
+        sets.record_violation(0x10, 0x20)
+        sets.record_violation(0x30, 0x20)  # same store joins both loads
+        sets.store_dispatched(0, 0x20, seq=7)
+        assert sets.load_dependence(0, 0x10) == 7
+        assert sets.load_dependence(0, 0x30) == 7
+
+    def test_stats(self):
+        sets = StoreSets()
+        sets.record_violation(0x10, 0x20)
+        assert sets.stats.violations == 1
+        sets.store_dispatched(0, 0x20, seq=1)
+        sets.load_dependence(0, 0x10)
+        assert sets.stats.forced_waits == 1

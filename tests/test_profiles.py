@@ -1,0 +1,96 @@
+"""Validation of the benchmark profile definitions."""
+
+import pytest
+
+from repro.isa.profiles import (FOUR_THREAD_POOL, SPEC95_NAMES,
+                                SPEC95_PROFILES, TWO_THREAD_POOL,
+                                WorkloadProfile, get_profile)
+
+
+class TestSuiteDefinition:
+    def test_eighteen_benchmarks(self):
+        """The paper evaluates all 18 SPEC CPU95 programs."""
+        assert len(SPEC95_NAMES) == 18
+
+    def test_paper_names_present(self):
+        expected = {"applu", "apsi", "compress", "fpppp", "gcc", "go",
+                    "hydro2d", "ijpeg", "li", "m88ksim", "mgrid", "perl",
+                    "su2cor", "swim", "tomcatv", "turb3d", "vortex", "wave5"}
+        assert set(SPEC95_NAMES) == expected
+
+    def test_multiprogram_pools_match_paper(self):
+        """Section 6.2's multiprogrammed subsets."""
+        assert set(TWO_THREAD_POOL) == {"gcc", "go", "fpppp", "swim"}
+        assert set(FOUR_THREAD_POOL) == {"gcc", "go", "ijpeg", "fpppp",
+                                         "swim"}
+
+    def test_profiles_internally_consistent(self):
+        for profile in SPEC95_PROFILES.values():
+            assert profile.block_size[0] <= profile.block_size[1]
+            assert profile.loop_trip[0] <= profile.loop_trip[1]
+            assert 0 <= profile.load_frac + profile.store_frac + \
+                profile.fp_frac + profile.mul_frac <= 1.0
+
+
+class TestCharacterisation:
+    """The profiles must encode each benchmark's documented character."""
+
+    def test_fpppp_has_huge_blocks(self):
+        fpppp = get_profile("fpppp")
+        others = [p for p in SPEC95_PROFILES.values() if p.name != "fpppp"]
+        assert fpppp.block_size[1] > max(p.block_size[1] for p in others)
+
+    def test_gcc_and_vortex_have_large_code(self):
+        sizes = {name: SPEC95_PROFILES[name].blocks for name in SPEC95_NAMES}
+        big = sorted(sizes, key=sizes.get, reverse=True)[:3]
+        assert "gcc" in big and "vortex" in big
+
+    def test_go_is_least_predictable(self):
+        go = get_profile("go")
+        assert go.random_branch_frac >= max(
+            p.random_branch_frac for p in SPEC95_PROFILES.values()
+            if p.fp_frac == 0 and p.name != "go") - 1e-9
+
+    def test_streaming_fp_has_huge_working_sets(self):
+        for name in ("swim", "tomcatv"):
+            profile = get_profile(name)
+            # Far larger than the 64KB (8K-word) L1 data cache.
+            assert profile.working_set_words >= 64 * 1024
+
+    def test_li_is_call_heavy(self):
+        li = get_profile("li")
+        assert li.call_frac >= max(p.call_frac
+                                   for p in SPEC95_PROFILES.values()) - 1e-9
+
+    def test_fp_profiles_marked(self):
+        for name in ("applu", "swim", "mgrid", "hydro2d", "tomcatv"):
+            assert get_profile(name).fp_frac > 0.2
+        for name in ("gcc", "go", "compress", "li"):
+            assert get_profile(name).fp_frac == 0.0
+
+
+class TestValidation:
+    def test_terminator_fractions_bounded(self):
+        with pytest.raises(ValueError, match="terminator"):
+            WorkloadProfile(
+                name="bad", description="", blocks=10, block_size=(2, 4),
+                subroutines=0, sub_block_size=(2, 4), load_frac=0.2,
+                store_frac=0.1, fp_frac=0.0, mul_frac=0.0,
+                loop_frac=0.5, random_branch_frac=0.4,
+                biased_branch_frac=0.3)
+
+    def test_working_set_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            WorkloadProfile(
+                name="bad", description="", blocks=10, block_size=(2, 4),
+                subroutines=0, sub_block_size=(2, 4), load_frac=0.2,
+                store_frac=0.1, fp_frac=0.0, mul_frac=0.0,
+                working_set_words=1000)
+
+    def test_bad_access_pattern(self):
+        with pytest.raises(ValueError, match="access pattern"):
+            WorkloadProfile(
+                name="bad", description="", blocks=10, block_size=(2, 4),
+                subroutines=0, sub_block_size=(2, 4), load_frac=0.2,
+                store_frac=0.1, fp_frac=0.0, mul_frac=0.0,
+                access_pattern="diagonal")

@@ -1,0 +1,140 @@
+"""Property-based cross-validation: random programs, pipeline vs golden.
+
+Hypothesis generates random (but always-terminating) RISC-R programs —
+arbitrary ALU/memory mixes, forward branches, and a counted outer loop —
+and every one must produce *identical* architectural state on:
+
+- the in-order functional executor (the golden model),
+- the full out-of-order base pipeline,
+- the SRT machine's leading thread (with the trailing thread verifying
+  every store on the way and raising zero faults).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MachineConfig
+from repro.core.machine import BaseMachine, make_machine
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.instructions import NUM_ARCH_REGS, Instruction, Op
+from repro.isa.program import Program
+
+DATA_BASE = 0x2000
+POOL = list(range(1, 24))          # registers the random body uses
+COUNTER = 60                       # outer-loop counter register
+ADDR = 59                          # address base register
+
+ALU_OPS = [Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+           Op.CMPLT, Op.CMPEQ, Op.FADD, Op.FMUL, Op.FMA, Op.FDIV]
+
+
+@st.composite
+def body_instruction(draw):
+    """One random body instruction (branches handled separately)."""
+    kind = draw(st.sampled_from(["alu", "alu", "alu", "ldi", "load",
+                                 "store", "partial", "membar"]))
+    rd = draw(st.sampled_from(POOL))
+    ra = draw(st.sampled_from(POOL))
+    rb = draw(st.sampled_from(POOL))
+    offset = 8 * draw(st.integers(min_value=0, max_value=15))
+    if kind == "alu":
+        op = draw(st.sampled_from(ALU_OPS))
+        return Instruction(op, rd=rd, ra=ra, rb=rb)
+    if kind == "ldi":
+        return Instruction(Op.LDI, rd=rd,
+                           imm=draw(st.integers(0, (1 << 30))))
+    if kind == "load":
+        return Instruction(Op.LD, rd=rd, ra=ADDR, imm=offset)
+    if kind == "store":
+        return Instruction(Op.ST, ra=ADDR, imm=offset, rb=rb)
+    if kind == "partial":
+        return Instruction(Op.STH, ra=ADDR,
+                           imm=offset + 4 * draw(st.booleans()), rb=rb)
+    return Instruction(Op.MEMBAR)
+
+
+@st.composite
+def random_program(draw):
+    """A terminating program: prologue, looped random body, halt."""
+    body = draw(st.lists(body_instruction(), min_size=5, max_size=60))
+    skips = draw(st.lists(
+        st.tuples(st.integers(0, max(len(body) - 2, 0)), st.integers(1, 4),
+                  st.sampled_from(POOL)),
+        max_size=4))
+    trip = draw(st.integers(min_value=1, max_value=4))
+
+    prologue = [
+        Instruction(Op.LDI, rd=ADDR, imm=DATA_BASE),
+        Instruction(Op.LDI, rd=COUNTER, imm=trip),
+    ]
+    for index, reg in enumerate(POOL):
+        prologue.append(Instruction(Op.LDI, rd=reg, imm=31 * index + 7))
+
+    loop_head = len(prologue)
+    code = list(prologue)
+    # Insert forward skips: beqz rX -> a later body position.
+    skip_at = {pos: (dist, reg) for pos, dist, reg in skips}
+    positions = {}
+    for index, instr in enumerate(body):
+        if index in skip_at:
+            code.append(None)  # placeholder for the forward branch
+            positions[len(code) - 1] = index
+        code.append(instr)
+    # Resolve forward branch targets now that layout is known.
+    for code_index, body_index in positions.items():
+        dist, reg = skip_at[body_index]
+        target = min(code_index + 1 + dist, len(code))
+        code[code_index] = ("beqz", reg, target)
+    tail_start = len(code)
+    code.append(Instruction(Op.ADDI, rd=COUNTER, ra=COUNTER, imm=-1))
+    code.append(("bnez", COUNTER, loop_head))
+    code.append(Instruction(Op.HALT))
+
+    instructions = []
+    for item in code:
+        if isinstance(item, tuple):
+            kind, reg, target = item
+            op = Op.BEQZ if kind == "beqz" else Op.BNEZ
+            instructions.append(Instruction(op, ra=reg,
+                                            target=min(target,
+                                                       len(code) - 1)))
+        else:
+            instructions.append(item)
+    return Program(name="random", instructions=instructions)
+
+
+def golden_state(program, limit=50_000):
+    executor = FunctionalExecutor(program)
+    executor.run(limit)
+    assert executor.state.halted, "random program failed to terminate"
+    return executor
+
+
+def assert_same_architectural_state(program, machine, thread):
+    golden = golden_state(program)
+    assert thread.done, "pipeline did not reach HALT"
+    for reg in range(1, NUM_ARCH_REGS):
+        assert thread.rename.architectural_value(reg) == \
+            golden.state.read_reg(reg), f"r{reg} differs"
+    for addr, value in golden.state.memory.items():
+        assert machine.memory.get(thread.phys_addr(addr), 0) == value, \
+            f"memory {addr:#x} differs"
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_program())
+def test_pipeline_matches_golden_model(program):
+    machine = BaseMachine(MachineConfig(), [program])
+    machine.run(max_instructions=60_000, max_cycles=300_000)
+    thread = machine.cores[0].threads[0]
+    assert_same_architectural_state(program, machine, thread)
+
+
+@settings(max_examples=12, deadline=None)
+@given(random_program())
+def test_srt_matches_golden_model_and_detects_nothing(program):
+    machine = make_machine("srt", MachineConfig(), [program])
+    result = machine.run(max_instructions=60_000, max_cycles=300_000)
+    leading = machine.cores[0].threads[0]
+    assert result.faults_detected == 0
+    assert_same_architectural_state(program, machine, leading)

@@ -1,0 +1,50 @@
+"""Sphere-of-replication accounting across whole machine runs."""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import make_machine
+from repro.isa.generator import generate_benchmark
+
+
+def run_pair(kind="srt", name="vortex", instructions=500, config=None):
+    machine = make_machine(kind, config or MachineConfig(),
+                           [generate_benchmark(name)])
+    machine.run(max_instructions=instructions, warmup=2000)
+    return machine, machine.controller.pairs[0]
+
+
+class TestSphereAccounting:
+    def test_every_drained_store_was_compared_first(self):
+        """The core output-comparison invariant: nothing leaves the
+        sphere unchecked."""
+        machine, pair = run_pair()
+        assert pair.sphere.outputs_forwarded > 0
+        assert (pair.comparator.stats.comparisons
+                >= pair.sphere.outputs_forwarded)
+
+    def test_inputs_replicated_equal_lvq_writes(self):
+        machine, pair = run_pair(name="swim")
+        assert pair.sphere.inputs_replicated == pair.lvq.stats.writes
+        assert pair.sphere.inputs_replicated > 0
+
+    def test_no_mismatches_in_fault_free_run(self):
+        machine, pair = run_pair(name="gcc")
+        assert pair.sphere.mismatches == 0
+
+    def test_crt_sphere_spans_cores(self):
+        machine, pair = run_pair(kind="crt", name="gcc")
+        assert pair.leading.core is not pair.trailing.core
+        assert pair.sphere.outputs_compared > 0
+
+    def test_nosc_forwards_without_comparison(self):
+        """Disabling store comparison removes the output check entirely —
+        the sphere exists in name only (the paper's upper bound)."""
+        config = MachineConfig(store_comparison=False)
+        machine, pair = run_pair(config=config)
+        assert pair.comparator.stats.comparisons == 0
+        assert pair.sphere.outputs_compared == 0
+
+    def test_replication_counts_scale_with_run_length(self):
+        _, short_pair = run_pair(name="swim", instructions=300)
+        _, long_pair = run_pair(name="swim", instructions=900)
+        assert (long_pair.sphere.inputs_replicated
+                > short_pair.sphere.inputs_replicated)

@@ -1,0 +1,93 @@
+"""Tests for the paper's alternative SRT mechanisms: slack fetch and
+predictor-driven trailing fetch (Sections 2.3 and 4.4)."""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import make_machine
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.generator import generate_benchmark
+
+
+def run_srt(config, name="gcc", instructions=600, warmup=2500):
+    program = generate_benchmark(name)
+    machine = make_machine("srt", config, [program])
+    result = machine.run(max_instructions=instructions, warmup=warmup,
+                         max_cycles=150_000)
+    return machine, result, program
+
+
+class TestPredictorModeTrailingFetch:
+    def test_runs_correctly_without_lpq(self):
+        config = MachineConfig(trailing_fetch_mode="predictors")
+        machine, result, _ = run_srt(config)
+        assert result.threads[0].retired == 600
+        assert result.faults_detected == 0
+        pair = machine.controller.pairs[0]
+        assert pair.lpq.stats.chunks_pushed == 0
+
+    def test_stores_still_verified(self):
+        config = MachineConfig(trailing_fetch_mode="predictors")
+        machine, result, _ = run_srt(config, name="vortex")
+        pair = machine.controller.pairs[0]
+        assert pair.comparator.stats.comparisons > 0
+        assert pair.comparator.stats.mismatches == 0
+
+    def test_trailing_misfetches_reappear(self):
+        """The LPQ's whole point: perfect trailing line predictions."""
+        lpq_machine, _, _ = run_srt(MachineConfig(), name="gcc",
+                                    instructions=1000)
+        pred_machine, _, _ = run_srt(
+            MachineConfig(trailing_fetch_mode="predictors"), name="gcc",
+            instructions=1000)
+        lpq_trailing = lpq_machine.cores[0].threads[1]
+        pred_trailing = pred_machine.cores[0].threads[1]
+        assert lpq_trailing.stats.misfetches == 0
+        assert pred_trailing.stats.misfetches > 0
+
+    def test_trailing_stream_still_matches(self):
+        """Even fetching through shared predictors (with squashes), the
+        trailing thread's retired stream matches the reference."""
+        config = MachineConfig(trailing_fetch_mode="predictors")
+        program = generate_benchmark("li")
+        machine = make_machine("srt", config, [program])
+        core = machine.cores[0]
+        core.retire_trace[1] = []
+        machine.run(max_instructions=500, warmup=2000)
+        trace = core.retire_trace[1]
+        reference = FunctionalExecutor(program).run(len(trace))
+        for uop, ref in zip(trace, reference):
+            assert uop.pc == ref.pc
+            if ref.load is not None:
+                assert uop.result == ref.load[1]
+
+    def test_crt_supports_predictor_mode(self):
+        config = MachineConfig(trailing_fetch_mode="predictors")
+        program = generate_benchmark("gcc")
+        machine = make_machine("crt", config, [program])
+        result = machine.run(max_instructions=400, warmup=2000)
+        assert result.threads[0].retired == 400
+        assert result.faults_detected == 0
+
+
+class TestSlackFetch:
+    def test_explicit_slack_enforced(self):
+        config = MachineConfig(srt_slack_instructions=32)
+        machine, result, _ = run_srt(config, name="swim")
+        assert result.threads[0].retired == 600
+        assert result.faults_detected == 0
+
+    def test_excessive_slack_clamped_not_deadlocked(self):
+        """Slack beyond what the LVQ can buffer must be clamped."""
+        config = MachineConfig(srt_slack_instructions=100_000)
+        machine, result, _ = run_srt(config, name="swim",
+                                     instructions=400)
+        assert result.threads[0].retired == 400
+
+    def test_slack_unnecessary_with_lpq(self):
+        """Section 4.4.1: the LPQ's retirement gating already provides
+        the slack-fetch benefit; explicit slack changes little."""
+        no_slack = run_srt(MachineConfig(), name="swim",
+                           instructions=800)[1]
+        slack = run_srt(MachineConfig(srt_slack_instructions=16),
+                        name="swim", instructions=800)[1]
+        ratio = slack.threads[0].ipc / no_slack.threads[0].ipc
+        assert 0.9 < ratio < 1.15

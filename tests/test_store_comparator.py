@@ -1,0 +1,111 @@
+"""Unit tests for the store comparator."""
+
+from repro.isa.instructions import Instruction, Op
+from repro.pipeline.regfile import PhysicalRegisterFile
+from repro.pipeline.thread import HwThread, ThreadRole
+from repro.pipeline.uop import Uop, UopState
+from repro.core.store_comparator import StoreComparator
+from repro.isa.assembler import assemble
+
+
+def make_leading():
+    program = assemble("st r1, 0, r2\nhalt", name="p")
+    regfile = PhysicalRegisterFile(128)
+    return HwThread(0, program, regfile, role=ThreadRole.LEADING)
+
+
+def store_uop(seq, index, addr, value, op=Op.ST, raw=None):
+    uop = Uop(seq=seq, thread=0, pc=0,
+              instr=Instruction(op, ra=1, imm=0, rb=2))
+    uop.store_index = index
+    uop.mem_addr = addr
+    uop.raw_addr = raw if raw is not None else addr
+    uop.store_value = value
+    uop.state = UopState.RETIRED
+    return uop
+
+
+class TestStoreComparator:
+    def test_matching_store_verifies(self):
+        leading = make_leading()
+        mismatches = []
+        comparator = StoreComparator(
+            leading, on_mismatch=lambda *a: mismatches.append(a))
+        entry = store_uop(1, 0, 0x100, 42)
+        leading.store_queue.append(entry)
+        comparator.trailing_store_retired(store_uop(2, 0, 0x100, 42), now=5)
+        comparator.tick(now=5)
+        assert entry.verified
+        assert not mismatches
+        assert comparator.stats.comparisons == 1
+
+    def test_value_mismatch_detected(self):
+        leading = make_leading()
+        mismatches = []
+        comparator = StoreComparator(
+            leading, on_mismatch=lambda *a: mismatches.append(a))
+        entry = store_uop(1, 0, 0x100, 42)
+        leading.store_queue.append(entry)
+        comparator.trailing_store_retired(store_uop(2, 0, 0x100, 43), now=5)
+        comparator.tick(now=5)
+        assert len(mismatches) == 1
+        assert comparator.stats.mismatches == 1
+
+    def test_address_mismatch_detected(self):
+        leading = make_leading()
+        mismatches = []
+        comparator = StoreComparator(
+            leading, on_mismatch=lambda *a: mismatches.append(a))
+        leading.store_queue.append(store_uop(1, 0, 0x100, 42))
+        comparator.trailing_store_retired(store_uop(2, 0, 0x108, 42), now=5)
+        comparator.tick(now=5)
+        assert len(mismatches) == 1
+
+    def test_partial_store_half_compared(self):
+        """STH to the other half of the same word must mismatch."""
+        leading = make_leading()
+        mismatches = []
+        comparator = StoreComparator(
+            leading, on_mismatch=lambda *a: mismatches.append(a))
+        leading.store_queue.append(
+            store_uop(1, 0, 0x100, 42, op=Op.STH, raw=0x100))
+        comparator.trailing_store_retired(
+            store_uop(2, 0, 0x100, 42, op=Op.STH, raw=0x104), now=5)
+        comparator.tick(now=5)
+        assert len(mismatches) == 1
+
+    def test_forward_latency_delays_comparison(self):
+        leading = make_leading()
+        comparator = StoreComparator(leading, forward_latency=4)
+        entry = store_uop(1, 0, 0x100, 42)
+        leading.store_queue.append(entry)
+        comparator.trailing_store_retired(store_uop(2, 0, 0x100, 42), now=10)
+        comparator.tick(now=12)
+        assert not entry.verified
+        comparator.tick(now=14)
+        assert entry.verified
+
+    def test_out_of_order_trailing_arrival(self):
+        """Comparisons match by store index, not arrival order."""
+        leading = make_leading()
+        comparator = StoreComparator(leading)
+        first = store_uop(1, 0, 0x100, 1)
+        second = store_uop(2, 1, 0x200, 2)
+        leading.store_queue.extend([first, second])
+        comparator.trailing_store_retired(store_uop(4, 1, 0x200, 2), now=0)
+        comparator.tick(now=0)
+        assert second.verified and not first.verified
+        comparator.trailing_store_retired(store_uop(3, 0, 0x100, 1), now=1)
+        comparator.tick(now=1)
+        assert first.verified
+
+    def test_unresolved_leading_address_skipped(self):
+        leading = make_leading()
+        comparator = StoreComparator(leading)
+        entry = store_uop(1, 0, 0x100, 1)
+        entry.mem_addr = None  # address not yet computed
+        leading.store_queue.append(entry)
+        comparator.trailing_store_retired(store_uop(2, 0, 0x100, 1), now=0)
+        comparator.tick(now=0)
+        assert not entry.verified
+        assert len(comparator) == 1

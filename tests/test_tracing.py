@@ -1,0 +1,84 @@
+"""Tests for occupancy sampling, histograms, and pipe traces."""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import BaseMachine, make_machine
+from repro.harness.tracing import (Histogram, OccupancySampler,
+                                   format_pipetrace)
+from repro.isa.assembler import assemble
+from repro.isa.generator import generate_benchmark
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram(bucket_width=8)
+        for value in (0, 3, 7, 8, 9, 100):
+            histogram.add(value)
+        rows = dict((low, count) for low, high, count in histogram.rows())
+        assert rows[0] == 3
+        assert rows[8] == 2
+        assert rows[96] == 1
+
+    def test_mean_and_percentile(self):
+        histogram = Histogram(bucket_width=10)
+        for value in [5] * 9 + [95]:
+            histogram.add(value)
+        assert 0 < histogram.mean() < 30
+        assert histogram.percentile(0.5) == 10
+        assert histogram.percentile(0.99) == 100
+
+    def test_empty(self):
+        histogram = Histogram()
+        assert histogram.mean() == 0.0
+        assert histogram.percentile(0.9) == 0
+
+
+class TestOccupancySampler:
+    def test_samples_collected(self):
+        program = generate_benchmark("m88ksim")
+        machine = BaseMachine(MachineConfig(), [program])
+        sampler = OccupancySampler(machine, interval=4)
+        result = sampler.run(400, warmup=1500)
+        assert result.threads[0].retired == 400
+        assert len(sampler.samples) > 10
+        assert sampler.peak("core0.t0.rob") > 0
+
+    def test_rmt_pair_keys_present(self):
+        program = generate_benchmark("m88ksim")
+        machine = make_machine("srt", MachineConfig(), [program])
+        sampler = OccupancySampler(machine, interval=4)
+        sampler.run(400, warmup=1500)
+        slack = sampler.series("pair.m88ksim.slack")
+        assert slack and max(slack) > 0
+        assert sampler.mean("pair.m88ksim.lvq") >= 0
+
+    def test_histogram_of_series(self):
+        program = generate_benchmark("gcc")
+        machine = make_machine("srt", MachineConfig(), [program])
+        sampler = OccupancySampler(machine, interval=4)
+        sampler.run(300, warmup=1000)
+        histogram = sampler.histogram("pair.gcc.slack", bucket_width=16)
+        assert histogram.total == len(sampler.samples)
+
+
+class TestPipetrace:
+    def test_renders_stages(self):
+        program = assemble("""
+            ldi r1, 5
+            add r2, r1, r1
+            mul r3, r2, r2
+            halt
+        """)
+        machine = BaseMachine(MachineConfig(), [program])
+        core = machine.cores[0]
+        core.retire_trace[0] = []
+        machine.run(max_instructions=10)
+        text = format_pipetrace(core.retire_trace[0], width=60)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        for letter in "FQIR":
+            assert letter in lines[0]
+        # The dependent MUL must issue at or after its producer's issue.
+        assert lines[2].index("I") >= lines[1].index("I")
+
+    def test_empty_trace(self):
+        assert format_pipetrace([]) == "(no uops)"

@@ -1,0 +1,71 @@
+"""Unit tests for 64-bit integer helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bits import MASK64, flip_bit, sign_extend, to_signed, to_unsigned
+
+
+class TestToUnsigned:
+    def test_masks_to_64_bits(self):
+        assert to_unsigned(1 << 64) == 0
+        assert to_unsigned((1 << 64) + 5) == 5
+
+    def test_negative_wraps(self):
+        assert to_unsigned(-1) == MASK64
+        assert to_unsigned(-2) == MASK64 - 1
+
+    def test_identity_in_range(self):
+        assert to_unsigned(12345) == 12345
+
+
+class TestToSigned:
+    def test_positive_unchanged(self):
+        assert to_signed(5) == 5
+        assert to_signed((1 << 63) - 1) == (1 << 63) - 1
+
+    def test_high_bit_is_negative(self):
+        assert to_signed(MASK64) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+
+class TestSignExtend:
+    def test_positive_small(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+
+    def test_negative_small(self):
+        assert sign_extend(0x80, 8) == to_unsigned(-128)
+        assert sign_extend(0xFF, 8) == MASK64
+
+    def test_full_width_identity(self):
+        assert sign_extend(MASK64, 64) == MASK64
+
+    @pytest.mark.parametrize("bits", [0, -1, 65])
+    def test_rejects_bad_width(self, bits):
+        with pytest.raises(ValueError):
+            sign_extend(1, bits)
+
+
+class TestFlipBit:
+    def test_flip_sets_and_clears(self):
+        assert flip_bit(0, 3) == 8
+        assert flip_bit(8, 3) == 0
+
+    def test_flip_high_bit(self):
+        assert flip_bit(0, 63) == 1 << 63
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, 64)
+        with pytest.raises(ValueError):
+            flip_bit(0, -1)
+
+    @given(st.integers(min_value=0, max_value=MASK64),
+           st.integers(min_value=0, max_value=63))
+    def test_double_flip_is_identity(self, value, bit):
+        assert flip_bit(flip_bit(value, bit), bit) == value

@@ -1,0 +1,61 @@
+"""Unit tests for the fixed-latency delay line."""
+
+import pytest
+
+from repro.util.delayline import DelayLine
+
+
+class TestDelayLine:
+    def test_items_arrive_after_latency(self):
+        line = DelayLine(3)
+        line.push("x", now=10)
+        assert line.pop_ready(now=12) == []
+        assert line.pop_ready(now=13) == ["x"]
+
+    def test_zero_latency_same_cycle(self):
+        line = DelayLine(0)
+        line.push("x", now=5)
+        assert line.pop_ready(now=5) == ["x"]
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            DelayLine(-1)
+
+    def test_order_preserved_across_cycles(self):
+        line = DelayLine(2)
+        line.push("a", now=0)
+        line.push("b", now=1)
+        assert line.pop_ready(now=3) == ["a", "b"]
+
+    def test_pop_removes(self):
+        line = DelayLine(1)
+        line.push("a", now=0)
+        assert line.pop_ready(now=1) == ["a"]
+        assert line.pop_ready(now=1) == []
+
+    def test_peek_ready_does_not_remove(self):
+        line = DelayLine(1)
+        line.push("a", now=0)
+        assert line.peek_ready(now=1) == ["a"]
+        assert line.pop_ready(now=1) == ["a"]
+
+    def test_remove_if_drops_in_flight(self):
+        line = DelayLine(5)
+        line.push(1, now=0)
+        line.push(2, now=0)
+        assert line.remove_if(lambda x: x == 1) == 1
+        assert line.pop_ready(now=5) == [2]
+
+    def test_len_counts_in_flight(self):
+        line = DelayLine(4)
+        line.push("a", now=0)
+        line.push("b", now=0)
+        assert len(line) == 2
+        line.pop_ready(now=4)
+        assert len(line) == 0
+
+    def test_clear(self):
+        line = DelayLine(2)
+        line.push("a", now=0)
+        line.clear()
+        assert line.pop_ready(now=10) == []

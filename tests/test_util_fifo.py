@@ -1,0 +1,70 @@
+"""Unit tests for the bounded FIFO."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fifo import BoundedFifo, FifoFullError
+
+
+class TestBoundedFifo:
+    def test_fifo_order(self):
+        fifo = BoundedFifo(3)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.push(3)
+        assert [fifo.pop(), fifo.pop(), fifo.pop()] == [1, 2, 3]
+
+    def test_push_full_raises(self):
+        fifo = BoundedFifo(1)
+        fifo.push("a")
+        with pytest.raises(FifoFullError):
+            fifo.push("b")
+
+    def test_try_push_reports_capacity(self):
+        fifo = BoundedFifo(1)
+        assert fifo.try_push("a") is True
+        assert fifo.try_push("b") is False
+        assert len(fifo) == 1
+
+    def test_free_and_full(self):
+        fifo = BoundedFifo(2)
+        assert fifo.free == 2 and not fifo.full
+        fifo.push(0)
+        assert fifo.free == 1
+        fifo.push(0)
+        assert fifo.full
+
+    def test_peek_does_not_remove(self):
+        fifo = BoundedFifo(2)
+        fifo.push(7)
+        assert fifo.peek() == 7
+        assert len(fifo) == 1
+
+    def test_peek_empty_is_none(self):
+        assert BoundedFifo(1).peek() is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedFifo(0)
+
+    def test_remove_if(self):
+        fifo = BoundedFifo(5)
+        for i in range(5):
+            fifo.push(i)
+        removed = fifo.remove_if(lambda x: x % 2 == 0)
+        assert removed == 3
+        assert list(fifo) == [1, 3]
+
+    def test_clear(self):
+        fifo = BoundedFifo(2)
+        fifo.push(1)
+        fifo.clear()
+        assert len(fifo) == 0 and not fifo
+
+    @given(st.lists(st.integers(), max_size=20))
+    def test_order_preserved(self, items):
+        fifo = BoundedFifo(max(len(items), 1))
+        for item in items:
+            fifo.push(item)
+        assert [fifo.pop() for _ in items] == items

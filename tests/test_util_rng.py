@@ -1,0 +1,41 @@
+"""Unit tests for deterministic RNG derivation."""
+
+from repro.util.rng import DeterministicRng, seed_from
+
+
+class TestSeedFrom:
+    def test_stable(self):
+        assert seed_from("a", 1) == seed_from("a", 1)
+
+    def test_distinguishes_parts(self):
+        assert seed_from("a", 1) != seed_from("a", 2)
+        assert seed_from("ab", "c") != seed_from("a", "bc")
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng("x", 1)
+        b = DeterministicRng("x", 1)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seed_diverges(self):
+        a = DeterministicRng("x", 1)
+        b = DeterministicRng("x", 2)
+        assert [a.randint(0, 1 << 32) for _ in range(4)] != [
+            b.randint(0, 1 << 32) for _ in range(4)]
+
+    def test_derive_is_independent_of_parent_consumption(self):
+        parent1 = DeterministicRng("root")
+        parent2 = DeterministicRng("root")
+        parent2.randint(0, 10)  # consume from parent2 only
+        child1 = parent1.derive("child")
+        child2 = parent2.derive("child")
+        assert child1.randint(0, 1 << 32) == child2.randint(0, 1 << 32)
+
+    def test_choice_uses_stream(self):
+        rng = DeterministicRng("c")
+        options = list(range(100))
+        picks = [rng.choice(options) for _ in range(5)]
+        rng2 = DeterministicRng("c")
+        assert picks == [rng2.choice(options) for _ in range(5)]
