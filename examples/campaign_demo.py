@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Statistical fault-injection campaign, end to end.
+
+Runs a small stratified campaign (base vs SRT under transient result
+faults), kills it halfway through on purpose, resumes it, and prints
+the coverage report with Wilson confidence intervals — the complete
+lifecycle from `docs/CAMPAIGNS.md` in one script.
+
+Run:  python examples/campaign_demo.py [workload] [injections] [jobs]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.campaign import (CampaignEngine, CampaignSpec, CampaignStore,
+                            render_report)
+
+WORKLOAD = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+INJECTIONS = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+JOBS = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+
+
+def main() -> None:
+    spec = CampaignSpec(
+        kinds=("base", "srt"),
+        workloads=(WORKLOAD,),
+        models=("transient-result",),
+        injections=INJECTIONS,
+        instructions=300,
+        warmup=900,
+    )
+    with tempfile.TemporaryDirectory() as out:
+        print(f"campaign {spec.content_hash()}: "
+              f"{spec.total_tasks()} injections "
+              f"({'+'.join(spec.kinds)} x {WORKLOAD}), jobs={JOBS}")
+
+        # -- first run ----------------------------------------------------
+        engine = CampaignEngine(spec, out, jobs=JOBS)
+        summary = engine.run()
+        print(f"first run: {summary['executed']} injections in "
+              f"{summary['elapsed_s']}s")
+
+        # -- simulate a mid-run kill -------------------------------------
+        results = Path(out) / "results.jsonl"
+        lines = results.read_bytes().splitlines(keepends=True)
+        keep = len(lines) // 2
+        results.write_bytes(b"".join(lines[:keep]))
+        print(f"simulated kill: artifact truncated to {keep} records")
+
+        # -- resume: completed work is never re-executed ------------------
+        summary = CampaignEngine(spec, out, jobs=JOBS).run()
+        print(f"resume: skipped {summary['already_complete']} completed, "
+              f"re-ran only {summary['executed']}")
+
+        # -- aggregate ----------------------------------------------------
+        print()
+        print(render_report(CampaignStore(out).records()))
+
+
+if __name__ == "__main__":
+    main()

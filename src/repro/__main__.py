@@ -4,8 +4,9 @@ Usage::
 
     python -m repro list
     python -m repro fig6 --instructions 2000 --warmup 15000
-    python -m repro fig11 --instructions 1500
+    python -m repro fig11 --instructions 1500 --jobs 8
     python -m repro run --kind srt --benchmark gcc --instructions 3000
+    python -m repro campaign run --out runs/cov --jobs 8 --injections 500
 """
 
 import argparse
@@ -83,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(base/base2/srt/lockstep/crt)")
     parser.add_argument("--benchmark", action="append", default=None,
                         help="benchmark name(s) for 'run' (repeatable)")
+    parser.add_argument("--jobs", type=positive_int, default=1,
+                        help="fan per-workload experiment rows across N "
+                             "worker processes (splittable drivers only)")
     return parser
 
 
@@ -92,6 +96,9 @@ def cmd_list() -> int:
         print(f"  {name:<18s} {description}")
     print("\nbenchmarks:")
     print("  " + ", ".join(SPEC95_NAMES))
+    print("\ncampaigns:")
+    print("  campaign           parallel, resumable fault-injection "
+          "campaigns ('campaign --help')")
     return 0
 
 
@@ -107,6 +114,12 @@ def cmd_run(args: argparse.Namespace, runner: Runner) -> int:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        # Campaign verbs have their own subcommand grammar.
+        from repro.campaign.cli import main as campaign_main
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
@@ -120,7 +133,16 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         driver, _ = EXPERIMENTS[args.command]
-        print(render_table(driver(runner)))
+        if args.jobs > 1:
+            from repro.harness.parallel import run_experiment_parallel
+            result = run_experiment_parallel(
+                driver.__name__,
+                {"instructions": args.instructions, "warmup": args.warmup,
+                 "seed": args.seed},
+                jobs=args.jobs)
+        else:
+            result = driver(runner)
+        print(render_table(result))
         return 0
     except (KeyError, ValueError) as error:
         message = error.args[0] if error.args else str(error)

@@ -1,0 +1,52 @@
+"""Statistical fault-injection campaign engine.
+
+The scaling layer over :mod:`repro.core.faults`: where a single
+``run_fault_experiment`` call answers "what happens when *this* fault
+strikes?", a campaign answers "what fraction of faults does this
+machine catch, with what confidence?" — thousands of stratified
+injections fanned across worker processes, stored resumably, and
+aggregated into coverage tables with Wilson confidence intervals.
+
+Pipeline::
+
+    CampaignSpec ──enumerate_tasks──▶ [InjectionTask...]
+        │                                   │  ProcessPoolExecutor
+        │ content_hash                      ▼  (repro.campaign.worker)
+        ▼                             result records
+    CampaignStore  ◀──in-order──  CampaignEngine
+        │ results.jsonl
+        ▼
+    aggregate / coverage_table / latency_histograms  (repro.campaign.report)
+
+See ``docs/CAMPAIGNS.md`` for the artifact format and resume semantics,
+and ``python -m repro campaign --help`` for the CLI.
+"""
+
+from repro.campaign.engine import CampaignEngine, run_campaign
+from repro.campaign.report import (aggregate, coverage_table,
+                                   latency_histograms, latency_table,
+                                   render_report, wilson_interval)
+from repro.campaign.sampler import InjectionTask, enumerate_tasks
+from repro.campaign.spec import (CAMPAIGN_KINDS, CampaignConfigError,
+                                 CampaignSpec)
+from repro.campaign.store import CampaignStore
+from repro.campaign.worker import execute_chunk, execute_task
+
+__all__ = [
+    "CAMPAIGN_KINDS",
+    "CampaignConfigError",
+    "CampaignEngine",
+    "CampaignSpec",
+    "CampaignStore",
+    "InjectionTask",
+    "aggregate",
+    "coverage_table",
+    "enumerate_tasks",
+    "execute_chunk",
+    "execute_task",
+    "latency_histograms",
+    "latency_table",
+    "render_report",
+    "run_campaign",
+    "wilson_interval",
+]

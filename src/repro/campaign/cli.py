@@ -1,0 +1,178 @@
+"""``python -m repro campaign`` — run/resume/status/report subcommands.
+
+Examples::
+
+    python -m repro campaign run --out runs/srt --kinds srt,crt \\
+        --workloads gcc,swim --models transient-result,stuck-unit \\
+        --injections 250 --jobs 8
+    python -m repro campaign status --out runs/srt
+    python -m repro campaign resume --out runs/srt --jobs 8
+    python -m repro campaign report --out runs/srt
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.spec import (CAMPAIGN_KINDS, CampaignConfigError,
+                                 CampaignSpec)
+from repro.campaign.store import CampaignStore
+from repro.core.faults import FAULT_MODELS
+from repro.isa.profiles import SPEC95_NAMES
+
+
+def _csv(text: str) -> List[str]:
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError("expected a comma-separated list")
+    return items
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro campaign",
+        description="Parallel, resumable statistical fault-injection "
+                    "campaigns")
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    def add_out(p):
+        p.add_argument("--out", required=True,
+                       help="campaign artifact directory")
+
+    def add_exec(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+        p.add_argument("--timeout", type=int, default=0,
+                       help="per-task wall-clock timeout in seconds "
+                            "(0 = unlimited; timed-out tasks record HUNG)")
+        p.add_argument("--chunk", type=int, default=None,
+                       help="tasks per worker chunk (default: auto)")
+
+    run = sub.add_parser("run", help="start (or continue) a campaign")
+    add_out(run)
+    add_exec(run)
+    run.add_argument("--kinds", type=_csv, default=["srt"],
+                     help=f"machine kinds ({','.join(CAMPAIGN_KINDS)})")
+    run.add_argument("--workloads", type=_csv, default=["gcc"],
+                     help=f"benchmarks ({','.join(SPEC95_NAMES)})")
+    run.add_argument("--models", type=_csv, default=["transient-result"],
+                     help=f"fault models ({','.join(sorted(FAULT_MODELS))})")
+    run.add_argument("--injections", type=int, default=100,
+                     help="injections per kind x workload x model stratum")
+    run.add_argument("--instructions", type=int, default=800,
+                     help="committed instructions per injection run")
+    run.add_argument("--warmup", type=int, default=2000,
+                     help="architectural warm-up instructions")
+    run.add_argument("--seed", type=int, default=0,
+                     help="campaign root seed")
+    run.add_argument("--strike-window", type=_csv, default=None,
+                     metavar="LO,HI", help="strike-cycle window")
+    run.add_argument("--fresh", action="store_true",
+                     help="discard records from a different config")
+
+    resume = sub.add_parser(
+        "resume", help="continue a killed/partial campaign from its "
+                       "manifest (no spec flags needed)")
+    add_out(resume)
+    add_exec(resume)
+
+    status = sub.add_parser("status", help="show campaign progress")
+    add_out(status)
+
+    report = sub.add_parser("report",
+                            help="aggregate records into coverage tables")
+    add_out(report)
+    report.add_argument("--bucket-width", type=int, default=64,
+                        help="latency histogram bucket width (cycles)")
+    return parser
+
+
+def _progress_printer(stream):
+    def progress(done: int, total: int) -> None:
+        print(f"  {done}/{total} injections complete", file=stream)
+    return progress
+
+
+def _print_summary(summary) -> None:
+    print(f"campaign {summary['campaign_hash']}: "
+          f"{summary['executed']} executed "
+          f"(+{summary['already_complete']} resumed) of "
+          f"{summary['total_tasks']} total "
+          f"[jobs={summary['jobs']}, {summary['elapsed_s']}s]")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    window = None
+    if args.strike_window is not None:
+        if len(args.strike_window) != 2:
+            print("error: --strike-window expects LO,HI", file=sys.stderr)
+            return 2
+        window = (int(args.strike_window[0]), int(args.strike_window[1]))
+    spec = CampaignSpec(
+        kinds=tuple(args.kinds), workloads=tuple(args.workloads),
+        models=tuple(args.models), injections=args.injections,
+        seed=args.seed, instructions=args.instructions,
+        warmup=args.warmup, strike_window=window)
+    engine = CampaignEngine(spec, args.out, jobs=args.jobs,
+                            task_timeout=args.timeout,
+                            chunk_size=args.chunk)
+    summary = engine.run(fresh=args.fresh,
+                         progress=_progress_printer(sys.stdout))
+    _print_summary(summary)
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.out)
+    spec = store.load_spec()
+    engine = CampaignEngine(spec, args.out, jobs=args.jobs,
+                            task_timeout=args.timeout,
+                            chunk_size=args.chunk)
+    summary = engine.run(progress=_progress_printer(sys.stdout))
+    _print_summary(summary)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.out)
+    manifest = store.load_manifest()
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    done = store.completed_count()
+    total = manifest.get("total_tasks", spec.total_tasks())
+    print(f"campaign   {manifest['campaign_hash']}")
+    print(f"strata     {len(spec.strata())} "
+          f"({'+'.join(spec.kinds)} x {'+'.join(spec.workloads)} x "
+          f"{'+'.join(spec.models)})")
+    print(f"progress   {done}/{total} injections "
+          f"({100.0 * done / total if total else 0.0:.1f}%)")
+    progress = store.load_progress()
+    if progress and progress.get("tasks_per_s"):
+        print(f"last rate  {progress['tasks_per_s']} tasks/s "
+              f"at jobs={progress['jobs']}")
+    print("state      " + ("complete" if done >= total else "resumable"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.campaign.report import render_report
+
+    store = CampaignStore(args.out)
+    store.load_manifest()  # fail loudly on a non-campaign directory
+    print(render_report(store.records(), bucket_width=args.bucket_width))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": cmd_run, "resume": cmd_resume,
+                "status": cmd_status, "report": cmd_report}
+    try:
+        return handlers[args.subcommand](args)
+    except CampaignConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Campaign engine: chunked parallel dispatch with resume.
+
+The engine is the bridge between the deterministic world (spec →
+task list → records) and the messy one (worker processes, timeouts,
+mid-run kills):
+
+- ``jobs == 1`` executes in-process — no pool, no pickling, ideal for
+  tests and debugging, and by construction the reference output every
+  parallel run must match byte-for-byte;
+- ``jobs > 1`` fans chunks of tasks across a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  ``Executor.map``
+  yields chunk results **in submission order**, so records land in
+  ``results.jsonl`` in canonical task order even though chunks complete
+  out of order — that ordering is what makes the artifact byte-identical
+  at any ``--jobs`` and makes resume's completed-set a simple prefix.
+
+Chunking amortizes per-task IPC and lets a worker reuse its generated
+benchmark across the chunk; the auto chunk size keeps at least ~4
+chunks in flight per worker so the pool stays busy near the tail.
+"""
+
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.campaign.sampler import InjectionTask, enumerate_tasks
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.worker import execute_chunk
+
+ProgressFn = Callable[[int, int], None]
+
+
+def auto_chunk_size(remaining: int, jobs: int) -> int:
+    """Tasks per chunk: ≥4 chunks in flight per worker, capped at 16."""
+    if remaining <= 0:
+        return 1
+    return max(1, min(16, remaining // max(1, jobs * 4) or 1))
+
+
+def _chunks(tasks: List[InjectionTask], size: int,
+            config: Optional[Dict[str, object]],
+            timeout: int) -> Iterator[Dict[str, object]]:
+    for start in range(0, len(tasks), size):
+        yield {
+            "tasks": [task.to_dict() for task in tasks[start:start + size]],
+            "config": config,
+            "timeout": timeout,
+        }
+
+
+class CampaignEngine:
+    """Runs (or resumes) one campaign into one artifact directory."""
+
+    def __init__(self, spec: CampaignSpec, out_dir, jobs: int = 1,
+                 task_timeout: int = 0,
+                 chunk_size: Optional[int] = None) -> None:
+        self.spec = spec.validate()
+        self.store = CampaignStore(out_dir)
+        self.jobs = max(1, int(jobs))
+        self.task_timeout = max(0, int(task_timeout))
+        self.chunk_size = chunk_size
+
+    # -- planning ----------------------------------------------------------
+    def plan(self, fresh: bool = False) -> List[InjectionTask]:
+        """Initialize the store and return the tasks still to run."""
+        resuming = self.store.initialize(self.spec, fresh=fresh)
+        tasks = enumerate_tasks(self.spec)
+        if not resuming:
+            return tasks
+        done = self.store.completed_ids()
+        return [task for task in tasks if task.task_id not in done]
+
+    # -- execution ---------------------------------------------------------
+    def run(self, fresh: bool = False,
+            progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+        """Execute every remaining task; returns a summary dict.
+
+        Safe to invoke repeatedly: completed injections are never
+        re-executed (their records are already in the store).
+        """
+        remaining = self.plan(fresh=fresh)
+        total = self.spec.total_tasks()
+        done_before = total - len(remaining)
+        started = time.monotonic()
+        executed = 0
+        size = self.chunk_size or auto_chunk_size(len(remaining), self.jobs)
+        payloads = _chunks(remaining, size, self.spec.config,
+                           self.task_timeout)
+        for records in self._execute(payloads):
+            self.store.append(records)
+            executed += len(records)
+            if progress is not None:
+                progress(done_before + executed, total)
+        elapsed = time.monotonic() - started
+        summary = {
+            "campaign_hash": self.spec.content_hash(),
+            "total_tasks": total,
+            "already_complete": done_before,
+            "executed": executed,
+            "jobs": self.jobs,
+            "chunk_size": size,
+            "elapsed_s": round(elapsed, 3),
+            "tasks_per_s": round(executed / elapsed, 3) if elapsed else None,
+        }
+        self.store.write_progress(summary)
+        return summary
+
+    def _execute(self, payloads: Iterator[Dict[str, object]]
+                 ) -> Iterator[List[Dict[str, object]]]:
+        if self.jobs == 1:
+            for payload in payloads:
+                yield execute_chunk(payload)
+            return
+        # Lazy import: keep single-process campaigns importable on
+        # platforms with broken multiprocessing.
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            # Executor.map yields in submission order (canonical task
+            # order) while chunks execute concurrently — exactly the
+            # in-order flush the byte-identical artifact needs.
+            for records in pool.map(execute_chunk, payloads):
+                yield records
+
+
+def run_campaign(spec: CampaignSpec, out_dir, jobs: int = 1,
+                 task_timeout: int = 0, fresh: bool = False,
+                 chunk_size: Optional[int] = None,
+                 progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+    """One-call convenience wrapper around :class:`CampaignEngine`."""
+    engine = CampaignEngine(spec, out_dir, jobs=jobs,
+                            task_timeout=task_timeout, chunk_size=chunk_size)
+    return engine.run(fresh=fresh, progress=progress)

@@ -1,0 +1,165 @@
+"""Campaign aggregation: coverage statistics and latency distributions.
+
+Turns a store's JSONL records into the numbers the paper's Section 4.5
+claims are made of:
+
+- per-stratum outcome breakdowns (detected / masked / latent / SDC /
+  hung counts);
+- **coverage** — the fraction of *unmasked* faults that were detected —
+  with a Wilson score interval, the right interval for proportions at
+  the small-to-moderate sample sizes a campaign stratum yields (it never
+  leaves [0, 1] and behaves at p→0/1, unlike the normal approximation);
+- detection-latency histograms per machine kind (cycles from strike to
+  the first fault event).
+
+Tables render through :mod:`repro.harness.reporting` so campaign output
+reads like every other experiment table in the repo.
+"""
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.faults import FaultOutcome
+from repro.harness.experiments import ExperimentResult
+from repro.harness.reporting import render_histogram, render_table
+from repro.harness.tracing import Histogram
+
+#: Outcomes where the fault provably propagated into visible state; the
+#: coverage denominator (a masked fault is undetectable *by design* —
+#: nothing wrong ever existed to detect).
+UNMASKED = (FaultOutcome.DETECTED, FaultOutcome.LATENT, FaultOutcome.SDC,
+            FaultOutcome.HUNG)
+
+
+def wilson_interval(successes: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (z * math.sqrt(p * (1 - p) / trials
+                          + z2 / (4 * trials * trials))) / denom
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+class StratumStats:
+    """Accumulated outcomes of one (kind, workload) stratum."""
+
+    def __init__(self) -> None:
+        self.outcomes: Counter = Counter()
+        self.latencies: List[int] = []
+        self.timed_out = 0
+
+    def add(self, record: Dict[str, object]) -> None:
+        self.outcomes[record["outcome"]] += 1
+        if record.get("timed_out"):
+            self.timed_out += 1
+        if record.get("latency") is not None:
+            self.latencies.append(record["latency"])
+
+    @property
+    def total(self) -> int:
+        return sum(self.outcomes.values())
+
+    @property
+    def detected(self) -> int:
+        return self.outcomes.get(FaultOutcome.DETECTED.value, 0)
+
+    @property
+    def unmasked(self) -> int:
+        return sum(self.outcomes.get(outcome.value, 0)
+                   for outcome in UNMASKED)
+
+    def coverage(self) -> Tuple[float, float, float]:
+        """(point estimate, ci_low, ci_high) of detected/unmasked."""
+        if not self.unmasked:
+            return (0.0, 0.0, 1.0)
+        low, high = wilson_interval(self.detected, self.unmasked)
+        return (self.detected / self.unmasked, low, high)
+
+
+def aggregate(records: Iterable[Dict[str, object]]
+              ) -> Dict[Tuple[str, str], StratumStats]:
+    """Group records into per-(kind, workload) stratum statistics."""
+    strata: Dict[Tuple[str, str], StratumStats] = defaultdict(StratumStats)
+    for record in records:
+        strata[(record["kind"], record["workload"])].add(record)
+    return dict(strata)
+
+
+def coverage_table(strata: Dict[Tuple[str, str], StratumStats]
+                   ) -> ExperimentResult:
+    """Outcome breakdown + Wilson-interval coverage, one row per stratum."""
+    series = ([outcome.value for outcome in FaultOutcome]
+              + ["n", "coverage", "ci_low", "ci_high"])
+    result = ExperimentResult(
+        "campaign", "Fault outcomes and detection coverage "
+        "(coverage = detected / unmasked, 95% Wilson CI)", series=series)
+    for (kind, workload), stats in sorted(strata.items()):
+        point, low, high = stats.coverage()
+        row: Dict[str, float] = {
+            outcome.value: stats.outcomes.get(outcome.value, 0)
+            for outcome in FaultOutcome}
+        row.update({"n": stats.total, "coverage": point,
+                    "ci_low": low, "ci_high": high})
+        result.add_row(f"{kind}/{workload}", row)
+    return result.finish()
+
+
+def latency_table(strata: Dict[Tuple[str, str], StratumStats]
+                  ) -> ExperimentResult:
+    """Detection-latency summary per machine kind."""
+    by_kind: Dict[str, List[int]] = defaultdict(list)
+    for (kind, _), stats in strata.items():
+        by_kind[kind].extend(stats.latencies)
+    result = ExperimentResult(
+        "campaign_latency", "Detection latency (cycles, strike→detect)",
+        series=["detected", "mean", "p50", "p90", "max"])
+    for kind in sorted(by_kind):
+        latencies = sorted(by_kind[kind])
+        if latencies:
+            def pct(fraction: float) -> int:
+                rank = min(len(latencies) - 1,
+                           int(fraction * len(latencies)))
+                return latencies[rank]
+            result.add_row(kind, {
+                "detected": len(latencies),
+                "mean": sum(latencies) / len(latencies),
+                "p50": pct(0.50), "p90": pct(0.90),
+                "max": latencies[-1],
+            })
+        else:
+            result.add_row(kind, {"detected": 0, "mean": 0.0,
+                                  "p50": 0, "p90": 0, "max": 0})
+    return result.finish()
+
+
+def latency_histograms(strata: Dict[Tuple[str, str], StratumStats],
+                       bucket_width: int = 64) -> Dict[str, Histogram]:
+    """Per-kind detection-latency histograms."""
+    by_kind: Dict[str, Histogram] = {}
+    for (kind, _), stats in sorted(strata.items()):
+        histogram = by_kind.setdefault(kind,
+                                       Histogram(bucket_width=bucket_width))
+        for latency in stats.latencies:
+            histogram.add(latency)
+    return by_kind
+
+
+def render_report(records: List[Dict[str, object]],
+                  bucket_width: int = 64) -> str:
+    """The full ``campaign report`` text output."""
+    if not records:
+        return "(no records yet — run the campaign first)"
+    strata = aggregate(records)
+    sections = [render_table(coverage_table(strata)),
+                render_table(latency_table(strata))]
+    for kind, histogram in latency_histograms(strata, bucket_width).items():
+        if histogram.total:
+            sections.append(render_histogram(
+                f"{kind}: detection latency (cycles)", histogram))
+    return "\n\n".join(sections)

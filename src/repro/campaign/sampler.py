@@ -1,0 +1,137 @@
+"""Fault-site enumeration and stratified sampling.
+
+The sampler turns a :class:`~repro.campaign.spec.CampaignSpec` into a
+flat list of :class:`InjectionTask` descriptors — one per injection —
+by drawing fault sites uniformly within each (machine kind × workload ×
+fault model) stratum.  Stratification is what makes small campaigns
+statistically useful: every stratum receives exactly ``injections``
+draws instead of whatever a global uniform draw happens to allot.
+
+Determinism contract: each task's site is drawn from an RNG spawned
+(:meth:`repro.util.rng.DeterministicRng.spawn`) with the stratum and
+draw index as the key.  No sampling state is shared between draws, so
+the task list is a pure function of the spec — identical no matter how
+many worker processes later execute it, and identical when only a
+subset is re-enumerated on resume.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.campaign.spec import CampaignSpec
+from repro.isa.instructions import FuClass
+from repro.pipeline.ebox import POOL_SIZES
+from repro.util.rng import DeterministicRng, seed_from
+
+#: Register indices below this are hot architectural territory in every
+#: generated program; sampling the whole physical file would mostly hit
+#: dead registers and tell us nothing.  (The mapper hands out physical
+#: registers from the low end.)
+_MIN_INTERESTING_REG = 32
+
+#: Fault-model names understood by the sampler, with the FU pools that
+#: stuck-unit faults may target (MEM/FP corruption routes through the
+#: LVQ/cache paths that are outside the sphere of replication).
+_STUCK_POOLS = (FuClass.INT, FuClass.LOGIC)
+
+
+@dataclass(frozen=True)
+class InjectionTask:
+    """Pickle-safe descriptor of one injection (primitives only)."""
+
+    task_id: str
+    index: int
+    kind: str
+    workload: str
+    model: str
+    fault: Tuple[Tuple[str, object], ...]
+    seed: int
+    instructions: int
+    warmup: int
+
+    def fault_dict(self) -> Dict[str, object]:
+        return dict(self.fault)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task_id": self.task_id,
+            "index": self.index,
+            "kind": self.kind,
+            "workload": self.workload,
+            "model": self.model,
+            "fault": self.fault_dict(),
+            "seed": self.seed,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+        }
+
+
+def cores_for(kind: str) -> Tuple[int, ...]:
+    """Cores a fault may strike: both cores of the CMP machines."""
+    return (0, 1) if kind in ("crt", "lockstep") else (0,)
+
+
+def _sample_site(rng: DeterministicRng, model: str, kind: str,
+                 spec: CampaignSpec) -> Dict[str, object]:
+    """Draw one fault site as a plain dict (``fault_from_dict`` format)."""
+    lo, hi = spec.effective_strike_window()
+    core_index = rng.choice(cores_for(kind))
+    if model == "transient-result":
+        return {
+            "model": model,
+            "cycle": rng.randint(lo, hi),
+            "core_index": core_index,
+            "bit": rng.randint(0, 63),
+            "thread": None,
+            "target_loads": False,
+        }
+    if model == "transient-register":
+        phys = spec.machine_config().core.physical_registers
+        return {
+            "model": model,
+            "cycle": rng.randint(lo, hi),
+            "core_index": core_index,
+            "reg": rng.randint(_MIN_INTERESTING_REG, phys - 1),
+            "bit": rng.randint(0, 63),
+        }
+    if model == "stuck-unit":
+        fu_class = rng.choice(_STUCK_POOLS)
+        return {
+            "model": model,
+            "core_index": core_index,
+            "fu_class": fu_class.value,
+            "unit_index": rng.randint(0, POOL_SIZES[fu_class] - 1),
+            "bit": rng.randint(0, 63),
+        }
+    raise ValueError(f"sampler has no site model for {model!r}")
+
+
+def _task_id(spec_hash: str, index: int) -> str:
+    """Stable short id: same spec + index ⇒ same id across runs."""
+    return format(seed_from("task", spec_hash, index), "016x")
+
+
+def enumerate_tasks(spec: CampaignSpec) -> List[InjectionTask]:
+    """The campaign's full task list, in canonical (stratum, draw) order."""
+    spec.validate()
+    spec_hash = spec.content_hash()
+    root = DeterministicRng("campaign", spec.seed)
+    tasks: List[InjectionTask] = []
+    index = 0
+    for kind, workload, model in spec.strata():
+        for draw in range(spec.injections):
+            rng = root.spawn(kind, workload, model, draw)
+            fault = _sample_site(rng, model, kind, spec)
+            tasks.append(InjectionTask(
+                task_id=_task_id(spec_hash, index),
+                index=index,
+                kind=kind,
+                workload=workload,
+                model=model,
+                fault=tuple(sorted(fault.items())),
+                seed=spec.seed,
+                instructions=spec.instructions,
+                warmup=spec.warmup,
+            ))
+            index += 1
+    return tasks

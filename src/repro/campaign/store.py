@@ -1,0 +1,157 @@
+"""Resumable campaign artifact store (manifest + JSONL records).
+
+Layout of a campaign directory::
+
+    manifest.json    campaign identity: spec + content hash (written once)
+    results.jsonl    one record per completed injection, canonical JSON
+    progress.json    engine-side progress/timing sidecar (advisory only)
+
+Resume semantics: ``results.jsonl`` *is* the completion state — a task
+whose ``task_id`` appears in it is done and is never re-executed.  The
+manifest's content hash binds the records to the exact spec that
+produced them; opening a directory with a different spec raises unless
+the caller explicitly asks for a fresh start (cache invalidation on
+config change).
+
+Crash safety: records are appended line-at-a-time with flush+fsync, so
+killing a campaign mid-run loses at most the chunk in flight.  A
+partial trailing line (kill mid-write) is detected on open and
+truncated away before resuming.
+"""
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.campaign.spec import CampaignConfigError, CampaignSpec
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+PROGRESS_NAME = "progress.json"
+
+
+def canonical_record(record: Dict[str, object]) -> str:
+    """The one true byte encoding of a result record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class CampaignStore:
+    """One campaign directory: manifest, results, progress sidecar."""
+
+    def __init__(self, out_dir) -> None:
+        self.dir = Path(out_dir)
+        self.manifest_path = self.dir / MANIFEST_NAME
+        self.results_path = self.dir / RESULTS_NAME
+        self.progress_path = self.dir / PROGRESS_NAME
+
+    # -- manifest ----------------------------------------------------------
+    def exists(self) -> bool:
+        return self.manifest_path.exists()
+
+    def load_manifest(self) -> Dict[str, object]:
+        if not self.exists():
+            raise CampaignConfigError(
+                f"no campaign manifest in {self.dir} (nothing to resume)")
+        with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def load_spec(self) -> CampaignSpec:
+        return CampaignSpec.from_dict(self.load_manifest()["spec"])
+
+    def initialize(self, spec: CampaignSpec, fresh: bool = False) -> bool:
+        """Bind this directory to ``spec``.  Returns True when resuming.
+
+        - empty directory            → write manifest, start fresh;
+        - manifest with same hash    → resume (keep records);
+        - manifest with other hash   → raise, unless ``fresh`` — then the
+          stale records and manifest are discarded (config changed, the
+          cache is invalid).
+        """
+        spec.validate()
+        self.dir.mkdir(parents=True, exist_ok=True)
+        new_hash = spec.content_hash()
+        if self.exists():
+            old_hash = self.load_manifest().get("campaign_hash")
+            if old_hash == new_hash and not fresh:
+                return True
+            if old_hash != new_hash and not fresh:
+                raise CampaignConfigError(
+                    f"campaign config changed (stored {old_hash}, new "
+                    f"{new_hash}); re-run with --fresh to discard the "
+                    f"{self.completed_count()} stale record(s) in "
+                    f"{self.dir}")
+            self._discard_results()
+        manifest = {
+            "campaign_hash": new_hash,
+            "spec": spec.to_dict(),
+            "total_tasks": spec.total_tasks(),
+        }
+        self._write_json(self.manifest_path, manifest)
+        return False
+
+    def _discard_results(self) -> None:
+        for path in (self.results_path, self.progress_path,
+                     self.manifest_path):
+            if path.exists():
+                path.unlink()
+
+    # -- results -----------------------------------------------------------
+    def _repair_partial_tail(self) -> None:
+        """Drop a partial trailing line left by a mid-write kill."""
+        if not self.results_path.exists():
+            return
+        raw = self.results_path.read_bytes()
+        if not raw or raw.endswith(b"\n"):
+            return
+        keep = raw.rfind(b"\n") + 1  # 0 when no complete line survived
+        with open(self.results_path, "r+b") as handle:
+            handle.truncate(keep)
+
+    def iter_records(self) -> Iterator[Dict[str, object]]:
+        self._repair_partial_tail()
+        if not self.results_path.exists():
+            return
+        with open(self.results_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def records(self) -> List[Dict[str, object]]:
+        return list(self.iter_records())
+
+    def completed_ids(self) -> Set[str]:
+        return {record["task_id"] for record in self.iter_records()}
+
+    def completed_count(self) -> int:
+        return len(self.completed_ids())
+
+    def append(self, records: List[Dict[str, object]]) -> None:
+        """Durably append a batch of records (one fsync per batch)."""
+        if not records:
+            return
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(canonical_record(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- progress sidecar --------------------------------------------------
+    def write_progress(self, progress: Dict[str, object]) -> None:
+        self._write_json(self.progress_path, progress)
+
+    def load_progress(self) -> Optional[Dict[str, object]]:
+        if not self.progress_path.exists():
+            return None
+        with open(self.progress_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _write_json(path: Path, data: Dict[str, object]) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)

@@ -1,0 +1,114 @@
+"""Worker-side task execution (runs inside pool processes).
+
+Everything here must be importable at module top level and take only
+primitive (pickled dict) arguments: the engine ships chunks of task
+dicts across the process boundary and gets result-record dicts back.
+
+Records are **deterministic by construction** — no timestamps, host
+names, or wall-clock fields — so a campaign's JSONL artifact is
+byte-identical at any ``--jobs`` level.  Timing lives engine-side, in
+the (non-authoritative) progress sidecar.
+
+Per-task timeout: a genuinely wedged simulation cannot be interrupted
+cooperatively, so the worker arms ``SIGALRM`` around each task (POSIX
+only; a zero timeout disables the alarm).  A task that trips the alarm
+is recorded as ``HUNG`` with ``timed_out=true`` rather than poisoning
+the pool.
+"""
+
+import signal
+from typing import Dict, List, Optional
+
+from repro.core.config import MachineConfig
+from repro.core.faults import fault_from_dict, run_fault_experiment_detailed
+from repro.core.machine import make_machine
+from repro.isa.generator import generate_benchmark
+from repro.isa.program import Program
+
+
+class TaskTimeout(Exception):
+    """Raised inside a worker when a task exceeds its wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):
+    raise TaskTimeout()
+
+
+def _program_for(workload: str, seed: int,
+                 cache: Dict[tuple, Program]) -> Program:
+    key = (workload, seed)
+    if key not in cache:
+        cache[key] = generate_benchmark(workload, seed=seed)
+    return cache[key]
+
+
+def execute_task(task: Dict[str, object],
+                 config: Optional[Dict[str, object]] = None,
+                 _cache: Optional[Dict[tuple, Program]] = None
+                 ) -> Dict[str, object]:
+    """Run one injection and return its (deterministic) result record."""
+    machine_config = (MachineConfig.from_dict(config) if config
+                      else MachineConfig())
+    program = _program_for(task["workload"], task["seed"],
+                           _cache if _cache is not None else {})
+    machine = make_machine(task["kind"], machine_config, [program])
+    fault = fault_from_dict(task["fault"])
+    report = run_fault_experiment_detailed(
+        machine, program, fault,
+        instructions=task["instructions"], warmup=task["warmup"])
+    record = {
+        "task_id": task["task_id"],
+        "index": task["index"],
+        "kind": task["kind"],
+        "workload": task["workload"],
+        "model": task["model"],
+        "fault": task["fault"],
+        "timed_out": False,
+    }
+    record.update(report.to_dict())
+    return record
+
+
+def _timed_out_record(task: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "task_id": task["task_id"],
+        "index": task["index"],
+        "kind": task["kind"],
+        "workload": task["workload"],
+        "model": task["model"],
+        "fault": task["fault"],
+        "timed_out": True,
+        "outcome": "hung",
+        "struck_cycle": None,
+        "detected_cycle": None,
+        "latency": None,
+    }
+
+
+def execute_chunk(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Pool entry point: run a chunk of tasks, one record each.
+
+    ``payload`` = ``{"tasks": [task dicts], "config": dict|None,
+    "timeout": seconds}``.  The per-process program cache means a chunk
+    that stays within one workload pays benchmark generation once.
+    """
+    tasks: List[Dict[str, object]] = payload["tasks"]
+    config = payload.get("config")
+    timeout = int(payload.get("timeout") or 0)
+    use_alarm = timeout > 0 and hasattr(signal, "SIGALRM")
+    cache: Dict[tuple, Program] = {}
+    records: List[Dict[str, object]] = []
+    for task in tasks:
+        if not use_alarm:
+            records.append(execute_task(task, config, cache))
+            continue
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.alarm(timeout)
+        try:
+            records.append(execute_task(task, config, cache))
+        except TaskTimeout:
+            records.append(_timed_out_record(task))
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+    return records

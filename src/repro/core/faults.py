@@ -28,9 +28,10 @@ Outcomes are classified against the golden architectural model:
   control state beyond recovery).
 """
 
+import dataclasses
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.machine import Machine
 from repro.isa.executor import FunctionalExecutor
@@ -165,6 +166,67 @@ class StuckFunctionalUnit(Fault):
         core.result_corruptor = corrupt
 
 
+# ---------------------------------------------------------------------------
+# Wire format: JSON/pickle-safe fault descriptors.
+#
+# Campaign workers run in separate processes; faults cross the process
+# boundary as plain dicts (model name + primitive site parameters), not
+# as live objects carrying machine references.  ``fault_to_dict`` /
+# ``fault_from_dict`` are the single source of truth for that format.
+# ---------------------------------------------------------------------------
+
+#: model-name -> fault class.  Keys are the public names used by the
+#: campaign CLI (``--models``) and the JSONL artifact records.
+FAULT_MODELS = {
+    "transient-register": TransientRegisterFault,
+    "transient-result": TransientResultFault,
+    "stuck-unit": StuckFunctionalUnit,
+}
+
+#: Transient state per fault instance that must never survive a round
+#: trip (a deserialized fault is always un-fired).
+_RUNTIME_FIELDS = {"fired", "corrupted"}
+
+
+def fault_model_name(fault: Fault) -> str:
+    """The registry name for a fault instance."""
+    for name, cls in FAULT_MODELS.items():
+        if type(fault) is cls:
+            return name
+    raise ValueError(f"unregistered fault type {type(fault).__name__}")
+
+
+def fault_to_dict(fault: Fault) -> Dict[str, object]:
+    """Serialize a fault's *site* (not its runtime state) to primitives."""
+    data: Dict[str, object] = {"model": fault_model_name(fault)}
+    for field_info in dataclasses.fields(fault):
+        if field_info.name in _RUNTIME_FIELDS:
+            continue
+        value = getattr(fault, field_info.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        data[field_info.name] = value
+    return data
+
+
+def fault_from_dict(data: Dict[str, object]) -> Fault:
+    """Rebuild a pristine (un-fired) fault from :func:`fault_to_dict`."""
+    payload = dict(data)
+    model = payload.pop("model", None)
+    cls = FAULT_MODELS.get(model)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault model {model!r}; expected one of "
+            f"{sorted(FAULT_MODELS)}")
+    known = {f.name for f in dataclasses.fields(cls)} - _RUNTIME_FIELDS
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown {model} fields: {sorted(unknown)}")
+    if cls is StuckFunctionalUnit and "fu_class" in payload:
+        payload["fu_class"] = FuClass(payload["fu_class"])
+    return cls(**payload)
+
+
 class FaultInjector:
     """Drives a list of faults against a machine run."""
 
@@ -229,6 +291,21 @@ class FaultReport:
         if self.struck_cycle is None or self.detected_cycle is None:
             return None
         return self.detected_cycle - self.struck_cycle
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (outcome by value, latency included)."""
+        return {
+            "outcome": self.outcome.value,
+            "struck_cycle": self.struck_cycle,
+            "detected_cycle": self.detected_cycle,
+            "latency": self.detection_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultReport":
+        return cls(outcome=FaultOutcome(data["outcome"]),
+                   struck_cycle=data.get("struck_cycle"),
+                   detected_cycle=data.get("detected_cycle"))
 
 
 def run_fault_experiment_detailed(machine: Machine, program, fault: Fault,

@@ -46,6 +46,27 @@ def _benchmarks(subset: Optional[Sequence[str]]) -> List[str]:
     return list(subset) if subset else list(SPEC95_NAMES)
 
 
+def fig8_default_pairs() -> List[List[str]]:
+    """The two-program workloads Figure 8 evaluates by default.
+
+    Exposed (rather than inlined in the driver) so the parallel
+    experiment fan-out can enumerate and split them across workers.
+    """
+    return [list(pair) for pair in itertools.combinations(TWO_THREAD_POOL, 2)]
+
+
+def fig11_default_workloads(include_quads: bool = True,
+                            max_quads: int = 5) -> List[List[str]]:
+    """The multiprogrammed workloads Figure 11 evaluates by default."""
+    workloads = [list(pair)
+                 for pair in itertools.combinations(TWO_THREAD_POOL, 2)]
+    if include_quads:
+        quads = [list(combo) for combo in
+                 itertools.combinations(FOUR_THREAD_POOL, 4)]
+        workloads += quads[:max_quads]
+    return workloads
+
+
 # ---------------------------------------------------------------------------
 # Figure 6: SMT-Efficiency for one logical thread on the SRT variants.
 # ---------------------------------------------------------------------------
@@ -120,7 +141,7 @@ def fig8_srt_two_threads(runner: Runner,
     queues.
     """
     if pairs is None:
-        pairs = list(itertools.combinations(TWO_THREAD_POOL, 2))
+        pairs = fig8_default_pairs()
     result = ExperimentResult(
         "fig8", "SMT-Efficiency, two logical threads (SRT)",
         series=["base", "srt", "srt_ptsq"])
@@ -287,12 +308,8 @@ def fig11_crt_multithread(runner: Runner,
     thread.
     """
     if workloads is None:
-        workloads = [list(pair)
-                     for pair in itertools.combinations(TWO_THREAD_POOL, 2)]
-        if include_quads:
-            quads = [list(combo) for combo in
-                     itertools.combinations(FOUR_THREAD_POOL, 4)]
-            workloads += quads[:max_quads]
+        workloads = fig11_default_workloads(include_quads=include_quads,
+                                            max_quads=max_quads)
     result = ExperimentResult(
         "fig11", "SMT-Efficiency, multithreaded (lockstep vs CRT)",
         series=["lock0", "lock8", "crt", "crt_vs_lock8"])

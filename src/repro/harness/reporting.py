@@ -3,6 +3,7 @@
 from typing import List
 
 from repro.harness.experiments import ExperimentResult
+from repro.harness.tracing import Histogram
 
 
 def render_table(result: ExperimentResult, precision: int = 3,
@@ -36,6 +37,29 @@ def render_table(result: ExperimentResult, precision: int = 3,
     for key, value in result.summary.items():
         if not key.startswith("mean."):
             lines.append(f"  {key} = {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def render_histogram(title: str, histogram: Histogram,
+                     width: int = 40) -> str:
+    """Render a :class:`~repro.harness.tracing.Histogram` as text bars.
+
+    Each row is one bucket: ``[lo-hi)  count  ####``; bars are scaled so
+    the fullest bucket spans ``width`` characters.
+    """
+    rows = histogram.rows()
+    lines = [f"# {title} (n={histogram.total}, "
+             f"mean={histogram.mean():.1f})"]
+    if not rows:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    peak = max(count for _, _, count in rows)
+    label_width = max(len(f"[{low}-{high})") for low, high, _ in rows)
+    count_width = len(str(peak))
+    for low, high, count in rows:
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        label = f"[{low}-{high})".ljust(label_width)
+        lines.append(f"{label}  {str(count).rjust(count_width)}  {bar}")
     return "\n".join(lines)
 
 

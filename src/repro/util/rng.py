@@ -20,6 +20,18 @@ def seed_from(*parts: object) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def spawn_seed(parent_seed: int, *key: object) -> int:
+    """Spawn-style sub-seed derivation (cross-process safe).
+
+    Hashes the parent seed together with a spawn key, so a worker
+    process can rebuild exactly the stream it owns from ``(root seed,
+    key)`` alone — no shared ``random.Random`` state ever crosses a
+    process boundary, and sibling streams are statistically independent
+    regardless of how much any of them has been consumed.
+    """
+    return seed_from("spawn", parent_seed, *key)
+
+
 class DeterministicRng:
     """Thin wrapper over :class:`random.Random` with named derivation."""
 
@@ -30,6 +42,25 @@ class DeterministicRng:
     def derive(self, *parts: object) -> "DeterministicRng":
         """Create an independent child stream, stable under reordering of use."""
         return DeterministicRng(self.seed, *parts)
+
+    def spawn(self, *key: object) -> "DeterministicRng":
+        """Spawn an independent child stream from a pure seed function.
+
+        Unlike passing this RNG around, the child depends only on
+        ``(self.seed, key)`` — never on how many values the parent has
+        already drawn — so the same ``(root, key)`` pair rebuilds the
+        identical stream inside any worker process.  This is the only
+        derivation campaign workers may use.
+        """
+        return DeterministicRng.from_seed(spawn_seed(self.seed, *key))
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "DeterministicRng":
+        """Wrap an already-derived integer seed without re-hashing it."""
+        rng = cls.__new__(cls)
+        rng.seed = seed
+        rng._rng = random.Random(seed)
+        return rng
 
     def randint(self, low: int, high: int) -> int:
         return self._rng.randint(low, high)

@@ -1,0 +1,75 @@
+"""End-to-end ``python -m repro campaign ...`` CLI tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+RUN_ARGS = ["--kinds", "srt", "--workloads", "m88ksim",
+            "--models", "transient-result", "--injections", "2",
+            "--instructions", "120", "--warmup", "300"]
+
+
+def run_campaign(out, extra=None):
+    return main(["campaign", "run", "--out", str(out)] + RUN_ARGS
+                + (extra or []))
+
+
+class TestCampaignCli:
+    def test_run_then_status_then_report(self, tmp_path, capsys):
+        out = tmp_path / "c"
+        assert run_campaign(out) == 0
+        assert "2/2 injections complete" in capsys.readouterr().out
+
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        status = capsys.readouterr().out
+        assert "2/2" in status and "complete" in status
+
+        assert main(["campaign", "report", "--out", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "coverage" in report and "srt/m88ksim" in report
+
+    def test_resume_reads_spec_from_manifest(self, tmp_path, capsys):
+        out = tmp_path / "c"
+        assert run_campaign(out) == 0
+        capsys.readouterr()
+        assert main(["campaign", "resume", "--out", str(out)]) == 0
+        resumed = capsys.readouterr().out
+        assert "0 executed (+2 resumed)" in resumed
+
+    def test_run_with_jobs_two(self, tmp_path, capsys):
+        assert run_campaign(tmp_path / "par", ["--jobs", "2"]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_config_change_is_refused(self, tmp_path, capsys):
+        out = tmp_path / "c"
+        assert run_campaign(out) == 0
+        capsys.readouterr()
+        changed = RUN_ARGS[:-1] + ["999"]  # different warmup
+        code = main(["campaign", "run", "--out", str(out)] + changed)
+        assert code == 2
+        assert "config changed" in capsys.readouterr().err
+
+    def test_config_change_with_fresh_restarts(self, tmp_path, capsys):
+        out = tmp_path / "c"
+        assert run_campaign(out) == 0
+        capsys.readouterr()
+        changed = RUN_ARGS[:-1] + ["999"]
+        code = main(["campaign", "run", "--out", str(out)]
+                    + changed + ["--fresh"])
+        assert code == 0
+        assert "2 executed (+0 resumed)" in capsys.readouterr().out
+
+    def test_bad_model_is_an_error(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--out", str(tmp_path / "x"),
+                     "--models", "gamma-burst", "--injections", "1"])
+        assert code == 2
+        assert "fault model" in capsys.readouterr().err
+
+    def test_status_on_missing_campaign_errors(self, tmp_path, capsys):
+        code = main(["campaign", "status", "--out", str(tmp_path / "nope")])
+        assert code == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_campaign_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign"])

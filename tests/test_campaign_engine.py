@@ -1,0 +1,98 @@
+"""Engine integration: execution, cross-process determinism, resume."""
+
+from pathlib import Path
+
+from repro.campaign.engine import CampaignEngine, auto_chunk_size
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.worker import execute_chunk, execute_task
+from repro.core.faults import FaultOutcome
+
+SPEC = CampaignSpec(kinds=("base", "srt"), workloads=("m88ksim",),
+                    models=("transient-result",), injections=3,
+                    instructions=150, warmup=400)
+
+
+def run_into(tmp_path, name, jobs, spec=SPEC, **kwargs):
+    out = tmp_path / name
+    engine = CampaignEngine(spec, out, jobs=jobs, **kwargs)
+    summary = engine.run()
+    return out, summary
+
+
+class TestExecution:
+    def test_runs_every_task_once(self, tmp_path):
+        out, summary = run_into(tmp_path, "a", jobs=1)
+        assert summary["executed"] == SPEC.total_tasks() == 6
+        records = CampaignStore(out).records()
+        assert len(records) == 6
+        assert [r["index"] for r in records] == list(range(6))
+        valid = {outcome.value for outcome in FaultOutcome}
+        assert all(r["outcome"] in valid for r in records)
+
+    def test_progress_callback_reaches_total(self, tmp_path):
+        seen = []
+        engine = CampaignEngine(SPEC, tmp_path / "p", jobs=1)
+        engine.run(progress=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (6, 6)
+
+    def test_auto_chunk_size_bounds(self):
+        assert auto_chunk_size(0, 4) == 1
+        assert auto_chunk_size(1, 4) == 1
+        assert auto_chunk_size(1000, 4) == 16
+        assert 1 <= auto_chunk_size(37, 8) <= 16
+
+
+class TestCrossProcessDeterminism:
+    def test_jobs_do_not_change_bytes(self, tmp_path):
+        """Same config + seed ⇒ byte-identical JSONL at any --jobs."""
+        seq, _ = run_into(tmp_path, "seq", jobs=1)
+        par, _ = run_into(tmp_path, "par", jobs=2)
+        assert (seq / "results.jsonl").read_bytes() \
+            == (par / "results.jsonl").read_bytes()
+
+    def test_chunk_size_does_not_change_bytes(self, tmp_path):
+        a, _ = run_into(tmp_path, "c1", jobs=1, chunk_size=1)
+        b, _ = run_into(tmp_path, "c5", jobs=1, chunk_size=5)
+        assert (a / "results.jsonl").read_bytes() \
+            == (b / "results.jsonl").read_bytes()
+
+
+class TestResume:
+    def test_kill_and_resume_skips_completed_work(self, tmp_path):
+        reference, _ = run_into(tmp_path, "ref", jobs=1)
+        reference_bytes = (reference / "results.jsonl").read_bytes()
+
+        out, _ = run_into(tmp_path, "victim", jobs=1)
+        results = Path(out / "results.jsonl")
+        lines = results.read_bytes().splitlines(keepends=True)
+        # Simulate a mid-run kill: two complete records + a torn write.
+        results.write_bytes(b"".join(lines[:2]) + lines[2][:7])
+
+        summary = CampaignEngine(SPEC, out, jobs=1).run()
+        assert summary["already_complete"] == 2
+        assert summary["executed"] == 4  # never re-runs the finished two
+        assert results.read_bytes() == reference_bytes
+
+    def test_completed_campaign_resumes_to_noop(self, tmp_path):
+        out, _ = run_into(tmp_path, "done", jobs=1)
+        summary = CampaignEngine(SPEC, out, jobs=1).run()
+        assert summary["executed"] == 0
+        assert summary["already_complete"] == 6
+
+
+class TestWorker:
+    def test_execute_task_matches_chunk_execution(self):
+        from repro.campaign.sampler import enumerate_tasks
+        task = enumerate_tasks(SPEC)[0].to_dict()
+        solo = execute_task(task)
+        chunked = execute_chunk({"tasks": [task], "config": None,
+                                 "timeout": 0})
+        assert chunked == [solo]
+
+    def test_records_have_no_wall_clock_fields(self):
+        from repro.campaign.sampler import enumerate_tasks
+        task = enumerate_tasks(SPEC)[0].to_dict()
+        record = execute_task(task)
+        assert not any("time" in key or "stamp" in key for key in record
+                       if key != "timed_out")

@@ -1,0 +1,90 @@
+"""Stratified site sampling: determinism, coverage of strata, validity."""
+
+from collections import Counter
+
+from repro.campaign.sampler import cores_for, enumerate_tasks
+from repro.campaign.spec import CampaignSpec
+from repro.core.faults import fault_from_dict
+from repro.pipeline.ebox import POOL_SIZES
+
+
+def spec(**overrides) -> CampaignSpec:
+    base = dict(kinds=("base", "lockstep"), workloads=("gcc", "swim"),
+                models=("transient-result", "transient-register",
+                        "stuck-unit"),
+                injections=4, instructions=300, warmup=500)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestEnumeration:
+    def test_every_stratum_gets_exactly_n_draws(self):
+        tasks = enumerate_tasks(spec())
+        per_stratum = Counter((t.kind, t.workload, t.model) for t in tasks)
+        assert len(per_stratum) == 12
+        assert set(per_stratum.values()) == {4}
+
+    def test_indices_are_dense_and_ordered(self):
+        tasks = enumerate_tasks(spec())
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+
+    def test_task_ids_unique(self):
+        tasks = enumerate_tasks(spec())
+        assert len({t.task_id for t in tasks}) == len(tasks)
+
+
+class TestDeterminism:
+    def test_same_spec_same_tasks(self):
+        assert enumerate_tasks(spec()) == enumerate_tasks(spec())
+
+    def test_seed_changes_sites_but_not_shape(self):
+        a = enumerate_tasks(spec(seed=0))
+        b = enumerate_tasks(spec(seed=1))
+        assert len(a) == len(b)
+        assert [t.fault for t in a] != [t.fault for t in b]
+
+    def test_draws_within_stratum_differ(self):
+        tasks = [t for t in enumerate_tasks(spec())
+                 if (t.kind, t.workload, t.model)
+                 == ("base", "gcc", "transient-result")]
+        assert len({t.fault for t in tasks}) > 1
+
+
+class TestSiteValidity:
+    def test_every_site_rebuilds_into_a_fault(self):
+        for task in enumerate_tasks(spec()):
+            fault = fault_from_dict(task.fault_dict())
+            assert fault is not None
+
+    def test_transient_sites_within_strike_window(self):
+        s = spec(strike_window=(25, 75))
+        for task in enumerate_tasks(s):
+            site = task.fault_dict()
+            if "cycle" in site:
+                assert 25 <= site["cycle"] <= 75
+
+    def test_bits_are_word_sized(self):
+        for task in enumerate_tasks(spec()):
+            assert 0 <= task.fault_dict()["bit"] <= 63
+
+    def test_cores_respect_machine_kind(self):
+        assert cores_for("base") == (0,)
+        assert cores_for("srt") == (0,)
+        assert set(cores_for("lockstep")) == {0, 1}
+        seen = {task.fault_dict()["core_index"]
+                for task in enumerate_tasks(
+                    spec(kinds=("lockstep",), injections=32,
+                         models=("transient-result",)))}
+        assert seen == {0, 1}
+
+    def test_stuck_unit_indices_fit_pools(self):
+        for task in enumerate_tasks(spec(models=("stuck-unit",),
+                                         injections=32)):
+            fault = fault_from_dict(task.fault_dict())
+            assert 0 <= fault.unit_index < POOL_SIZES[fault.fu_class]
+
+    def test_register_sites_fit_physical_file(self):
+        for task in enumerate_tasks(spec(models=("transient-register",),
+                                         injections=32)):
+            reg = task.fault_dict()["reg"]
+            assert 32 <= reg < 512

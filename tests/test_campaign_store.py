@@ -1,0 +1,104 @@
+"""Artifact store: manifest binding, append durability, tail repair."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignConfigError, CampaignSpec
+from repro.campaign.store import CampaignStore, canonical_record
+
+
+def spec(**overrides) -> CampaignSpec:
+    base = dict(kinds=("srt",), workloads=("gcc",),
+                models=("transient-result",), injections=3,
+                instructions=200, warmup=500)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def record(i: int) -> dict:
+    return {"task_id": f"t{i}", "index": i, "kind": "srt",
+            "workload": "gcc", "model": "transient-result",
+            "fault": {"model": "transient-result", "cycle": 100 + i,
+                      "core_index": 0, "bit": i, "thread": None,
+                      "target_loads": False},
+            "outcome": "masked", "struck_cycle": None,
+            "detected_cycle": None, "latency": None, "timed_out": False}
+
+
+class TestManifest:
+    def test_initialize_fresh_directory(self, tmp_path):
+        store = CampaignStore(tmp_path / "c")
+        assert store.initialize(spec()) is False  # not resuming
+        manifest = store.load_manifest()
+        assert manifest["campaign_hash"] == spec().content_hash()
+        assert manifest["total_tasks"] == 3
+
+    def test_same_spec_resumes(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        store.append([record(0)])
+        assert store.initialize(spec()) is True
+        assert store.completed_count() == 1
+
+    def test_changed_spec_refuses_without_fresh(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        store.append([record(0)])
+        with pytest.raises(CampaignConfigError, match="config changed"):
+            store.initialize(spec(injections=9))
+
+    def test_fresh_discards_stale_records(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        store.append([record(0), record(1)])
+        assert store.initialize(spec(injections=9), fresh=True) is False
+        assert store.completed_count() == 0
+        assert store.load_manifest()["campaign_hash"] \
+            == spec(injections=9).content_hash()
+
+    def test_resume_without_manifest_fails(self, tmp_path):
+        with pytest.raises(CampaignConfigError, match="manifest"):
+            CampaignStore(tmp_path).load_manifest()
+
+
+class TestRecords:
+    def test_append_and_read_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        batch = [record(0), record(1), record(2)]
+        store.append(batch)
+        assert store.records() == batch
+        assert store.completed_ids() == {"t0", "t1", "t2"}
+
+    def test_canonical_encoding_is_key_sorted_and_compact(self):
+        line = canonical_record({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_partial_trailing_line_is_repaired(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        store.append([record(0), record(1)])
+        with open(store.results_path, "ab") as handle:
+            handle.write(b'{"task_id": "t2", "trunc')  # killed mid-write
+        assert store.completed_ids() == {"t0", "t1"}
+        # the partial tail is gone for good; appends stay well-formed
+        store.append([record(2)])
+        lines = store.results_path.read_text().splitlines()
+        assert [json.loads(line)["task_id"] for line in lines] \
+            == ["t0", "t1", "t2"]
+
+    def test_empty_store_iterates_nothing(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        assert store.records() == []
+        assert store.completed_count() == 0
+
+
+class TestProgress:
+    def test_progress_sidecar_round_trip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        assert store.load_progress() is None
+        store.write_progress({"executed": 3, "jobs": 2})
+        assert store.load_progress() == {"executed": 3, "jobs": 2}

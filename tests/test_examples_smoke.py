@@ -43,3 +43,10 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "transient single-bit faults" in out
         assert "PSR" in out
+
+    def test_campaign_demo(self, capsys):
+        run_example("campaign_demo.py", ["m88ksim", "3"])
+        out = capsys.readouterr().out
+        assert "simulated kill" in out
+        assert "re-ran only" in out
+        assert "coverage" in out and "Wilson" in out

@@ -1,0 +1,200 @@
+"""FaultOutcome classification edge cases and the fault wire format.
+
+The classifier boundaries matter for campaign statistics: LATENT vs SDC
+decides whether corruption *left the sphere of replication*, and HUNG
+vs MASKED decides whether a short trace means a wedged machine or just
+a fault that never fired.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.faults import (FAULT_MODELS, FaultOutcome, FaultReport,
+                               StuckFunctionalUnit, TransientRegisterFault,
+                               TransientResultFault, classify_outcome,
+                               fault_from_dict, fault_model_name,
+                               fault_to_dict, golden_store_stream,
+                               run_fault_experiment_detailed)
+from repro.core.machine import make_machine
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.generator import generate_benchmark
+from repro.isa.instructions import FuClass
+
+PROGRAM = generate_benchmark("m88ksim")
+
+
+class StubMachine:
+    """classify_outcome only consults ``fault_events``."""
+
+    def __init__(self, fault_events=()):
+        self.fault_events = list(fault_events)
+
+
+def faithful_trace(length):
+    """A retired-stream stand-in that matches the functional executor."""
+    class TraceEntry:
+        def __init__(self, pc, result):
+            self.pc = pc
+            self.result = result
+
+    trace = []
+    for step in FunctionalExecutor(PROGRAM).run(length):
+        result = step.load[1] if step.load is not None else None
+        trace.append(TraceEntry(step.pc, result))
+    return trace
+
+
+def golden_drain(instructions):
+    return golden_store_stream(PROGRAM, instructions)
+
+
+class TestClassificationBoundaries:
+    # Long enough to retire past the store-free prologue of the
+    # generated benchmarks (first stores land around instruction ~100).
+    TARGET = 200
+
+    def test_faithful_run_is_masked(self):
+        trace = faithful_trace(self.TARGET)
+        drained = golden_drain(self.TARGET)
+        assert classify_outcome(StubMachine(), PROGRAM, trace, drained,
+                                self.TARGET) is FaultOutcome.MASKED
+
+    def test_detection_beats_everything(self):
+        """A raised fault event wins even over a corrupted drain."""
+        trace = faithful_trace(self.TARGET - 10)  # would be HUNG
+        drained = [("ST", 0xDEAD, 0xBEEF)]        # would be SDC
+        machine = StubMachine(fault_events=[object()])
+        assert classify_outcome(machine, PROGRAM, trace, drained,
+                                self.TARGET) is FaultOutcome.DETECTED
+
+    def test_short_trace_is_hung_even_with_clean_drain(self):
+        trace = faithful_trace(self.TARGET - 1)  # one short of target
+        drained = golden_drain(self.TARGET - 1)
+        assert classify_outcome(StubMachine(), PROGRAM, trace, drained,
+                                self.TARGET) is FaultOutcome.HUNG
+
+    def test_exact_target_is_not_hung(self):
+        trace = faithful_trace(self.TARGET)
+        outcome = classify_outcome(StubMachine(), PROGRAM, trace,
+                                   golden_drain(self.TARGET), self.TARGET)
+        assert outcome is not FaultOutcome.HUNG
+
+    def test_wrong_drained_store_is_sdc(self):
+        trace = faithful_trace(self.TARGET)
+        drained = golden_drain(self.TARGET)
+        assert drained, "need at least one store in the window"
+        op, addr, value = drained[0]
+        drained[0] = (op, addr, value ^ 1)
+        assert classify_outcome(StubMachine(), PROGRAM, trace, drained,
+                                self.TARGET) is FaultOutcome.SDC
+
+    def test_pc_divergence_with_clean_drain_is_latent(self):
+        trace = faithful_trace(self.TARGET)
+        trace[-1].pc += 1  # retired path diverged, nothing escaped
+        assert classify_outcome(StubMachine(), PROGRAM, trace,
+                                golden_drain(self.TARGET),
+                                self.TARGET) is FaultOutcome.LATENT
+
+    def test_wrong_load_value_with_clean_drain_is_latent(self):
+        trace = faithful_trace(self.TARGET)
+        loads = [entry for entry in trace if entry.result is not None]
+        assert loads, "need at least one load in the window"
+        loads[0].result ^= 0x10
+        assert classify_outcome(StubMachine(), PROGRAM, trace,
+                                golden_drain(self.TARGET),
+                                self.TARGET) is FaultOutcome.LATENT
+
+    def test_sdc_beats_latent(self):
+        """The drained stream is decisive: escape trumps divergence."""
+        trace = faithful_trace(self.TARGET)
+        trace[0].pc += 1
+        drained = golden_drain(self.TARGET)
+        op, addr, value = drained[0]
+        drained[0] = (op, addr, value ^ 1)
+        assert classify_outcome(StubMachine(), PROGRAM, trace, drained,
+                                self.TARGET) is FaultOutcome.SDC
+
+    def test_zero_instruction_run_is_masked(self):
+        """target=0: nothing ran, nothing diverged — not HUNG."""
+        assert classify_outcome(StubMachine(), PROGRAM, [], [],
+                                0) is FaultOutcome.MASKED
+
+
+class TestLateFault:
+    def test_fault_after_retirement_window_never_fires(self):
+        """A strike scheduled beyond the run is a non-event: MASKED,
+        no struck cycle, no latency."""
+        machine = make_machine("srt", MachineConfig(), [PROGRAM])
+        fault = TransientResultFault(cycle=10**9, core_index=0, bit=1)
+        report = run_fault_experiment_detailed(
+            machine, PROGRAM, fault, instructions=120, warmup=300)
+        assert report.outcome is FaultOutcome.MASKED
+        assert not fault.fired
+        assert report.struck_cycle is None
+        assert report.detection_latency is None
+
+
+class TestFaultWireFormat:
+    FAULTS = [
+        TransientRegisterFault(cycle=120, core_index=0, reg=77, bit=5),
+        TransientResultFault(cycle=90, core_index=1, bit=12, thread=2,
+                             target_loads=True),
+        StuckFunctionalUnit(core_index=0, fu_class=FuClass.LOGIC,
+                            unit_index=3, bit=9),
+    ]
+
+    @pytest.mark.parametrize("fault", FAULTS,
+                             ids=lambda f: type(f).__name__)
+    def test_round_trip(self, fault):
+        clone = fault_from_dict(fault_to_dict(fault))
+        assert clone == fault
+
+    def test_runtime_state_never_survives(self):
+        fault = TransientResultFault(cycle=1, core_index=0, bit=0)
+        fault.fired = True
+        fault.struck_cycle = 42
+        clone = fault_from_dict(fault_to_dict(fault))
+        assert not clone.fired
+        assert clone.struck_cycle is None
+
+    def test_enum_serialized_by_value(self):
+        data = fault_to_dict(self.FAULTS[2])
+        assert data["fu_class"] == "logic"
+        assert data["model"] == "stuck-unit"
+
+    def test_every_registered_model_has_a_name(self):
+        for name, cls in FAULT_MODELS.items():
+            instance = fault_from_dict({"model": name, "core_index": 0,
+                                        **({"cycle": 1, "bit": 0}
+                                           if name != "stuck-unit"
+                                           else {"fu_class": "int",
+                                                 "unit_index": 0}),
+                                        **({"reg": 70}
+                                           if name == "transient-register"
+                                           else {})})
+            assert isinstance(instance, cls)
+            assert fault_model_name(instance) == name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            fault_from_dict({"model": "bitrot"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown transient-result"):
+            fault_from_dict({"model": "transient-result", "cycle": 1,
+                             "core_index": 0, "bit": 0, "wobble": True})
+
+
+class TestFaultReportSerialization:
+    def test_round_trip_with_latency(self):
+        report = FaultReport(outcome=FaultOutcome.DETECTED,
+                             struck_cycle=100, detected_cycle=180)
+        data = report.to_dict()
+        assert data["latency"] == 80
+        clone = FaultReport.from_dict(data)
+        assert clone == report
+        assert clone.detection_latency == 80
+
+    def test_undetected_has_null_latency(self):
+        report = FaultReport(outcome=FaultOutcome.MASKED)
+        assert report.to_dict()["latency"] is None

@@ -1,0 +1,80 @@
+"""Parallel experiment fan-out (--jobs) must reproduce sequential output."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.parallel import (default_items, merge_results,
+                                    run_experiment_parallel, split_param)
+from repro.harness.runner import Runner
+from repro.isa.profiles import SPEC95_NAMES
+
+RUNNER_KWARGS = {"instructions": 100, "warmup": 300, "seed": 0}
+
+
+class TestSplitDetection:
+    def test_benchmark_list_drivers_are_splittable(self):
+        assert split_param(experiments.fig6_srt_one_thread) == "benchmarks"
+        assert split_param(experiments.fig9_store_lifetime) == "benchmarks"
+        assert split_param(experiments.fig8_srt_two_threads) == "pairs"
+        assert split_param(experiments.fig11_crt_multithread) == "workloads"
+
+    def test_single_workload_sweeps_are_not(self):
+        assert split_param(experiments.store_queue_sweep) is None
+        assert split_param(experiments.ablation_cross_latency) is None
+
+    def test_default_items(self):
+        assert default_items(experiments.fig6_srt_one_thread) \
+            == list(SPEC95_NAMES)
+        assert default_items(experiments.fig8_srt_two_threads) \
+            == experiments.fig8_default_pairs()
+        assert default_items(experiments.fig11_crt_multithread) \
+            == experiments.fig11_default_workloads()
+        assert default_items(experiments.store_queue_sweep) is None
+
+
+class TestMerge:
+    def test_merge_preserves_order_and_recomputes_means(self):
+        from repro.harness.experiments import ExperimentResult
+        a = ExperimentResult("x", "d", series=["v"])
+        a.add_row("one", {"v": 1.0})
+        a.finish()
+        b = ExperimentResult("x", "d", series=["v"])
+        b.add_row("two", {"v": 3.0})
+        b.finish()
+        b.summary["max.v"] = 3.0
+        a.summary["max.v"] = 1.0
+        merged = merge_results([a, b])
+        assert list(merged.rows) == ["one", "two"]
+        assert merged.summary["mean.v"] == pytest.approx(2.0)
+        assert merged.summary["max.v"] == 3.0
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_results([])
+
+
+class TestParallelEquivalence:
+    def test_fig9_parallel_matches_sequential(self):
+        sequential = experiments.fig9_store_lifetime(
+            Runner(**RUNNER_KWARGS), benchmarks=["m88ksim", "ijpeg"])
+        # Parallel path over the same subset via explicit slices.
+        from repro.harness.parallel import _run_slice
+        slices = [_run_slice(("fig9_store_lifetime", RUNNER_KWARGS,
+                              "benchmarks", [name]))
+                  for name in ("m88ksim", "ijpeg")]
+        merged = merge_results(slices)
+        assert merged.rows == sequential.rows
+        assert merged.summary == sequential.summary
+
+    def test_pool_execution_matches_sequential(self):
+        """Full ProcessPoolExecutor path on a down-scaled driver."""
+        parallel = run_experiment_parallel("line_predictor_rates",
+                                           RUNNER_KWARGS, jobs=2)
+        sequential = experiments.line_predictor_rates(Runner(**RUNNER_KWARGS))
+        assert parallel.rows == sequential.rows
+        assert parallel.summary == sequential.summary
+
+    def test_unsplittable_driver_falls_back(self):
+        result = run_experiment_parallel("store_queue_sweep",
+                                         RUNNER_KWARGS, jobs=4)
+        assert result.rows  # ran sequentially, produced the sweep

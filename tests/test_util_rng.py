@@ -1,6 +1,6 @@
 """Unit tests for deterministic RNG derivation."""
 
-from repro.util.rng import DeterministicRng, seed_from
+from repro.util.rng import DeterministicRng, seed_from, spawn_seed
 
 
 class TestSeedFrom:
@@ -39,3 +39,44 @@ class TestDeterministicRng:
         picks = [rng.choice(options) for _ in range(5)]
         rng2 = DeterministicRng("c")
         assert picks == [rng2.choice(options) for _ in range(5)]
+
+
+class TestSpawn:
+    """Spawn-style sub-seeds: the cross-process derivation contract."""
+
+    def test_spawn_seed_is_a_pure_function(self):
+        assert spawn_seed(7, "a", 1) == spawn_seed(7, "a", 1)
+        assert spawn_seed(7, "a", 1) != spawn_seed(7, "a", 2)
+        assert spawn_seed(7, "a", 1) != spawn_seed(8, "a", 1)
+
+    def test_spawn_independent_of_parent_consumption(self):
+        """The property workers rely on: a spawned stream depends only
+        on (root seed, key), never on shared parent state."""
+        parent1 = DeterministicRng("root", 3)
+        parent2 = DeterministicRng("root", 3)
+        for _ in range(17):
+            parent2.random()  # consume parent2 heavily
+        child1 = parent1.spawn("task", 5)
+        child2 = parent2.spawn("task", 5)
+        assert [child1.randint(0, 1 << 32) for _ in range(8)] == [
+            child2.randint(0, 1 << 32) for _ in range(8)]
+
+    def test_sibling_spawns_diverge(self):
+        parent = DeterministicRng("root")
+        a = parent.spawn("task", 0)
+        b = parent.spawn("task", 1)
+        assert [a.randint(0, 1 << 32) for _ in range(4)] != [
+            b.randint(0, 1 << 32) for _ in range(4)]
+
+    def test_spawn_rebuildable_from_seed_alone(self):
+        """A worker holding only the integer seed rebuilds the stream."""
+        child = DeterministicRng("root").spawn("k")
+        rebuilt = DeterministicRng.from_seed(child.seed)
+        assert [child.randint(0, 1 << 32) for _ in range(4)] == [
+            rebuilt.randint(0, 1 << 32) for _ in range(4)]
+
+    def test_spawn_differs_from_derive(self):
+        """Two distinct namespaces: spawn keys never collide with
+        derive parts."""
+        parent = DeterministicRng("root")
+        assert parent.spawn("x").seed != parent.derive("x").seed
