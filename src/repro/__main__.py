@@ -99,6 +99,9 @@ def cmd_list() -> int:
     print("\ncampaigns:")
     print("  campaign           parallel, resumable fault-injection "
           "campaigns ('campaign --help')")
+    print("\nrobustness:")
+    print("  recovery           watchdog forensics + checkpoint-recovery "
+          "demos ('recovery --help')")
     return 0
 
 
@@ -120,6 +123,10 @@ def main(argv=None) -> int:
         # Campaign verbs have their own subcommand grammar.
         from repro.campaign.cli import main as campaign_main
         return campaign_main(argv[1:])
+    if argv and argv[0] == "recovery":
+        # Robustness demos: watchdog forensics + checkpoint recovery.
+        from repro.recovery.cli import main as recovery_main
+        return recovery_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()

@@ -68,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="campaign root seed")
     run.add_argument("--strike-window", type=_csv, default=None,
                      metavar="LO,HI", help="strike-cycle window")
+    run.add_argument("--recovery", action="store_true",
+                     help="run injections on recovery-enabled machines "
+                          "(checkpoint + rollback-and-replay)")
     run.add_argument("--fresh", action="store_true",
                      help="discard records from a different config")
 
@@ -85,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_out(report)
     report.add_argument("--bucket-width", type=int, default=64,
                         help="latency histogram bucket width (cycles)")
+    report.add_argument("--by-termination", action="store_true",
+                        help="append the termination breakdown "
+                             "(done/cycle-limit/hung/livelock/recovered/"
+                             "unrecoverable) and recovery-latency summary")
     return parser
 
 
@@ -113,7 +120,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         kinds=tuple(args.kinds), workloads=tuple(args.workloads),
         models=tuple(args.models), injections=args.injections,
         seed=args.seed, instructions=args.instructions,
-        warmup=args.warmup, strike_window=window)
+        warmup=args.warmup, strike_window=window,
+        config={"recovery_enabled": True} if args.recovery else None)
     engine = CampaignEngine(spec, args.out, jobs=args.jobs,
                             task_timeout=args.timeout,
                             chunk_size=args.chunk)
@@ -159,7 +167,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     store = CampaignStore(args.out)
     store.load_manifest()  # fail loudly on a non-campaign directory
-    print(render_report(store.records(), bucket_width=args.bucket_width))
+    print(render_report(store.records(), bucket_width=args.bucket_width,
+                        by_termination=args.by_termination))
     return 0
 
 
@@ -172,6 +181,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CampaignConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The store appends whole records (and repairs a torn tail on
+        # load), so whatever is on disk is a valid resume point.
+        print("\ninterrupted — progress saved; continue with "
+              f"`python -m repro campaign resume --out {args.out}`",
+              file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

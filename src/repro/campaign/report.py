@@ -27,9 +27,16 @@ from repro.harness.tracing import Histogram
 
 #: Outcomes where the fault provably propagated into visible state; the
 #: coverage denominator (a masked fault is undetectable *by design* —
-#: nothing wrong ever existed to detect).
+#: nothing wrong ever existed to detect).  RECOVERED / UNRECOVERABLE
+#: imply a detection fired first, so they count as detected *and*
+#: unmasked on recovery-enabled machines.
 UNMASKED = (FaultOutcome.DETECTED, FaultOutcome.LATENT, FaultOutcome.SDC,
-            FaultOutcome.HUNG)
+            FaultOutcome.HUNG, FaultOutcome.RECOVERED,
+            FaultOutcome.UNRECOVERABLE)
+
+#: Outcomes where output comparison raised a detection event.
+DETECTED_LIKE = (FaultOutcome.DETECTED, FaultOutcome.RECOVERED,
+                 FaultOutcome.UNRECOVERABLE)
 
 
 def wilson_interval(successes: int, trials: int,
@@ -51,15 +58,21 @@ class StratumStats:
 
     def __init__(self) -> None:
         self.outcomes: Counter = Counter()
+        self.terminations: Counter = Counter()
         self.latencies: List[int] = []
+        self.recovery_latencies: List[int] = []
         self.timed_out = 0
 
     def add(self, record: Dict[str, object]) -> None:
         self.outcomes[record["outcome"]] += 1
+        if record.get("termination"):
+            self.terminations[record["termination"]] += 1
         if record.get("timed_out"):
             self.timed_out += 1
         if record.get("latency") is not None:
             self.latencies.append(record["latency"])
+        if record.get("recovery_latency") is not None:
+            self.recovery_latencies.append(record["recovery_latency"])
 
     @property
     def total(self) -> int:
@@ -67,7 +80,8 @@ class StratumStats:
 
     @property
     def detected(self) -> int:
-        return self.outcomes.get(FaultOutcome.DETECTED.value, 0)
+        return sum(self.outcomes.get(outcome.value, 0)
+                   for outcome in DETECTED_LIKE)
 
     @property
     def unmasked(self) -> int:
@@ -107,6 +121,55 @@ def coverage_table(strata: Dict[Tuple[str, str], StratumStats]
         row.update({"n": stats.total, "coverage": point,
                     "ci_low": low, "ci_high": high})
         result.add_row(f"{kind}/{workload}", row)
+    return result.finish()
+
+
+def termination_table(strata: Dict[Tuple[str, str], StratumStats]
+                      ) -> ExperimentResult:
+    """How runs *ended*, one row per stratum (``--by-termination``).
+
+    Orthogonal to the outcome taxonomy: a DETECTED fault usually still
+    ends ``done`` (detection-only machines keep running), while ``hung``
+    / ``livelock`` rows carry watchdog forensics and ``recovered`` /
+    ``unrecoverable`` only occur with ``recovery_enabled`` configs.
+    """
+    from repro.core.metrics import Termination
+
+    order = [termination.value for termination in Termination]
+    seen = {value for stats in strata.values()
+            for value in stats.terminations}
+    series = ([value for value in order if value in seen]
+              + sorted(seen - set(order)) + ["timed-out", "n"])
+    result = ExperimentResult(
+        "campaign_termination",
+        "Run terminations per stratum (watchdog/recovery verdicts)",
+        series=series)
+    for (kind, workload), stats in sorted(strata.items()):
+        row = {value: stats.terminations.get(value, 0)
+               for value in series if value not in ("timed-out", "n")}
+        row["timed-out"] = stats.timed_out
+        row["n"] = stats.total
+        result.add_row(f"{kind}/{workload}", row)
+    return result.finish()
+
+
+def recovery_table(strata: Dict[Tuple[str, str], StratumStats]
+                   ) -> ExperimentResult:
+    """Recovery-latency summary per machine kind (recovered runs only)."""
+    by_kind: Dict[str, List[int]] = defaultdict(list)
+    for (kind, _), stats in strata.items():
+        by_kind[kind].extend(stats.recovery_latencies)
+    result = ExperimentResult(
+        "campaign_recovery",
+        "Recovery latency (cycles, rollback→replay caught up)",
+        series=["recovered", "mean", "max"])
+    for kind in sorted(by_kind):
+        latencies = by_kind[kind]
+        result.add_row(kind, {
+            "recovered": len(latencies),
+            "mean": (sum(latencies) / len(latencies)) if latencies else 0.0,
+            "max": max(latencies) if latencies else 0,
+        })
     return result.finish()
 
 
@@ -151,13 +214,22 @@ def latency_histograms(strata: Dict[Tuple[str, str], StratumStats],
 
 
 def render_report(records: List[Dict[str, object]],
-                  bucket_width: int = 64) -> str:
-    """The full ``campaign report`` text output."""
+                  bucket_width: int = 64,
+                  by_termination: bool = False) -> str:
+    """The full ``campaign report`` text output.
+
+    ``by_termination`` appends the termination breakdown (and, when any
+    run recovered, the recovery-latency summary).
+    """
     if not records:
         return "(no records yet — run the campaign first)"
     strata = aggregate(records)
     sections = [render_table(coverage_table(strata)),
                 render_table(latency_table(strata))]
+    if by_termination:
+        sections.append(render_table(termination_table(strata)))
+        if any(stats.recovery_latencies for stats in strata.values()):
+            sections.append(render_table(recovery_table(strata)))
     for kind, histogram in latency_histograms(strata, bucket_width).items():
         if histogram.total:
             sections.append(render_histogram(

@@ -128,12 +128,21 @@ class CampaignStore:
         return len(self.completed_ids())
 
     def append(self, records: List[Dict[str, object]]) -> None:
-        """Durably append a batch of records (one fsync per batch)."""
+        """Durably append a batch of records (one fsync per batch).
+
+        The batch is serialized *before* the file opens and written as a
+        single buffer, so a KeyboardInterrupt landing inside this method
+        either misses the batch entirely or writes it whole — it cannot
+        leave a torn row mid-batch (a kill harder than SIGINT can still
+        tear the final buffered write, which ``_repair_partial_tail``
+        drops on the next load).
+        """
         if not records:
             return
+        payload = "".join(canonical_record(record) + "\n"
+                          for record in records)
         with open(self.results_path, "a", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(canonical_record(record) + "\n")
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
 

@@ -44,14 +44,21 @@ def _program_for(workload: str, seed: int,
 
 def execute_task(task: Dict[str, object],
                  config: Optional[Dict[str, object]] = None,
-                 _cache: Optional[Dict[tuple, Program]] = None
-                 ) -> Dict[str, object]:
-    """Run one injection and return its (deterministic) result record."""
+                 _cache: Optional[Dict[tuple, Program]] = None,
+                 _holder: Optional[List] = None) -> Dict[str, object]:
+    """Run one injection and return its (deterministic) result record.
+
+    ``_holder``, when given, receives the live machine right after
+    construction so the SIGALRM timeout path can salvage the watchdog's
+    last progress fingerprint from a wedged run.
+    """
     machine_config = (MachineConfig.from_dict(config) if config
                       else MachineConfig())
     program = _program_for(task["workload"], task["seed"],
                            _cache if _cache is not None else {})
     machine = make_machine(task["kind"], machine_config, [program])
+    if _holder is not None:
+        _holder.append(machine)
     fault = fault_from_dict(task["fault"])
     report = run_fault_experiment_detailed(
         machine, program, fault,
@@ -69,8 +76,18 @@ def execute_task(task: Dict[str, object],
     return record
 
 
-def _timed_out_record(task: Dict[str, object]) -> Dict[str, object]:
-    return {
+def _timed_out_record(task: Dict[str, object],
+                      machine=None) -> Dict[str, object]:
+    """Failure row for a task that tripped the wall-clock alarm.
+
+    The row carries the watchdog's last progress fingerprint (queue
+    occupancies, head-of-ROB blockers, stall counters) salvaged from the
+    interrupted machine.  Timeout rows are the one deliberately
+    nondeterministic record kind — they depend on wall-clock speed — so
+    the extra forensic detail costs no reproducibility that was not
+    already lost.
+    """
+    record = {
         "task_id": task["task_id"],
         "index": task["index"],
         "kind": task["kind"],
@@ -82,7 +99,14 @@ def _timed_out_record(task: Dict[str, object]) -> Dict[str, object]:
         "struck_cycle": None,
         "detected_cycle": None,
         "latency": None,
+        "termination": "hung",
     }
+    if machine is not None and machine.watchdog is not None:
+        fingerprint = machine.watchdog.last_fingerprint
+        if fingerprint is None:
+            fingerprint = machine.watchdog.fingerprint(machine.now)
+        record["fingerprint"] = fingerprint.to_dict()
+    return record
 
 
 def execute_chunk(payload: Dict[str, object]) -> List[Dict[str, object]]:
@@ -102,12 +126,14 @@ def execute_chunk(payload: Dict[str, object]) -> List[Dict[str, object]]:
         if not use_alarm:
             records.append(execute_task(task, config, cache))
             continue
+        holder: List = []
         previous = signal.signal(signal.SIGALRM, _alarm_handler)
         signal.alarm(timeout)
         try:
-            records.append(execute_task(task, config, cache))
+            records.append(execute_task(task, config, cache, holder))
         except TaskTimeout:
-            records.append(_timed_out_record(task))
+            records.append(_timed_out_record(
+                task, machine=holder[-1] if holder else None))
         finally:
             signal.alarm(0)
             signal.signal(signal.SIGALRM, previous)

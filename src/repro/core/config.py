@@ -52,6 +52,25 @@ class MachineConfig:
     #: Lockstep checker latency: 0 for Lock0, 8 for Lock8.
     checker_latency: int = 8
 
+    # -- robustness / recovery (repro.recovery, docs/RECOVERY.md) ------------
+    #: Cycles between forward-progress fingerprints (0 disables the
+    #: watchdog entirely — runs may then truncate silently).
+    watchdog_interval: int = 64
+    #: Cycles with zero measured-thread retirement before the watchdog
+    #: declares the machine HUNG/LIVELOCK.  Must comfortably exceed the
+    #: longest legitimate stall (an L2 miss burst is O(100) cycles).
+    watchdog_window: int = 4096
+    #: Enable SRTR-style checkpoint/rollback recovery on SRT/CRT
+    #: machines: detection events trigger rollback-and-replay instead of
+    #: being terminal.
+    recovery_enabled: bool = False
+    #: Minimum cycles between architectural checkpoints (taken at the
+    #: next verified-store boundary at or after the mark).
+    checkpoint_interval: int = 400
+    #: Checkpoints retained for escalating rollback; a fault that
+    #: re-detects after every retained checkpoint is UNRECOVERABLE.
+    recovery_max_attempts: int = 3
+
     # -- serialisation (experiment reproducibility) --------------------------
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

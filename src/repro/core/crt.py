@@ -80,6 +80,11 @@ class CrtMachine(Machine):
                                if lead_core != trail_core else 0))
             self._register_logical_thread(program.name, leading)
 
+        if config.recovery_enabled:
+            from repro.recovery.checkpoint import RecoveryManager
+
+            self.recovery = RecoveryManager(self, self.controller)
+
     def _post_tick(self) -> None:
         self.controller.tick(self.now)
 

@@ -25,7 +25,15 @@ Outcomes are classified against the golden architectural model:
   value was architecturally dead or overwritten);
 - ``SDC``      — silent data corruption: no detection, wrong stream;
 - ``HUNG``     — the run stopped making progress (fault corrupted
-  control state beyond recovery).
+  control state beyond recovery); the forward-progress watchdog
+  (:mod:`repro.recovery.watchdog`) renders the verdict and its
+  forensics travel on the report;
+- ``RECOVERED`` — detection fired *and* SRTR-style rollback-and-replay
+  (:mod:`repro.recovery.checkpoint`) completed the run with a correct
+  final state;
+- ``UNRECOVERABLE`` — detection fired but every retained checkpoint
+  replayed back into a detection (permanent fault, or corruption older
+  than the checkpoint ring).
 """
 
 import dataclasses
@@ -34,6 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.machine import Machine
+from repro.core.metrics import Termination
 from repro.isa.executor import FunctionalExecutor
 from repro.isa.instructions import FuClass
 from repro.pipeline.uop import Uop
@@ -46,6 +55,8 @@ class FaultOutcome(enum.Enum):
     LATENT = "latent"             # execution diverged, but no wrong value
     SDC = "silent-data-corruption"  # has left the sphere undetected (yet)
     HUNG = "hung"
+    RECOVERED = "recovered"          # detected + replayed clean (SRTR)
+    UNRECOVERABLE = "unrecoverable"  # detected, checkpoint ring exhausted
 
 
 class Fault:
@@ -254,13 +265,26 @@ def golden_store_stream(program, instructions: int) -> List[tuple]:
 
 def classify_outcome(machine: Machine, program, trace: List[Uop],
                      drained: List[tuple],
-                     target_instructions: int) -> FaultOutcome:
+                     target_instructions: int,
+                     termination: Optional[Termination] = None
+                     ) -> FaultOutcome:
     """Classify a finished fault run (see module docstring).
 
     The decisive stream is what *left the sphere of replication*: the
     drained stores.  A retired-path divergence with no wrong drained
     store is LATENT — detection is still possible before damage is done.
+
+    ``termination`` (the run's :class:`~repro.core.metrics.Termination`)
+    refines the verdict: a watchdog HUNG/LIVELOCK is HUNG even if a
+    detection fired first, and a recovery-enabled machine reports
+    RECOVERED / UNRECOVERABLE instead of bare DETECTED.
     """
+    if termination is Termination.UNRECOVERABLE:
+        return FaultOutcome.UNRECOVERABLE
+    if termination is not None and termination.is_wedged:
+        return FaultOutcome.HUNG
+    if termination is Termination.RECOVERED:
+        return FaultOutcome.RECOVERED
     if machine.fault_events:
         return FaultOutcome.DETECTED
     if len(trace) < target_instructions:
@@ -279,11 +303,20 @@ def classify_outcome(machine: Machine, program, trace: List[Uop],
 
 @dataclass
 class FaultReport:
-    """Outcome plus timing of one fault-injection run."""
+    """Outcome plus timing and robustness detail of one fault run."""
 
     outcome: FaultOutcome
     struck_cycle: Optional[int] = None
     detected_cycle: Optional[int] = None
+    #: The run's Termination verdict value ("done", "hung", ...).
+    termination: Optional[str] = None
+    #: Cycles from rollback until the replay re-reached the detection
+    #: point (recovery-enabled machines only).
+    recovery_latency: Optional[int] = None
+    #: Instructions rewound by the deepest rollback.
+    rollback_depth: Optional[int] = None
+    #: Last watchdog fingerprint / hang forensics for wedged runs.
+    fingerprint: Optional[Dict[str, object]] = None
 
     @property
     def detection_latency(self) -> Optional[int]:
@@ -294,18 +327,31 @@ class FaultReport:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe representation (outcome by value, latency included)."""
-        return {
+        data: Dict[str, object] = {
             "outcome": self.outcome.value,
             "struck_cycle": self.struck_cycle,
             "detected_cycle": self.detected_cycle,
             "latency": self.detection_latency,
         }
+        if self.termination is not None:
+            data["termination"] = self.termination
+        if self.recovery_latency is not None:
+            data["recovery_latency"] = self.recovery_latency
+        if self.rollback_depth is not None:
+            data["rollback_depth"] = self.rollback_depth
+        if self.fingerprint is not None:
+            data["fingerprint"] = self.fingerprint
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultReport":
         return cls(outcome=FaultOutcome(data["outcome"]),
                    struck_cycle=data.get("struck_cycle"),
-                   detected_cycle=data.get("detected_cycle"))
+                   detected_cycle=data.get("detected_cycle"),
+                   termination=data.get("termination"),
+                   recovery_latency=data.get("recovery_latency"),
+                   rollback_depth=data.get("rollback_depth"),
+                   fingerprint=data.get("fingerprint"))
 
 
 def run_fault_experiment_detailed(machine: Machine, program, fault: Fault,
@@ -316,14 +362,29 @@ def run_fault_experiment_detailed(machine: Machine, program, fault: Fault,
     measured.core.retire_trace[measured.tid] = []
     measured.core.drain_log[measured.tid] = []
     FaultInjector(machine, [fault])
-    machine.run(max_instructions=instructions, warmup=warmup)
+    result = machine.run(max_instructions=instructions, warmup=warmup)
     trace = measured.core.retire_trace[measured.tid]
     drained = measured.core.drain_log[measured.tid]
-    outcome = classify_outcome(machine, program, trace, drained, instructions)
+    outcome = classify_outcome(machine, program, trace, drained, instructions,
+                               termination=result.termination)
     detected_cycle = (machine.fault_events[0].cycle
                       if machine.fault_events else None)
-    return FaultReport(outcome=outcome, struck_cycle=fault.struck_cycle,
-                       detected_cycle=detected_cycle)
+    report = FaultReport(outcome=outcome, struck_cycle=fault.struck_cycle,
+                         detected_cycle=detected_cycle,
+                         termination=result.termination.value)
+    if result.recovery is not None:
+        report.recovery_latency = int(
+            result.recovery.get("recovery_latency_last", 0)) or None
+        report.rollback_depth = int(
+            result.recovery.get("rollback_depth_max", 0)) or None
+    if result.hang_report is not None:
+        report.fingerprint = result.hang_report
+    elif (result.termination in (Termination.CYCLE_LIMIT,
+                                 Termination.UNRECOVERABLE)
+          and machine.watchdog is not None
+          and machine.watchdog.last_fingerprint is not None):
+        report.fingerprint = machine.watchdog.last_fingerprint.to_dict()
+    return report
 
 
 def run_fault_experiment(machine: Machine, program,

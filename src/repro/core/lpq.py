@@ -117,6 +117,13 @@ class LinePredictionQueue:
             self.stats.rollbacks += 1
         self.active_head = self.recovery_head
 
+    def clear(self) -> None:
+        """Discard every queued chunk (SRTR rollback: the retired path
+        they describe has been rewound)."""
+        self._chunks.clear()
+        self.active_head = 0
+        self.recovery_head = 0
+
 
 class ChunkAggregator:
     """QBOX-side logic building trailing fetch chunks from retirement."""
@@ -207,3 +214,10 @@ class ChunkAggregator:
         if (self._pcs and self._last_add_cycle is not None
                 and now - self._last_add_cycle >= self.flush_timeout):
             self.flush(now, reason="timeout")
+
+    def clear(self) -> None:
+        """Drop the pending partial chunk (SRTR rollback)."""
+        self._pcs = []
+        self._half_hints = []
+        self._next_pc = None
+        self._last_add_cycle = None

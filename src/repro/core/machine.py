@@ -15,7 +15,8 @@ A *machine* is one single-chip device configuration from the paper:
 from typing import Dict, List, Optional
 
 from repro.core.config import MachineConfig
-from repro.core.metrics import FaultEvent, RunResult, ThreadResult
+from repro.core.metrics import (FaultEvent, RunResult, Termination,
+                                ThreadResult)
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.pipeline.core import Core
@@ -34,6 +35,9 @@ class Machine:
         self.hierarchies: List[MemoryHierarchy] = []
         self.fault_events: List[FaultEvent] = []
         self.injector = None  # optional repro.core.faults.FaultInjector
+        self.watchdog = None  # repro.recovery.watchdog.ProgressWatchdog
+        self.recovery = None  # repro.recovery.checkpoint.RecoveryManager
+        self.abort_reason: Optional[Termination] = None
         self.now = 0
         # name -> the hardware thread whose retirement measures progress.
         self._measured: Dict[str, HwThread] = {}
@@ -46,7 +50,19 @@ class Machine:
 
     def report_fault(self, cycle: int, kind: str, thread: int,
                      detail: str = "") -> None:
-        self.fault_events.append(FaultEvent(cycle, kind, thread, detail))
+        event = FaultEvent(cycle, kind, thread, detail)
+        self.fault_events.append(event)
+        if self.recovery is not None:
+            self.recovery.on_fault(event)
+
+    def abort(self, reason: Termination) -> None:
+        """Stop the run loop at the next cycle boundary with ``reason``.
+
+        Used by the recovery manager when its checkpoint ring is
+        exhausted: continuing to replay from the same corrupt state
+        would loop forever, so the run terminates ``UNRECOVERABLE``.
+        """
+        self.abort_reason = reason
 
     # -- warm-up -----------------------------------------------------------------
     def warm(self, instructions: int = 5_000) -> None:
@@ -104,17 +120,93 @@ class Machine:
             self.warm(warmup)
         if max_cycles is None:
             max_cycles = max_instructions * 60 + 20_000
-        for thread in self._measured.values():
-            thread.target_instructions = max_instructions
+        self._arm(max_instructions)
         while self.now < max_cycles:
-            if all(t.stats.done_cycle is not None or t.done
-                   for t in self._measured.values()):
+            if self._halted():
                 break
             self.step()
-        self._drain(max_cycles)
-        return self._collect(max_instructions)
+        return self._finish(max_instructions, max_cycles)
 
-    def _drain(self, max_cycles: int, grace: int = 20_000) -> None:
+    # -- run-loop pieces (shared with harness.tracing.OccupancySampler) ----
+    def _arm(self, max_instructions: int) -> None:
+        """Set retirement targets and attach the forward-progress watchdog."""
+        for thread in self._measured.values():
+            thread.target_instructions = max_instructions
+        if self.watchdog is None and self.config.watchdog_interval > 0:
+            from repro.recovery.watchdog import ProgressWatchdog
+
+            self.watchdog = ProgressWatchdog(
+                self, interval=self.config.watchdog_interval,
+                window=self.config.watchdog_window)
+
+    def _halted(self) -> bool:
+        """True when the run loop must stop before ``max_cycles``."""
+        if self.abort_reason is not None:
+            return True
+        if self.watchdog is not None and self.watchdog.verdict is not None:
+            return True
+        return all(t.stats.done_cycle is not None or t.done
+                   for t in self._measured.values())
+
+    def _finish(self, max_instructions: int, max_cycles: int) -> RunResult:
+        """Drain, resolve the termination verdict, and collect results."""
+        drained = True
+        wedged = (self.abort_reason is not None
+                  or (self.watchdog is not None
+                      and self.watchdog.verdict is not None))
+        if not wedged:
+            drained = self._drain(max_cycles)
+        if self.recovery is not None:
+            self.recovery.finalize()
+        result = self._collect(max_instructions)
+        result.drain_truncated = not drained
+
+        from repro.harness.tracing import log_run_warning
+
+        incomplete = any(t.stats.done_cycle is None and not t.done
+                         for t in self._measured.values())
+        if self.abort_reason is not None:
+            result.termination = self.abort_reason
+            if self.recovery is not None:
+                result.recovery = self.recovery.stats.summary()
+            log_run_warning(
+                f"{self.kind}: run aborted {result.termination.value} "
+                f"at cycle {self.now}")
+        elif self.watchdog is not None and self.watchdog.verdict is not None:
+            result.termination = self.watchdog.verdict
+            if self.watchdog.report is not None:
+                result.hang_report = self.watchdog.report.to_dict()
+                # One line to the log; full forensics live in the result
+                # (a campaign of wedged runs must not flood stderr).
+                log_run_warning(
+                    f"{self.kind}: "
+                    + self.watchdog.report.format().splitlines()[0].lstrip("# "))
+            if self.recovery is not None:
+                result.recovery = self.recovery.stats.summary()
+        elif incomplete:
+            result.termination = Termination.CYCLE_LIMIT
+            lagging = sorted(
+                name for name, t in self._measured.items()
+                if t.stats.done_cycle is None and not t.done)
+            log_run_warning(
+                f"{self.kind}: cycle limit {max_cycles} reached before "
+                f"{', '.join(lagging)} hit the {max_instructions}-instruction "
+                f"target (termination=cycle-limit, not a completed run)")
+            if self.recovery is not None:
+                result.recovery = self.recovery.stats.summary()
+        else:
+            if self.recovery is not None:
+                result.recovery = self.recovery.stats.summary()
+                if self.recovery.stats.recoveries:
+                    result.termination = Termination.RECOVERED
+            if not drained:
+                log_run_warning(
+                    f"{self.kind}: drain grace expired at cycle {self.now} "
+                    f"with stores still queued; final memory image may be "
+                    f"incomplete")
+        return result
+
+    def _drain(self, max_cycles: int, grace: int = 20_000) -> bool:
         """Let in-flight stores leave the machine after the measured
         threads finish (trailing threads may still need to retire their
         copies so leading stores can verify and drain).
@@ -124,15 +216,21 @@ class Machine:
         runs of non-terminating workloads skip this — their store queues
         are never durably empty and their IPCs were frozen at the target
         already.
+
+        Returns ``True`` when the drain completed (or was not needed) and
+        ``False`` when the grace deadline expired with stores still
+        queued — a truncated final memory image the caller must surface.
         """
         if not any(thread.done for thread in self._measured.values()):
-            return
+            return True
         deadline = min(self.now + grace, max_cycles + grace)
         while self.now < deadline:
             if not any(thread.store_queue
                        for core in self.cores for thread in core.threads):
-                break
+                return True
             self.step()
+        return not any(thread.store_queue
+                       for core in self.cores for thread in core.threads)
 
     def step(self) -> None:
         if self.injector is not None:
@@ -140,9 +238,13 @@ class Machine:
         for core in self.cores:
             core.tick(self.now)
         self._post_tick()
+        if self.recovery is not None:
+            self.recovery.tick(self.now)
         for hierarchy in self.hierarchies:
             hierarchy.tick(self.now)
         self.now += 1
+        if self.watchdog is not None:
+            self.watchdog.observe(self.now)
 
     def _post_tick(self) -> None:
         """Machine-specific per-cycle work (RMT controllers etc.)."""
@@ -184,6 +286,8 @@ class Machine:
                         ts.store_lifetime_sum / ts.store_lifetime_count)
         for hierarchy in self.hierarchies:
             stats.update(hierarchy.stats_summary())
+        if self.recovery is not None:
+            stats.update(self.recovery.machine_stats())
         return stats
 
 

@@ -6,8 +6,44 @@ base machine.  The figure-of-merit for a workload is the arithmetic mean
 over its logical threads — Snavely & Tullsen's weighted speedup.
 """
 
+import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+
+class Termination(enum.Enum):
+    """How a machine run ended (the robustness taxonomy).
+
+    The paper's SRT/CRT designs are detection-only; a wedged pipeline is
+    as real an outcome as a store mismatch, so every run carries an
+    explicit termination class instead of silently truncating:
+
+    - ``DONE``          — every measured thread reached its target (or
+      halted) and the machine drained cleanly;
+    - ``CYCLE_LIMIT``   — the cycle budget (or the post-halt drain grace
+      window) expired before the targets were met;
+    - ``HUNG``          — the forward-progress watchdog saw *no* retirement
+      and no speculative activity across its window: a true deadlock
+      (e.g. LVQ slack exhaustion, store-queue starvation);
+    - ``LIVELOCK``      — no measured retirement, but the machine kept
+      churning (squashes, misfetches, spinning unmeasured threads);
+    - ``RECOVERED``     — one or more SRTR-style rollbacks occurred and
+      the run still completed (transient fault corrected);
+    - ``UNRECOVERABLE`` — rollback-and-replay kept re-detecting faults
+      until the retry budget ran out (permanent fault or corrupted
+      checkpoint).
+    """
+
+    DONE = "done"
+    CYCLE_LIMIT = "cycle-limit"
+    HUNG = "hung"
+    LIVELOCK = "livelock"
+    RECOVERED = "recovered"
+    UNRECOVERABLE = "unrecoverable"
+
+    @property
+    def is_wedged(self) -> bool:
+        return self in (Termination.HUNG, Termination.LIVELOCK)
 
 
 @dataclass
@@ -42,6 +78,17 @@ class RunResult:
     threads: List[ThreadResult]       # one per logical thread
     fault_events: List[FaultEvent] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    #: How the run ended (never silently truncated).
+    termination: Termination = Termination.DONE
+    #: Watchdog forensics (a plain dict, see repro.recovery.watchdog) —
+    #: populated when the run ended HUNG/LIVELOCK.
+    hang_report: Optional[Dict[str, object]] = None
+    #: SRTR recovery summary (repro.recovery.checkpoint) when rollbacks
+    #: happened or recovery mode was enabled.
+    recovery: Optional[Dict[str, object]] = None
+    #: True when the post-halt drain grace window expired with stores
+    #: still queued (the final memory image may be incomplete).
+    drain_truncated: bool = False
 
     def ipc_of(self, name: str) -> float:
         for thread in self.threads:
@@ -59,6 +106,11 @@ class RunResult:
     @property
     def faults_detected(self) -> int:
         return len(self.fault_events)
+
+    @property
+    def completed(self) -> bool:
+        """Did every measured thread reach its target?"""
+        return self.termination in (Termination.DONE, Termination.RECOVERED)
 
 
 def smt_efficiency(result: RunResult,

@@ -64,6 +64,11 @@ class SrtMachine(Machine):
             self.controller.create_pair(program.name, leading, trailing)
             self._register_logical_thread(program.name, leading)
 
+        if config.recovery_enabled:
+            from repro.recovery.checkpoint import RecoveryManager
+
+            self.recovery = RecoveryManager(self, self.controller)
+
     def _post_tick(self) -> None:
         self.controller.tick(self.now)
 

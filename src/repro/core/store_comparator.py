@@ -50,6 +50,11 @@ class StoreComparator:
     def __len__(self) -> int:
         return len(self._pending)
 
+    def clear(self) -> None:
+        """Drop unmatched trailing records (SRTR rollback discards both
+        threads' in-flight stores, so nothing is left to verify)."""
+        self._pending.clear()
+
     # -- trailing side -----------------------------------------------------
     def trailing_store_retired(self, uop: Uop, now: int) -> None:
         record = _TrailingRecord(

@@ -11,11 +11,28 @@ Two tools a simulator release needs:
   for debugging and teaching.
 """
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.machine import Machine
 from repro.pipeline.uop import Uop
+
+#: All run-loop anomaly warnings (cycle-limit truncation, drain-grace
+#: expiry, hang forensics) funnel through this logger so harnesses can
+#: silence or redirect them in one place.
+run_log = logging.getLogger("repro.run")
+
+
+def log_run_warning(message: str) -> None:
+    """One-line warning for a run that did not end the way it should.
+
+    ``Machine._finish`` calls this instead of silently truncating: a
+    cycle-limit hit, an expired drain grace period, or a watchdog
+    verdict each leave an explicit trace in the log as well as in
+    ``RunResult.termination``.
+    """
+    run_log.warning(message)
 
 
 @dataclass
@@ -100,18 +117,15 @@ class OccupancySampler:
             machine.warm(warmup)
         if max_cycles is None:
             max_cycles = max_instructions * 60 + 20_000
-        for thread in machine._measured.values():
-            thread.target_instructions = max_instructions
+        machine._arm(max_instructions)
         while machine.now < max_cycles:
-            if all(t.stats.done_cycle is not None or t.done
-                   for t in machine._measured.values()):
+            if machine._halted():
                 break
             machine.step()
             if machine.now % self.interval == 0:
                 self.samples.append(OccupancySample(machine.now,
                                                     self._snapshot()))
-        machine._drain(max_cycles)
-        return machine._collect(max_instructions)
+        return machine._finish(max_instructions, max_cycles)
 
     def series(self, key: str) -> List[int]:
         return [s.values[key] for s in self.samples if key in s.values]

@@ -79,6 +79,10 @@ class Core:
         #: a uop's result/address/store value is computed at issue; may
         #: mutate the uop in place (see repro.core.faults).
         self.result_corruptor = None
+        #: Optional undo-log hook: called as f(key, old_value_or_None)
+        #: just before a draining store overwrites the architectural
+        #: memory image (see repro.recovery.checkpoint).
+        self.memory_journal = None
         #: Extra cycles a retired store waits before draining (lockstep
         #: machines set this to the checker latency: every output signal
         #: is compared before being forwarded outside the sphere).
@@ -219,12 +223,14 @@ class Core:
             # A barrier retires only once every *older* store has drained
             # (the store queue also holds younger, not-yet-retired stores).
             if thread.store_queue and thread.store_queue[0].seq < uop.seq:
+                thread.stats.membar_block_cycles += 1
                 self.hooks.on_membar_blocked(self, thread, now)
                 return False
         if instr.is_store and now < uop.data_ready_cycle:
             return False
         if instr.is_load and not thread.is_trailing:
             if not self.hooks.can_retire_load(self, thread, uop, now):
+                thread.stats.retire_stall_cycles += 1
                 return False
         return True
 
@@ -255,6 +261,17 @@ class Core:
             self.hooks.on_store_retired(self, thread, uop, now)
         elif instr.is_halt:
             thread.done = True
+        # Committed architectural view (checkpoint/forensics substrate).
+        if instr.writes_reg and uop.phys_dest is not None:
+            thread.arch_regs[instr.rd] = self.regfile.read(uop.phys_dest)
+        if instr.is_load:
+            thread.committed_load_index = uop.load_index + 1
+        elif instr.is_store:
+            thread.committed_store_index = uop.store_index + 1
+        if instr.is_control:
+            thread.committed_pc = uop.actual_target
+        else:
+            thread.committed_pc = (uop.pc + 1) % len(thread.program)
         trace = self.retire_trace.get(thread.tid)
         if trace is not None:
             trace.append(uop)

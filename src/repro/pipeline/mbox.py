@@ -74,6 +74,7 @@ class MBox:
             if store.instr.is_partial_store:
                 # Partial forwarding is not supported: the store must drain
                 # to the cache first (Section 4.4.2's chunk-termination case).
+                thread.stats.partial_store_block_cycles += 1
                 self.core.hooks.on_partial_store_block(
                     self.core, thread, store, now)
                 return None
@@ -144,6 +145,9 @@ class MBox:
     def commit_store(self, thread: HwThread, uop: Uop) -> None:
         """Write a draining store's value to the architectural memory image."""
         key = thread.phys_addr(uop.mem_addr)
+        if self.core.memory_journal is not None:
+            # Undo log for SRTR rollback: old value (None = key absent).
+            self.core.memory_journal(key, self.core.memory.get(key))
         if uop.instr.is_partial_store:
             old = self.core.memory.get(key, 0)
             self.core.memory[key] = merge_partial_store(

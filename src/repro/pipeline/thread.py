@@ -11,6 +11,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional
 
+from repro.isa.instructions import NUM_ARCH_REGS
 from repro.isa.program import Program
 from repro.pipeline.regfile import PhysicalRegisterFile, RenameMap
 from repro.pipeline.uop import FetchChunk, Uop
@@ -40,6 +41,11 @@ class ThreadStats:
     store_lifetime_count: int = 0
     lvq_writes: int = 0
     lvq_reads: int = 0
+    # Head-of-ROB blocking, sampled every cycle the head cannot retire —
+    # the watchdog's hang-forensics counters (repro.recovery.watchdog).
+    membar_block_cycles: int = 0       # barrier waiting on store drain
+    partial_store_block_cycles: int = 0  # load blocked on partial forward
+    retire_stall_cycles: int = 0       # hooks vetoed retirement (LVQ full)
 
 
 class HwThread:
@@ -94,6 +100,17 @@ class HwThread:
         # Program-order indices for input replication / output comparison.
         self.next_load_index = 0
         self.next_store_index = 0
+
+        # Committed (retirement-boundary) architectural view, maintained
+        # by the completion unit.  This is what an SRTR-style checkpoint
+        # snapshots: the next PC the retired path will execute, the
+        # retired load/store counts, and the committed register values —
+        # all exact at instruction granularity, independent of any
+        # in-flight speculation (repro.recovery.checkpoint).
+        self.committed_pc = program.entry
+        self.committed_load_index = 0
+        self.committed_store_index = 0
+        self.arch_regs: List[int] = [0] * NUM_ARCH_REGS
 
         # IQ occupancy accounting (reservation happens at rename time).
         self.iq_occupancy = 0

@@ -1,0 +1,35 @@
+"""repro.recovery — machine robustness: watchdog, forensics, rollback.
+
+The paper's SRT/CRT designs are *detection-only*: Section 4.3 spends an
+entire design-rule set avoiding inter-thread deadlock (per-thread store
+queues, reserved IQ chunks, LVQ/BOQ sizing) precisely because a wedged
+redundant pair is otherwise indistinguishable from a slow one.  This
+package makes both failure directions first-class:
+
+- :mod:`repro.recovery.watchdog` — a forward-progress watchdog that
+  fingerprints retirement counts and queue occupancies while a machine
+  runs, declares ``HUNG``/``LIVELOCK`` when no measured thread retires
+  across a window, and emits a structured hang-forensics report (the
+  head-of-ROB blocker, per-queue occupancies, membar/partial-store
+  block counters) instead of a silently truncated ``RunResult``;
+- :mod:`repro.recovery.checkpoint` — SRTR-style transient-fault
+  *recovery* for the SRT/CRT machines: periodic architectural
+  checkpoints at verified-store boundaries, rollback-and-replay on
+  output-comparison mismatch with escalating retry over a checkpoint
+  ring, and ``RECOVERED``/``UNRECOVERABLE`` terminations plus recovery
+  latency / rollback depth metrics.
+
+See ``docs/RECOVERY.md`` for the design discussion.
+"""
+
+from repro.core.metrics import Termination
+from repro.recovery.checkpoint import Checkpoint, RecoveryManager
+from repro.recovery.watchdog import HangReport, ProgressWatchdog
+
+__all__ = [
+    "Checkpoint",
+    "HangReport",
+    "ProgressWatchdog",
+    "RecoveryManager",
+    "Termination",
+]

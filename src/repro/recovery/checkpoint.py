@@ -1,0 +1,354 @@
+"""SRTR-style checkpoint/rollback recovery for SRT/CRT machines.
+
+The paper's designs *detect* transient faults via output comparison but
+cannot correct them.  Following SRTR (Vijaykumar et al.) and the
+RedThreads detection/correction interface, this module extends the RMT
+machines to *recover*:
+
+- **Checkpoints**: every ``checkpoint_interval`` cycles the manager
+  waits for the next *verified-store boundary* — every redundant pair's
+  store queues empty and no comparison outstanding, so every store that
+  ever left the sphere of replication has been verified — and snapshots
+  the committed architectural state: per-thread committed PC, retired
+  counts, committed register values, and the position of the drained-
+  store log.  No memory copy is taken; instead an **undo journal**
+  records each subsequent store's overwritten word (``memory-image
+  delta``), so rollback is O(stores since checkpoint), not O(image).
+- **Rollback-and-replay**: when output comparison (or any divergence
+  check) fires, the manager squashes every in-flight uop of both
+  threads of every pair, restores registers/PC/indices from a retained
+  checkpoint, unwinds the memory journal, clears the LVQ/LPQ/comparator,
+  and lets both threads re-execute.  A transient fault does not recur,
+  so the replay verifies cleanly: ``Termination.RECOVERED``.
+- **Escalating retry**: the manager retains a ring of the last
+  ``recovery_max_attempts`` checkpoints.  If a fault re-detects before
+  the replay has re-reached the detection point (a permanent fault, or
+  a checkpoint that captured already-corrupt state), the next rollback
+  targets the next-*older* checkpoint.  When the ring is exhausted the
+  run ends ``UNRECOVERABLE`` — the analogue of the paper's uncovered
+  permanent faults without preferential space redundancy.
+
+Metrics recorded per recovery: rollback depth (instructions rewound)
+and recovery latency (cycles from rollback until the measured threads
+re-reached their pre-rollback retirement), surfaced through
+``Machine.machine_stats`` and ``RunResult.recovery``.
+"""
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.metrics import Termination
+from repro.isa.instructions import NUM_ARCH_REGS, ZERO_REG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.machine import Machine
+    from repro.core.rmt import RedundantPair, RmtController
+
+
+@dataclass
+class ThreadCheckpoint:
+    """Committed architectural state of one redundant pair."""
+
+    pc: int                       # next PC the retired path executes
+    retired: int                  # leading thread's retired count
+    load_index: int               # committed program-order load index
+    store_index: int              # committed program-order store index
+    regs: List[int]               # committed register values (leading)
+    drain_log_len: int = 0        # drained-store log position (if traced)
+    retire_trace_len: int = 0     # retire trace position (if traced)
+
+
+@dataclass
+class Checkpoint:
+    """Machine-wide architectural checkpoint (all pairs, one boundary)."""
+
+    cycle: int
+    pairs: Dict[str, ThreadCheckpoint] = field(default_factory=dict)
+    #: Undo journal for stores drained *since* this checkpoint:
+    #: (memory key, old value or None when the key was absent).
+    journal: List[Tuple[int, Optional[int]]] = field(default_factory=list)
+
+
+@dataclass
+class RecoveryStats:
+    checkpoints: int = 0
+    checkpoint_waits: int = 0      # cycles spent waiting for a boundary
+    rollbacks: int = 0
+    recoveries: int = 0            # replays that passed the detect point
+    unrecoverable: bool = False
+    rollback_depth_last: int = 0   # instructions rewound, last rollback
+    rollback_depth_max: int = 0
+    recovery_latency_last: int = 0  # cycles, rollback -> replay caught up
+    recovery_latency_total: int = 0
+    journal_peak: int = 0          # undo-journal high-water mark (words)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "checkpoints": self.checkpoints,
+            "rollbacks": self.rollbacks,
+            "recoveries": self.recoveries,
+            "unrecoverable": self.unrecoverable,
+            "rollback_depth_last": self.rollback_depth_last,
+            "rollback_depth_max": self.rollback_depth_max,
+            "recovery_latency_last": self.recovery_latency_last,
+            "recovery_latency_total": self.recovery_latency_total,
+            "journal_peak": self.journal_peak,
+        }
+
+
+class RecoveryManager:
+    """Drives checkpointing and rollback-and-replay on one machine."""
+
+    def __init__(self, machine: "Machine", controller: "RmtController",
+                 interval: Optional[int] = None,
+                 max_attempts: Optional[int] = None) -> None:
+        config = machine.config
+        self.machine = machine
+        self.controller = controller
+        self.interval = (config.checkpoint_interval if interval is None
+                         else interval)
+        self.max_attempts = (config.recovery_max_attempts
+                             if max_attempts is None else max_attempts)
+        self.stats = RecoveryStats()
+        #: Retained checkpoints, oldest first (ring of max_attempts).
+        self.checkpoints: List[Checkpoint] = []
+        self._next_checkpoint_cycle = self.interval
+        self._pending_rollback = False
+        #: Replay targets after a rollback: pair name -> retired count the
+        #: leading thread must re-reach for the recovery to count.
+        self._replay_targets: Dict[str, int] = {}
+        self._replay_start: int = 0
+        self._attempt = 0
+        #: Latency of a replay that caught up but is not yet *confirmed*
+        #: (by a subsequent checkpoint or a clean end of run).
+        self._pending_recovery: Optional[int] = None
+        # Wire the undo journal into every core's store-commit path.
+        for core in machine.cores:
+            core.memory_journal = self._journal_write
+        # The initial architectural state is trivially a verified-store
+        # boundary; checkpoint it so a fault detected before the first
+        # periodic checkpoint can still roll back (to program start).
+        self._take_checkpoint(0)
+
+    # -- journal -----------------------------------------------------------
+    def _journal_write(self, key: int, old_value: Optional[int]) -> None:
+        if self.checkpoints:
+            journal = self.checkpoints[-1].journal
+            journal.append((key, old_value))
+            self.stats.journal_peak = max(
+                self.stats.journal_peak,
+                sum(len(c.journal) for c in self.checkpoints))
+
+    # -- fault entry point ---------------------------------------------------
+    def on_fault(self, event) -> None:
+        """A detection event fired: schedule rollback-and-replay."""
+        if self.stats.unrecoverable or self._pending_rollback:
+            return
+        self._pending_rollback = True
+
+    # -- per-cycle work ------------------------------------------------------
+    def tick(self, now: int) -> None:
+        if self.stats.unrecoverable:
+            return
+        if self._pending_rollback:
+            self._attempt_rollback(now)
+            return
+        self._check_replay_done(now)
+        if now >= self._next_checkpoint_cycle and not self._replay_targets:
+            if self._at_verified_store_boundary():
+                self._take_checkpoint(now)
+            else:
+                self.stats.checkpoint_waits += 1
+
+    # -- checkpointing -------------------------------------------------------
+    def _at_verified_store_boundary(self) -> bool:
+        """Every store that ever left the sphere has been verified, and
+        nothing is in flight between retire and drain."""
+        for pair in self.controller.pairs:
+            if pair.leading.store_queue or pair.trailing.store_queue:
+                return False
+            if len(pair.comparator):
+                return False
+        return True
+
+    def _take_checkpoint(self, now: int) -> None:
+        checkpoint = Checkpoint(cycle=now)
+        for pair in self.controller.pairs:
+            leading = pair.leading
+            core = leading.core
+            checkpoint.pairs[pair.name] = ThreadCheckpoint(
+                pc=leading.committed_pc,
+                retired=leading.stats.retired,
+                load_index=leading.committed_load_index,
+                store_index=leading.committed_store_index,
+                regs=list(leading.arch_regs),
+                drain_log_len=len(core.drain_log.get(leading.tid) or ()),
+                retire_trace_len=len(
+                    core.retire_trace.get(leading.tid) or ()),
+            )
+        self.checkpoints.append(checkpoint)
+        if len(self.checkpoints) > self.max_attempts:
+            # The oldest checkpoint leaves the rollback horizon.  Its
+            # journal records deltas *older* than its successor's
+            # snapshot — unwinding them would overshoot any retained
+            # checkpoint — so the segment is simply dead.
+            self.checkpoints.pop(0)
+        self.stats.checkpoints += 1
+        self._next_checkpoint_cycle = now + self.interval
+        # A checkpoint is only reachable once the machine made verified
+        # fault-free progress past a boundary: it *confirms* any earlier
+        # rollback, so the escalation counter rewinds.
+        self._confirm_recovery()
+
+    def _confirm_recovery(self) -> None:
+        if self._pending_recovery is not None:
+            self.stats.recoveries += 1
+            self.stats.recovery_latency_last = self._pending_recovery
+            self.stats.recovery_latency_total += self._pending_recovery
+            self._pending_recovery = None
+        self._attempt = 0
+
+    def finalize(self) -> None:
+        """End of run: a replay that caught up and never re-detected is
+        as confirmed as one followed by a checkpoint."""
+        if not self._pending_rollback and not self.stats.unrecoverable:
+            if self._pending_recovery is not None:
+                self._confirm_recovery()
+
+    # -- rollback ------------------------------------------------------------
+    def _attempt_rollback(self, now: int) -> None:
+        # The first detection since the last checkpoint targets the
+        # newest retained checkpoint.  A re-detection *without* an
+        # intervening checkpoint — no matter whether the replay briefly
+        # caught up — means that checkpoint replays back into a fault
+        # (permanent fault, or corruption older than the snapshot):
+        # escalate one checkpoint older.  ``_rollback_to`` discards the
+        # proven-bad younger checkpoints (and unwinds their journals).
+        index = len(self.checkpoints) - 1 - (1 if self._attempt else 0)
+        self._attempt += 1
+        # Any replay that caught up before this detection was premature.
+        self._pending_recovery = None
+        if index < 0:
+            self.stats.unrecoverable = True
+            self._pending_rollback = False
+            self.machine.abort(Termination.UNRECOVERABLE)
+            return
+        self._rollback_to(index, now)
+        self._pending_rollback = False
+
+    def _rollback_to(self, index: int, now: int) -> None:
+        checkpoint = self.checkpoints[index]
+        machine = self.machine
+        # Record replay targets *before* mutating anything.
+        self._replay_targets = {
+            pair.name: pair.leading.stats.retired
+            for pair in self.controller.pairs}
+        self._replay_start = now
+        depth = sum(
+            max(0, target - checkpoint.pairs[name].retired)
+            for name, target in self._replay_targets.items()
+            if name in checkpoint.pairs)
+        self.stats.rollback_depth_last = depth
+        self.stats.rollback_depth_max = max(self.stats.rollback_depth_max,
+                                            depth)
+        # 1. Unwind the memory image: newest journal entries first, from
+        #    the newest retained checkpoint back to the target.
+        for ckpt in reversed(self.checkpoints[index:]):
+            for key, old in reversed(ckpt.journal):
+                if old is None:
+                    machine.memory.pop(key, None)
+                else:
+                    machine.memory[key] = old
+            ckpt.journal.clear()
+        # 2. Rewind every pair to the checkpointed committed state.
+        for pair in self.controller.pairs:
+            self._rewind_pair(pair, checkpoint.pairs[pair.name], now)
+        # 3. Checkpoints younger than the target are now invalid.
+        del self.checkpoints[index + 1:]
+        self.stats.rollbacks += 1
+        self._next_checkpoint_cycle = now + self.interval
+
+    def _rewind_pair(self, pair: "RedundantPair",
+                     ckpt: ThreadCheckpoint, now: int) -> None:
+        for thread in (pair.leading, pair.trailing):
+            core = thread.core
+            # Squash the entire speculative window (every in-flight uop).
+            core.squash_from(thread, from_seq=0, now=now,
+                             redirect_pc=ckpt.pc,
+                             reason="recovery-rollback")
+            # Retired-but-undrained stores survive a squash (they live in
+            # the store queue, not the ROB); they are post-checkpoint
+            # unverified output and are discarded wholesale.
+            thread.store_queue.clear()
+            thread.load_queue.clear()
+            # Restore the committed architectural registers into the
+            # thread's current physical mappings (identity of the
+            # mapping is irrelevant once the window is empty).
+            regfile = thread.rename.regfile
+            for arch in range(NUM_ARCH_REGS):
+                if arch == ZERO_REG:
+                    continue
+                regfile.write(thread.rename.map[arch], ckpt.regs[arch])
+            thread.arch_regs = list(ckpt.regs)
+            # Program-order indices restart at the checkpoint position so
+            # LVQ tags and store-comparison indices line up again.
+            thread.next_load_index = ckpt.load_index
+            thread.next_store_index = ckpt.store_index
+            thread.committed_load_index = ckpt.load_index
+            thread.committed_store_index = ckpt.store_index
+            thread.committed_pc = ckpt.pc
+            thread.fetch_pc = ckpt.pc
+            thread.fetch_halted = False
+            thread.done = False
+            # Retirement statistics rewind with the architectural state;
+            # the replay re-earns them (cycles keep counting, which is
+            # exactly the recovery-latency IPC penalty).
+            thread.stats.retired = ckpt.retired
+            thread.stats.done_cycle = None
+            # Truncate architectural traces back to the checkpoint.
+            trace = core.retire_trace.get(thread.tid)
+            if trace is not None:
+                del trace[ckpt.retire_trace_len:]
+            log = core.drain_log.get(thread.tid)
+            if log is not None:
+                del log[ckpt.drain_log_len:]
+        # Pair-level replication structures describe the discarded
+        # execution; drop them.
+        pair.lvq.clear()
+        pair.lpq.clear()
+        pair.aggregator.clear()
+        pair.comparator.clear()
+
+    # -- replay tracking -----------------------------------------------------
+    def _check_replay_done(self, now: int) -> None:
+        if not self._replay_targets:
+            return
+        for pair in self.controller.pairs:
+            target = self._replay_targets.get(pair.name)
+            if target is not None and pair.leading.stats.retired < target:
+                if not pair.leading.done:
+                    return
+        # Every pair re-reached (or halted before) its pre-rollback
+        # position without re-detecting: the fault was transient.
+        # Catching up with the pre-rollback retirement is necessary but
+        # not sufficient — a permanent fault re-detects shortly after.
+        # Only a fresh checkpoint (a verified fault-free boundary) or a
+        # clean end of run confirms the recovery, so the latency parks
+        # in ``_pending_recovery`` and ``_attempt`` stays armed.
+        self._pending_recovery = now - self._replay_start
+        self._replay_targets = {}
+
+    # -- reporting -----------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        return self.stats.summary()
+
+    def machine_stats(self) -> Dict[str, float]:
+        s = self.stats
+        return {
+            "recovery.checkpoints": float(s.checkpoints),
+            "recovery.rollbacks": float(s.rollbacks),
+            "recovery.recoveries": float(s.recoveries),
+            "recovery.rollback_depth_max": float(s.rollback_depth_max),
+            "recovery.latency_total": float(s.recovery_latency_total),
+            "recovery.journal_peak": float(s.journal_peak),
+        }

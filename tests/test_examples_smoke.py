@@ -50,3 +50,11 @@ class TestExamples:
         assert "simulated kill" in out
         assert "re-ran only" in out
         assert "coverage" in out and "Wilson" in out
+
+    def test_recovery_demo(self, capsys):
+        run_example("recovery_demo.py", ["gcc", "800"])
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "unrecoverable" in out
+        assert "prefix matches fault-free run" in out
+        assert "all three verdicts rendered as designed" in out

@@ -1,0 +1,126 @@
+"""Campaign-layer recovery integration: determinism, timeouts, report."""
+
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.report import render_report
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CampaignStore
+from repro.campaign.worker import _timed_out_record
+from repro.core.config import MachineConfig
+from repro.core.machine import make_machine
+from repro.core.metrics import Termination
+from repro.isa.generator import generate_benchmark
+
+TERMINATION_VOCABULARY = {t.value for t in Termination}
+
+
+def recovery_spec(**overrides):
+    base = dict(kinds=("srt",), workloads=("gcc",),
+                models=("transient-result", "stuck-unit"),
+                injections=3, seed=7, instructions=500, warmup=1500,
+                config={"recovery_enabled": True})
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestRecoveryCampaign:
+    def test_records_carry_termination(self, tmp_path):
+        spec = recovery_spec()
+        CampaignEngine(spec, tmp_path / "camp").run()
+        records = CampaignStore(tmp_path / "camp").records()
+        assert len(records) == spec.total_tasks()
+        for record in records:
+            assert record["termination"] in TERMINATION_VOCABULARY
+        # A stuck INT unit on a recovery-enabled machine exhausts the
+        # checkpoint ring on at least one site.
+        stuck = [r for r in records if r["model"] == "stuck-unit"]
+        assert any(r["termination"] == "unrecoverable" for r in stuck)
+        assert any(r["outcome"] == "unrecoverable" for r in stuck)
+        # Recovered rows expose their rollback metrics.
+        for record in records:
+            if record["termination"] == "recovered":
+                assert record["recovery_latency"] > 0
+                assert record["rollback_depth"] > 0
+
+    def test_results_identical_across_jobs(self, tmp_path):
+        """Recovery-enabled campaigns keep the byte-identity guarantee:
+        the artifact is the same at any ``--jobs`` level."""
+        spec = recovery_spec()
+        CampaignEngine(spec, tmp_path / "serial", jobs=1).run()
+        CampaignEngine(spec, tmp_path / "pool", jobs=2).run()
+        serial = (tmp_path / "serial" / "results.jsonl").read_bytes()
+        pool = (tmp_path / "pool" / "results.jsonl").read_bytes()
+        assert serial == pool
+
+    def test_resume_skips_completed_recovery_tasks(self, tmp_path):
+        spec = recovery_spec(injections=2)
+        out = tmp_path / "camp"
+        first = CampaignEngine(spec, out).run()
+        assert first["executed"] == spec.total_tasks()
+        second = CampaignEngine(spec, out).run()
+        assert second["executed"] == 0
+        assert second["already_complete"] == spec.total_tasks()
+
+
+class TestTimeoutForensics:
+    TASK = {"task_id": "t0", "index": 0, "kind": "base",
+            "workload": "gcc", "model": "transient-result",
+            "fault": {"model": "transient-result", "cycle": 5,
+                      "core_index": 0, "bit": 1}}
+
+    def test_timed_out_record_without_machine(self):
+        record = _timed_out_record(self.TASK)
+        assert record["timed_out"] is True
+        assert record["outcome"] == "hung"
+        assert record["termination"] == "hung"
+        assert "fingerprint" not in record
+
+    def test_timed_out_record_salvages_watchdog_fingerprint(self):
+        """A wedged machine interrupted by the wall-clock alarm still
+        contributes its last progress fingerprint to the record."""
+        program = generate_benchmark("gcc")
+        machine = make_machine("base", MachineConfig(), [program])
+        machine._arm(max_instructions=1000)
+        for _ in range(200):
+            machine.step()
+        record = _timed_out_record(self.TASK, machine=machine)
+        fingerprint = record["fingerprint"]
+        assert fingerprint["cycle"] > 0
+        assert fingerprint["queues"]
+        assert fingerprint["blockers"]
+
+
+class TestTerminationReport:
+    RECORDS = [
+        {"task_id": "a", "kind": "srt", "workload": "gcc",
+         "model": "transient-result", "outcome": "recovered",
+         "termination": "recovered", "recovery_latency": 40,
+         "latency": 12, "timed_out": False},
+        {"task_id": "b", "kind": "srt", "workload": "gcc",
+         "model": "stuck-unit", "outcome": "unrecoverable",
+         "termination": "unrecoverable", "latency": 30,
+         "timed_out": False},
+        {"task_id": "c", "kind": "srt", "workload": "gcc",
+         "model": "transient-result", "outcome": "masked",
+         "termination": "done", "latency": None, "timed_out": False},
+        {"task_id": "d", "kind": "srt", "workload": "gcc",
+         "model": "transient-result", "outcome": "hung",
+         "termination": "hung", "latency": None, "timed_out": True},
+    ]
+
+    def test_by_termination_appends_tables(self):
+        text = render_report(self.RECORDS, by_termination=True)
+        assert "campaign_termination" in text
+        assert "recovered" in text and "unrecoverable" in text
+        assert "timed-out" in text
+        assert "campaign_recovery" in text  # latency summary present
+
+    def test_default_report_omits_termination_tables(self):
+        text = render_report(self.RECORDS)
+        assert "campaign_termination" not in text
+
+    def test_recovered_and_unrecoverable_count_as_detected(self):
+        """Coverage accounting: a corrected or ring-exhausted fault was
+        still *detected* — neither is silent corruption."""
+        text = render_report(self.RECORDS, by_termination=True)
+        # 3 unmasked (recovered + unrecoverable + hung), 2 detected-like.
+        assert "campaign:" in text

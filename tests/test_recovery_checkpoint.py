@@ -1,0 +1,209 @@
+"""SRTR checkpoint/rollback recovery: round-trip, recovery, escalation."""
+
+from repro.core.config import MachineConfig
+from repro.core.faults import (FaultInjector, StuckFunctionalUnit,
+                               TransientResultFault)
+from repro.core.machine import make_machine
+from repro.core.metrics import Termination
+from repro.isa.assembler import assemble
+from repro.isa.generator import generate_benchmark
+from repro.isa.instructions import FuClass
+
+GCC = generate_benchmark("gcc")
+
+#: A terminating workload: 200 stores to distinct words, then HALT.  A
+#: halting program fully drains its store queues, so the final memory
+#: image is a complete architectural artifact we can compare bit-for-bit.
+STORE_LOOP = assemble("""
+        ldi r1, 0x2000
+        ldi r2, 7
+        ldi r3, 200
+    top:
+        st r1, 0, r2
+        addi r1, r1, 8
+        addi r2, r2, 3
+        ldi r4, 30
+    spin:
+        addi r4, r4, -1
+        bnez r4, spin
+        addi r3, r3, -1
+        bnez r3, top
+        halt
+""", name="storeloop")
+
+
+def recovery_config(**overrides):
+    base = dict(recovery_enabled=True, checkpoint_interval=400,
+                recovery_max_attempts=3)
+    base.update(overrides)
+    return MachineConfig(**base)
+
+
+class TestCheckpointRoundTrip:
+    def test_rollback_restores_bit_identical_committed_state(self):
+        """Force a rollback with no fault: every architectural field of
+        the leading thread must come back exactly as checkpointed."""
+        machine = make_machine(
+            "srt", recovery_config(checkpoint_interval=100), [STORE_LOOP])
+        machine._arm(max_instructions=20_000)
+        while machine.now < 600:
+            machine.step()
+        manager = machine.recovery
+        assert manager.stats.checkpoints > 1
+        saved = manager.checkpoints[-1].pairs[STORE_LOOP.name]
+        regs, pc = list(saved.regs), saved.pc
+        retired, li, si = saved.retired, saved.load_index, saved.store_index
+
+        manager.on_fault(None)      # schedule a (spurious) rollback
+        machine.step()              # rollback happens in recovery.tick
+
+        leading = machine.controller.pairs[0].leading
+        assert leading.arch_regs == regs
+        assert leading.committed_pc == pc
+        assert leading.fetch_pc == pc
+        assert leading.stats.retired == retired
+        assert leading.committed_load_index == li
+        assert leading.committed_store_index == si
+        assert not leading.store_queue and not leading.rob
+        assert manager.stats.rollbacks == 1
+
+    def test_forced_rollback_leaves_final_memory_correct(self):
+        """After a fault-free forced rollback, the replayed halting run
+        must produce the exact memory image of an undisturbed run."""
+        reference = make_machine("srt", MachineConfig(), [STORE_LOOP])
+        reference.run(max_instructions=20_000)
+
+        machine = make_machine(
+            "srt", recovery_config(checkpoint_interval=100), [STORE_LOOP])
+        machine._arm(max_instructions=20_000)
+        while machine.now < 600:
+            machine.step()
+        machine.recovery.on_fault(None)
+        result = machine.run(max_instructions=20_000)
+
+        assert machine.recovery.stats.rollbacks == 1
+        assert result.termination is Termination.RECOVERED
+        assert machine.memory == reference.memory
+
+    def test_journal_unwinds_overwritten_and_fresh_keys(self):
+        """The undo journal distinguishes overwritten words (restore old
+        value) from fresh words (delete the key)."""
+        machine = make_machine(
+            "srt", recovery_config(checkpoint_interval=100), [STORE_LOOP])
+        machine._arm(max_instructions=20_000)
+        while machine.now < 600:
+            machine.step()
+        snapshot = dict(machine.memory)
+        # Remember which checkpoint-time image we are rolling to: the
+        # journal of the newest checkpoint holds exactly the post-
+        # checkpoint deltas.
+        target = machine.recovery.checkpoints[-1]
+        expected = dict(snapshot)
+        for key, old in reversed(target.journal):
+            if old is None:
+                expected.pop(key, None)
+            else:
+                expected[key] = old
+        machine.recovery.on_fault(None)
+        machine.step()
+        assert machine.memory == expected
+
+
+class TestTransientRecovery:
+    def test_transient_fault_recovers(self):
+        """SRT + transient result fault: detect, roll back, replay, and
+        finish RECOVERED with nonzero latency and depth."""
+        machine = make_machine("srt", recovery_config(), [GCC])
+        FaultInjector(machine, [TransientResultFault(cycle=400,
+                                                     core_index=0, bit=3)])
+        result = machine.run(max_instructions=800, warmup=2000)
+        assert machine.fault_events, "fault must be detected"
+        assert result.termination is Termination.RECOVERED
+        assert result.completed
+        summary = result.recovery
+        assert summary["rollbacks"] >= 1
+        assert summary["recoveries"] >= 1
+        assert summary["recovery_latency_last"] > 0
+        assert summary["rollback_depth_max"] > 0
+        assert not summary["unrecoverable"]
+
+    def test_recovered_drained_stream_matches_fault_free_prefix(self):
+        """The decisive output is the drained-store stream that left the
+        sphere of replication: the recovered run's stream must be a
+        prefix-exact match of a fault-free run's."""
+        def traced(machine):
+            hw = machine._measured[GCC.name]
+            hw.core.drain_log[hw.tid] = []
+            return machine, hw
+
+        reference, ref_hw = traced(
+            make_machine("srt", recovery_config(), [GCC]))
+        reference.run(max_instructions=800, warmup=2000)
+        golden = ref_hw.core.drain_log[ref_hw.tid]
+
+        machine, hw = traced(make_machine("srt", recovery_config(), [GCC]))
+        FaultInjector(machine, [TransientResultFault(cycle=400,
+                                                     core_index=0, bit=3)])
+        result = machine.run(max_instructions=800, warmup=2000)
+        assert result.termination is Termination.RECOVERED
+        mine = hw.core.drain_log[hw.tid]
+        assert mine, "recovered run must have drained stores"
+        assert mine == golden[:len(mine)]
+
+    def test_crt_recovers_too(self):
+        machine = make_machine("crt", recovery_config(), [GCC])
+        FaultInjector(machine, [TransientResultFault(cycle=400,
+                                                     core_index=0, bit=3)])
+        result = machine.run(max_instructions=800, warmup=2000)
+        if machine.fault_events:  # site detected on CRT as well
+            assert result.termination in (Termination.RECOVERED,
+                                          Termination.DONE)
+            assert result.recovery["rollbacks"] >= 1
+
+    def test_fault_free_run_is_undisturbed_by_checkpointing(self):
+        """Checkpointing must be timing-invisible: a recovery-enabled
+        fault-free run is cycle-identical to a recovery-off run."""
+        plain = make_machine("srt", MachineConfig(), [GCC]).run(
+            max_instructions=600, warmup=1000)
+        checked = make_machine("srt", recovery_config(), [GCC])
+        result = checked.run(max_instructions=600, warmup=1000)
+        assert result.cycles == plain.cycles
+        assert result.termination is Termination.DONE
+        assert checked.recovery.stats.checkpoints > 0
+        assert checked.recovery.stats.rollbacks == 0
+
+
+class TestPermanentFault:
+    def test_stuck_unit_exhausts_the_ring(self):
+        """A permanent fault re-detects after every replay: escalation
+        runs out of checkpoints and the run ends UNRECOVERABLE."""
+        machine = make_machine("srt", recovery_config(), [GCC])
+        FaultInjector(machine, [StuckFunctionalUnit(
+            core_index=0, fu_class=FuClass.INT, unit_index=0, bit=3)])
+        result = machine.run(max_instructions=800, warmup=2000)
+        assert result.termination is Termination.UNRECOVERABLE
+        assert not result.completed
+        assert result.recovery["unrecoverable"]
+        assert result.recovery["rollbacks"] >= 1
+        # No replay was ever *confirmed* as a recovery.
+        assert result.recovery["recoveries"] == 0
+
+    def test_unrecoverable_aborts_promptly(self):
+        """The escalation ladder is bounded: the machine gives up within
+        a few checkpoint intervals instead of looping rollback forever."""
+        machine = make_machine("srt", recovery_config(), [GCC])
+        FaultInjector(machine, [StuckFunctionalUnit(
+            core_index=0, fu_class=FuClass.INT, unit_index=0, bit=3)])
+        result = machine.run(max_instructions=800, warmup=2000)
+        assert machine.abort_reason is Termination.UNRECOVERABLE
+        assert result.cycles < 5_000
+
+
+class TestRecoveryDisabled:
+    def test_no_manager_without_config_flag(self):
+        machine = make_machine("srt", MachineConfig(), [GCC])
+        assert machine.recovery is None
+
+    def test_base_machine_never_gets_a_manager(self):
+        machine = make_machine("base", recovery_config(), [GCC])
+        assert machine.recovery is None

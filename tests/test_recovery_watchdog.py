@@ -1,0 +1,129 @@
+"""Forward-progress watchdog: classification unit tests + wedged runs."""
+
+import logging
+
+from repro.core.config import MachineConfig
+from repro.core.machine import make_machine
+from repro.core.metrics import Termination
+from repro.isa.generator import generate_benchmark
+from repro.pipeline.hooks import CoreHooks
+from repro.recovery.watchdog import Fingerprint, HangReport, ProgressWatchdog
+
+
+def fp(cycle, retired, activity=0):
+    """Synthetic fingerprint: one measured thread, one activity counter."""
+    return Fingerprint(cycle=cycle, measured={"t": retired},
+                       activity={"core0.retired": activity})
+
+
+class TestClassify:
+    """Pure verdict function over fingerprint sequences (no machine)."""
+
+    def test_short_history_is_undecided(self):
+        assert ProgressWatchdog.classify([fp(0, 0)], window=100) is None
+
+    def test_progress_inside_window_is_healthy(self):
+        history = [fp(0, 10), fp(100, 20), fp(200, 30)]
+        assert ProgressWatchdog.classify(history, window=100) is None
+
+    def test_frozen_everything_is_hung(self):
+        history = [fp(0, 10, 50), fp(100, 10, 50), fp(200, 10, 50)]
+        assert ProgressWatchdog.classify(history, window=150) is \
+            Termination.HUNG
+
+    def test_churn_without_retirement_is_livelock(self):
+        history = [fp(0, 10, 50), fp(100, 10, 90), fp(200, 10, 130)]
+        assert ProgressWatchdog.classify(history, window=150) is \
+            Termination.LIVELOCK
+
+    def test_window_not_yet_expired(self):
+        history = [fp(0, 10), fp(64, 10)]
+        assert ProgressWatchdog.classify(history, window=4096) is None
+
+
+class RetirementJammer(CoreHooks):
+    """Veto every load retirement past ``wedge_cycle``: the machine keeps
+    fetching and executing but can never commit another load."""
+
+    def __init__(self, wedge_cycle):
+        self.wedge_cycle = wedge_cycle
+
+    def can_retire_load(self, core, thread, uop, now):
+        return now < self.wedge_cycle
+
+
+class TestWedgedRun:
+    def test_jammed_machine_gets_a_verdict(self, caplog):
+        program = generate_benchmark("gcc")
+        machine = make_machine(
+            "base", MachineConfig(watchdog_window=1024), [program])
+        machine.cores[0].hooks = RetirementJammer(100)
+        with caplog.at_level(logging.WARNING, logger="repro.run"):
+            result = machine.run(max_instructions=2000)
+        assert result.termination.is_wedged
+        assert not result.completed
+        # The verdict came from the watchdog, well before the cycle cap.
+        assert result.cycles < 2000 * 60
+        # Full forensics live in the result ...
+        report = result.hang_report
+        assert report is not None
+        assert report["verdict"] == result.termination.value
+        assert report["fingerprint"]["blockers"]
+        assert report["window"] == 1024
+        # ... and exactly one warning line reached the log.
+        warnings = [r for r in caplog.records if r.name == "repro.run"]
+        assert len(warnings) == 1
+        assert (result.termination.value.upper()
+                in warnings[0].getMessage())
+
+    def test_jammed_run_is_livelock_not_deadlock(self):
+        """The jammer leaves the front end spinning: speculative activity
+        keeps moving while measured retirement is frozen."""
+        program = generate_benchmark("gcc")
+        machine = make_machine(
+            "base", MachineConfig(watchdog_window=1024), [program])
+        machine.cores[0].hooks = RetirementJammer(100)
+        result = machine.run(max_instructions=2000)
+        assert result.termination is Termination.LIVELOCK
+        assert result.hang_report["activity_delta"]
+
+    def test_healthy_run_never_alarms(self):
+        program = generate_benchmark("gcc")
+        machine = make_machine(
+            "base", MachineConfig(watchdog_window=1024), [program])
+        result = machine.run(max_instructions=800)
+        assert result.termination is Termination.DONE
+        assert machine.watchdog is not None
+        assert machine.watchdog.verdict is None
+        assert result.hang_report is None
+
+    def test_srt_machine_is_watched_too(self):
+        program = generate_benchmark("gcc")
+        machine = make_machine(
+            "srt", MachineConfig(watchdog_window=1024), [program])
+        result = machine.run(max_instructions=400)
+        assert machine.watchdog is not None
+        assert result.termination is Termination.DONE
+
+
+class TestHangReport:
+    def test_format_mentions_verdict_and_blockers(self):
+        report = HangReport(
+            verdict="hung", cycle=5000, window=4096, stalled_since=900,
+            fingerprint={"blockers": {"core0.t0(single)": "seq=9 pc=12"},
+                         "queues": {"core0.t0(single).rob": 64},
+                         "stalls": {"core0.t0(single).retire_stalls": 99}},
+            activity_delta={})
+        text = report.format()
+        assert "HUNG at cycle 5000" in text
+        assert "true deadlock" in text
+        assert "seq=9 pc=12" in text
+        assert "retire_stalls" in text
+
+    def test_round_trip_dict(self):
+        report = HangReport(verdict="livelock", cycle=1, window=2,
+                            stalled_since=0, fingerprint={},
+                            activity_delta={"x": 3})
+        data = report.to_dict()
+        assert data["verdict"] == "livelock"
+        assert data["activity_delta"] == {"x": 3}

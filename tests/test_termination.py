@@ -1,0 +1,84 @@
+"""Termination taxonomy: every run ends with an explicit verdict."""
+
+import logging
+
+from repro.core.config import MachineConfig
+from repro.core.machine import BaseMachine, make_machine
+from repro.core.metrics import Termination
+from repro.isa.generator import generate_benchmark
+
+GCC = generate_benchmark("gcc")
+
+
+class TestEnum:
+    def test_wedged_predicate(self):
+        assert Termination.HUNG.is_wedged
+        assert Termination.LIVELOCK.is_wedged
+        for term in (Termination.DONE, Termination.CYCLE_LIMIT,
+                     Termination.RECOVERED, Termination.UNRECOVERABLE):
+            assert not term.is_wedged
+
+    def test_values_are_stable_record_strings(self):
+        """The enum values are the on-disk campaign-record vocabulary."""
+        assert {t.value for t in Termination} == {
+            "done", "cycle-limit", "hung", "livelock",
+            "recovered", "unrecoverable"}
+
+
+class TestDone:
+    def test_normal_run_is_done(self):
+        result = BaseMachine(MachineConfig(), [GCC]).run(
+            max_instructions=600)
+        assert result.termination is Termination.DONE
+        assert result.completed
+        assert result.hang_report is None
+        assert not result.drain_truncated
+
+    def test_no_warning_logged_for_a_clean_run(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.run"):
+            BaseMachine(MachineConfig(), [GCC]).run(max_instructions=600)
+        assert not [r for r in caplog.records if r.name == "repro.run"]
+
+
+class TestCycleLimit:
+    def test_tight_budget_is_cycle_limit_not_silence(self, caplog):
+        """The old behavior silently returned a truncated RunResult;
+        now the truncation is explicit and warned about once."""
+        machine = BaseMachine(MachineConfig(), [GCC])
+        with caplog.at_level(logging.WARNING, logger="repro.run"):
+            result = machine.run(max_instructions=5_000, max_cycles=300)
+        assert result.termination is Termination.CYCLE_LIMIT
+        assert not result.completed
+        warnings = [r for r in caplog.records if r.name == "repro.run"]
+        assert len(warnings) == 1
+        message = warnings[0].getMessage()
+        assert "cycle limit" in message
+        assert GCC.name in message
+
+    def test_cycle_limit_on_srt_names_the_lagging_thread(self, caplog):
+        machine = make_machine("srt", MachineConfig(), [GCC])
+        with caplog.at_level(logging.WARNING, logger="repro.run"):
+            result = machine.run(max_instructions=5_000, max_cycles=300)
+        assert result.termination is Termination.CYCLE_LIMIT
+        warnings = [r for r in caplog.records if r.name == "repro.run"]
+        assert GCC.name in warnings[0].getMessage()
+
+    def test_completed_run_at_exact_budget_is_done(self):
+        """Finishing under the wire is DONE, not CYCLE_LIMIT."""
+        machine = BaseMachine(MachineConfig(), [GCC])
+        probe = BaseMachine(MachineConfig(), [GCC]).run(
+            max_instructions=400)
+        result = machine.run(max_instructions=400,
+                             max_cycles=probe.cycles + 50)
+        assert result.termination is Termination.DONE
+
+
+class TestCompletedProperty:
+    def test_only_done_and_recovered_count_as_completed(self):
+        from repro.core.metrics import RunResult
+
+        for term in Termination:
+            result = RunResult(kind="base", cycles=1, threads=[],
+                               termination=term)
+            assert result.completed == (term in (Termination.DONE,
+                                                 Termination.RECOVERED))
