@@ -7,6 +7,9 @@ Usage::
     python -m repro fig11 --instructions 1500 --jobs 8
     python -m repro run --kind srt --benchmark gcc --instructions 3000
     python -m repro campaign run --out runs/cov --jobs 8 --injections 500
+    python -m repro analyze program.asm --strict
+    python -m repro analyze --generated all-profiles --seeds 3
+    python -m repro lint --strict
 """
 
 import argparse
@@ -102,6 +105,11 @@ def cmd_list() -> int:
     print("\nrobustness:")
     print("  recovery           watchdog forensics + checkpoint-recovery "
           "demos ('recovery --help')")
+    print("\nstatic analysis:")
+    print("  analyze            dataflow verifier for RISC-R programs "
+          "('analyze --help', '--rules')")
+    print("  lint               determinism/sphere-layering linter for "
+          "the simulator ('lint --help', '--rules')")
     return 0
 
 
@@ -127,6 +135,14 @@ def main(argv=None) -> int:
         # Robustness demos: watchdog forensics + checkpoint recovery.
         from repro.recovery.cli import main as recovery_main
         return recovery_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # Static dataflow verifier for RISC-R programs.
+        from repro.analysis.cli import cmd_analyze
+        return cmd_analyze(argv[1:])
+    if argv and argv[0] == "lint":
+        # Simulator-invariant linter (determinism / layering / pickle).
+        from repro.analysis.cli import cmd_lint
+        return cmd_lint(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()

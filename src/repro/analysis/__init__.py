@@ -1,0 +1,50 @@
+"""repro.analysis — static verification for workloads and simulator.
+
+Two targets (see ``docs/ANALYSIS.md``):
+
+- **Program verifier** (:mod:`~repro.analysis.cfg`,
+  :mod:`~repro.analysis.dataflow`, :mod:`~repro.analysis.checks`):
+  CFG + dataflow checks over RISC-R :class:`~repro.isa.program.Program`
+  objects.  Wired into :mod:`repro.isa.generator` as a mandatory
+  validity gate and exposed as ``python -m repro analyze``.
+- **Simulator-invariant linter** (:mod:`~repro.analysis.simlint`):
+  AST rules enforcing determinism, sphere-of-replication layering, and
+  campaign pickle-safety over the repro source tree; exposed as
+  ``python -m repro lint``.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.checks import (
+    AnalysisReport,
+    Finding,
+    PROGRAM_RULES,
+    ProgramVerificationError,
+    Severity,
+    gate_program,
+    verify_program,
+)
+from repro.analysis.simlint import (
+    LINT_RULES,
+    LintFinding,
+    LintRule,
+    lint_package,
+    lint_source,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "BasicBlock",
+    "CFG",
+    "Finding",
+    "LINT_RULES",
+    "LintFinding",
+    "LintRule",
+    "PROGRAM_RULES",
+    "ProgramVerificationError",
+    "Severity",
+    "build_cfg",
+    "gate_program",
+    "lint_package",
+    "lint_source",
+    "verify_program",
+]

@@ -1,0 +1,250 @@
+"""Control-flow graph construction for RISC-R programs.
+
+The sphere-of-replication argument (paper Section 3, Figure 1) is
+*structural*: a fault is detectable only if every output crossing the
+sphere is compared.  The static verifier therefore needs a faithful
+control-flow skeleton of the program it is about to certify.  This
+module builds that skeleton: basic blocks, edges, and the conservative
+treatment of indirect control flow.
+
+Indirect flow
+-------------
+
+``JMP`` successors are unknowable in general.  Three sources of truth
+are consulted, most precise first:
+
+1. ``program.metadata["jump_table_targets"]`` — the generator records
+   the exact landing pads of its jump table (see
+   :mod:`repro.isa.generator`), so generated programs get a precise CFG.
+2. An explicit ``indirect_targets`` argument from the caller.
+3. Otherwise *every block leader* is a may-target (the standard
+   conservative assumption used by binary CFG recovery).
+
+``RET`` successors are the instruction after every ``CALL`` (the
+return-site set), which is exact for the call/return discipline the
+RISC-R generator and assembler emit and conservative otherwise.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int  # exclusive
+    instructions: List[Instruction]
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+    #: True when the block ends by running off the end of the program
+    #: (no terminator, no fallthrough target) — a verifier error.
+    falls_off_end: bool = False
+    #: True when the terminator is an indirect jump resolved
+    #: conservatively (all leaders) rather than from a known table.
+    imprecise_indirect: bool = False
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        last = self.instructions[-1]
+        return last if (last.is_control or last.is_halt) else None
+
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BasicBlock(#{self.index} [{self.start},{self.end}) "
+                f"-> {self.successors})")
+
+
+@dataclass
+class CFG:
+    """Control-flow graph: blocks indexed densely, entry first."""
+
+    program: Program
+    blocks: List[BasicBlock]
+    entry: int
+    #: pc -> block index, for every pc in the program.
+    block_of_pc: Dict[int, int]
+    #: Landing pads assumed for imprecise indirect jumps (empty when all
+    #: indirect flow was resolved precisely).
+    conservative_indirect_targets: FrozenSet[int] = frozenset()
+
+    def block_at(self, pc: int) -> BasicBlock:
+        return self.blocks[self.block_of_pc[pc]]
+
+    def reachable(self) -> List[int]:
+        """Block indices reachable from the entry, in discovery order."""
+        seen = [False] * len(self.blocks)
+        order: List[int] = []
+        stack = [self.entry]
+        while stack:
+            index = stack.pop()
+            if seen[index]:
+                continue
+            seen[index] = True
+            order.append(index)
+            # Reversed so the leftmost successor is visited first.
+            for succ in reversed(self.blocks[index].successors):
+                if not seen[succ]:
+                    stack.append(succ)
+        return order
+
+    def back_edges(self) -> List[Tuple[int, int]]:
+        """DFS back edges ``(tail, head)`` over the reachable subgraph.
+
+        A back edge is an edge to a block currently on the DFS stack;
+        each corresponds to (at least) one loop with head ``head``.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = [WHITE] * len(self.blocks)
+        edges: List[Tuple[int, int]] = []
+
+        # Iterative DFS with explicit exit events, so deep CFGs (gcc has
+        # ~900 blocks) never hit the recursion limit.
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        color[self.entry] = GREY
+        while stack:
+            node, child = stack[-1]
+            succs = self.blocks[node].successors
+            if child < len(succs):
+                stack[-1] = (node, child + 1)
+                succ = succs[child]
+                if color[succ] == GREY:
+                    edges.append((node, succ))
+                elif color[succ] == WHITE:
+                    color[succ] = GREY
+                    stack.append((succ, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+        return edges
+
+    def natural_loop(self, tail: int, head: int) -> FrozenSet[int]:
+        """Blocks of the natural loop for back edge ``tail -> head``.
+
+        Standard worklist over predecessors from the tail, stopping at
+        the head.  With imprecise indirect edges the result is a
+        superset of the true loop, which keeps every client check
+        conservative.
+        """
+        body = {head, tail}
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            for pred in self.blocks[node].predecessors:
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        return frozenset(body)
+
+
+def _leaders(program: Program,
+             indirect_targets: Iterable[int]) -> List[int]:
+    leaders = {program.entry, 0}
+    for pc, instr in enumerate(program.instructions):
+        if instr.target is not None:
+            leaders.add(instr.target)
+        if (instr.is_control or instr.is_halt) and pc + 1 < len(program):
+            leaders.add(pc + 1)
+    for target in indirect_targets:
+        if 0 <= target < len(program):
+            leaders.add(target)
+    return sorted(leaders)
+
+
+def resolve_indirect_targets(
+        program: Program,
+        indirect_targets: Optional[Iterable[int]] = None) -> Tuple[
+            FrozenSet[int], bool]:
+    """Return ``(targets, precise)`` for the program's indirect jumps."""
+    if indirect_targets is not None:
+        return frozenset(indirect_targets), True
+    meta = program.metadata.get("jump_table_targets")
+    if meta is not None:
+        return frozenset(int(t) for t in meta), True
+    return frozenset(), False
+
+
+def build_cfg(program: Program,
+              indirect_targets: Optional[Iterable[int]] = None) -> CFG:
+    """Build the CFG of ``program``.
+
+    ``indirect_targets`` optionally names the exact landing pads of
+    ``JMP`` instructions; see the module docstring for the fallback
+    chain.
+    """
+    targets, precise = resolve_indirect_targets(program, indirect_targets)
+    n = len(program)
+
+    # Conservative leaders must exist before we can say "all leaders",
+    # so compute leaders twice when indirect flow is imprecise: once
+    # without indirect targets, then treat that leader set itself as the
+    # may-target set.
+    leaders = _leaders(program, targets)
+    conservative: FrozenSet[int] = frozenset()
+    has_indirect = any(i.is_indirect and not i.is_return
+                       for i in program.instructions)
+    if has_indirect and not precise:
+        conservative = frozenset(leaders)
+
+    # Return sites: the instruction after every CALL.
+    return_sites = [pc + 1 for pc, instr in enumerate(program.instructions)
+                    if instr.is_call and pc + 1 < n]
+    for site in return_sites:
+        if site not in leaders:
+            leaders = sorted(set(leaders) | {site})
+            break  # CALL already forces pc+1 to be a leader; belt-and-braces
+
+    blocks: List[BasicBlock] = []
+    block_of_pc: Dict[int, int] = {}
+    for index, start in enumerate(leaders):
+        end = leaders[index + 1] if index + 1 < len(leaders) else n
+        block = BasicBlock(index=index, start=start, end=end,
+                           instructions=program.instructions[start:end])
+        blocks.append(block)
+        for pc in range(start, end):
+            block_of_pc[pc] = index
+
+    for block in blocks:
+        last_pc = block.end - 1
+        last = block.instructions[-1]
+        succs: List[int] = []
+        if last.is_halt:
+            pass
+        elif last.is_return:
+            succs = [block_of_pc[s] for s in return_sites]
+        elif last.is_indirect:  # JMP
+            pads = targets if precise else conservative
+            succs = [block_of_pc[t] for t in sorted(pads)
+                     if 0 <= t < n]
+            block.imprecise_indirect = not precise
+        elif last.is_control:
+            if last.target is not None:
+                succs.append(block_of_pc[last.target])
+            if last.is_conditional and last_pc + 1 < n:
+                succs.append(block_of_pc[last_pc + 1])
+            if last.is_conditional and last_pc + 1 >= n:
+                block.falls_off_end = True
+        else:  # plain fallthrough
+            if last_pc + 1 < n:
+                succs.append(block_of_pc[last_pc + 1])
+            else:
+                block.falls_off_end = True
+        # Dedup while preserving order (conditional branch to pc+1 etc).
+        seen = set()
+        block.successors = [s for s in succs
+                            if not (s in seen or seen.add(s))]
+
+    for block in blocks:
+        for succ in block.successors:
+            blocks[succ].predecessors.append(block.index)
+
+    return CFG(program=program, blocks=blocks,
+               entry=block_of_pc[program.entry], block_of_pc=block_of_pc,
+               conservative_indirect_targets=conservative)

@@ -1,0 +1,172 @@
+"""CLI verbs for the static-analysis subsystem.
+
+``python -m repro analyze`` — verify RISC-R programs (assembly files or
+generated workloads) with the dataflow checks of
+:mod:`repro.analysis.checks`.
+
+``python -m repro lint`` — run the simulator-invariant linter of
+:mod:`repro.analysis.simlint` over the repro source tree.
+
+Exit codes (both verbs): 0 clean, 1 findings at the gating severity
+(errors by default; also warnings with ``--strict``), 2 usage error.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis import report as rpt
+from repro.analysis.checks import AnalysisReport, verify_program
+from repro.analysis.simlint import lint_package
+from repro.isa.profiles import SPEC95_NAMES
+
+
+# -- analyze ---------------------------------------------------------------
+
+def _build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Static dataflow verifier for RISC-R programs")
+    parser.add_argument("sources", nargs="*",
+                        help="assembly file(s) to verify")
+    parser.add_argument("--generated", metavar="PROFILE",
+                        help="verify generated workload(s): a profile "
+                             "name or 'all-profiles'")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="with --generated: verify seeds 0..N-1 "
+                             "(default 1)")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings also fail the run")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule-id prefixes "
+                             "(e.g. A1,A5)")
+    parser.add_argument("--assume-zeroed", action="store_true",
+                        help="treat all registers as zero-initialized "
+                             "at entry (machine reset semantics)")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print programs with findings")
+    return parser
+
+
+def _gather_programs(args: argparse.Namespace) -> List[object]:
+    from repro.isa.assembler import assemble
+    from repro.isa.generator import generate_benchmark
+
+    programs = []
+    for source in args.sources:
+        path = Path(source)
+        programs.append(assemble(path.read_text(encoding="utf-8"),
+                                 name=path.stem))
+    if args.generated:
+        names = (SPEC95_NAMES if args.generated == "all-profiles"
+                 else [args.generated])
+        for name in names:
+            if name not in SPEC95_NAMES:
+                raise KeyError(
+                    f"unknown profile {name!r}; expected one of "
+                    f"{', '.join(SPEC95_NAMES)} or 'all-profiles'")
+            for seed in range(max(1, args.seeds)):
+                # verify=False: we are about to run the full verifier
+                # ourselves (with reporting); skip the generator's
+                # errors-only gate to avoid doing the work twice.
+                programs.append(generate_benchmark(name, seed,
+                                                   verify=False))
+    return programs
+
+
+def cmd_analyze(argv: Sequence[str]) -> int:
+    args = _build_analyze_parser().parse_args(list(argv))
+    if args.rules:
+        print(rpt.render_program_rules())
+        return 0
+    if not args.sources and not args.generated:
+        print("error: nothing to analyze (pass assembly files or "
+              "--generated PROFILE)", file=sys.stderr)
+        return 2
+    select = ([part.strip() for part in args.select.split(",")]
+              if args.select else None)
+    entry_mask = (1 << 64) - 1 if args.assume_zeroed else None
+
+    try:
+        programs = _gather_programs(args)
+    except (OSError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    reports: List[AnalysisReport] = []
+    for program in programs:
+        reports.append(verify_program(program,
+                                      entry_initialized=entry_mask,
+                                      checks=select))
+
+    failed = any(not report.ok(strict=args.strict) for report in reports)
+    if args.format == "json":
+        payload = {"programs": [rpt.analysis_to_dict(r) for r in reports],
+                   "ok": not failed, "strict": args.strict}
+        print(rpt.to_json(payload))
+    else:
+        shown = 0
+        for report in reports:
+            if args.quiet and report.ok(strict=args.strict):
+                continue
+            if shown:
+                print()
+            print(rpt.render_analysis(report))
+            shown += 1
+        clean = sum(1 for r in reports if r.ok(strict=args.strict))
+        print(f"\nanalyze: {clean}/{len(reports)} program(s) clean"
+              + (" (strict)" if args.strict else ""))
+    return 1 if failed else 0
+
+
+# -- lint ------------------------------------------------------------------
+
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Determinism / sphere-layering / pickle-safety "
+                    "linter for the simulator source tree")
+    parser.add_argument("paths", nargs="*",
+                        help="package roots to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings also fail the run")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule-id prefixes "
+                             "(e.g. S1,S201)")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def cmd_lint(argv: Sequence[str]) -> int:
+    args = _build_lint_parser().parse_args(list(argv))
+    if args.rules:
+        print(rpt.render_lint_rules())
+        return 0
+    select: Optional[List[str]] = (
+        [part.strip() for part in args.select.split(",")]
+        if args.select else None)
+    roots = [Path(p) for p in args.paths] or [None]
+    findings = []
+    for root in roots:
+        if root is not None and not root.exists():
+            print(f"error: no such path {root}", file=sys.stderr)
+            return 2
+        findings.extend(lint_package(root, select=select))
+
+    if args.format == "json":
+        print(rpt.to_json(rpt.lint_to_dict(findings)))
+    else:
+        print(rpt.render_lint(findings))
+    errors = sum(1 for f in findings if f.severity == "error")
+    gating = len(findings) if args.strict else errors
+    return 1 if gating else 0

@@ -1,0 +1,101 @@
+"""Text and JSON reporters for the static-analysis subsystem.
+
+Shared by ``python -m repro analyze`` and ``python -m repro lint``; the
+JSON shapes are stable (consumed by CI and by tests' golden files), the
+text shapes are for humans.
+"""
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.checks import (AnalysisReport, PROGRAM_RULES, Severity)
+from repro.analysis.simlint import LINT_RULES, LintFinding
+
+
+# -- program verifier ------------------------------------------------------
+
+def analysis_to_dict(report: AnalysisReport) -> Dict[str, object]:
+    return {
+        "program": report.program.name,
+        "instructions": len(report.program),
+        "blocks": len(report.cfg.blocks),
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "by_rule": report.by_rule(),
+        "findings": [
+            {"rule": f.rule, "severity": str(f.severity), "pc": f.pc,
+             "message": f.message}
+            for f in report.findings
+        ],
+    }
+
+
+def render_analysis(report: AnalysisReport, verbose: bool = True) -> str:
+    lines = [
+        f"program {report.program.name!r}: {len(report.program)} "
+        f"instructions, {len(report.cfg.blocks)} basic blocks",
+    ]
+    if not report.findings:
+        lines.append("  clean: no findings")
+        return "\n".join(lines)
+    for rule, count in report.by_rule().items():
+        severity, _ = PROGRAM_RULES[rule]
+        lines.append(f"  {severity.name:<7s} {rule:<22s} x{count}")
+    if verbose:
+        lines.append("")
+        for finding in report.findings:
+            lines.append(f"  {finding}")
+    lines.append("")
+    lines.append(f"  {len(report.errors)} error(s), "
+                 f"{len(report.warnings)} warning(s)")
+    return "\n".join(lines)
+
+
+def render_program_rules() -> str:
+    lines = ["program verifier rules:"]
+    for rule, (severity, description) in PROGRAM_RULES.items():
+        lines.append(f"  {rule:<22s} [{severity.name.lower():<7s}] "
+                     f"{description}")
+    return "\n".join(lines)
+
+
+# -- simulator linter ------------------------------------------------------
+
+def lint_to_dict(findings: Sequence[LintFinding]) -> Dict[str, object]:
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+        "by_rule": dict(sorted(by_rule.items())),
+        "findings": [
+            {"rule": f.rule, "severity": f.severity, "path": f.path,
+             "line": f.line, "message": f.message}
+            for f in findings
+        ],
+    }
+
+
+def render_lint(findings: Sequence[LintFinding]) -> str:
+    if not findings:
+        return "simlint: clean (no findings)"
+    lines: List[str] = [str(f) for f in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(f"simlint: {errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_lint_rules() -> str:
+    lines = ["simulator-invariant rules:"]
+    for rule in LINT_RULES.values():
+        lines.append(f"  {rule.id:<6s} [{rule.severity:<7s}] {rule.summary}")
+    lines.append("")
+    lines.append("suppress a line with: "
+                 "'# simlint: disable=<RULE>[,<RULE>...]'")
+    return "\n".join(lines)
+
+
+def to_json(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True)

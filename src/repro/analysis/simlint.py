@@ -1,0 +1,353 @@
+"""AST-based invariant linter for the simulator's own source tree.
+
+The campaign engine (PR 1) replays 100k-injection campaigns from
+``(spec, seed)`` alone and the recovery layer (PR 2) compares state
+fingerprints byte-for-byte across processes; both silently break if the
+simulator picks up a nondeterministic input, leaks the sphere layering,
+or ships a wire type the process pool cannot round-trip.  This linter
+enforces those invariants *statically*, before a campaign burns CPU on
+a bad build.
+
+Rule families (see ``docs/ANALYSIS.md`` for the full catalogue):
+
+- **S1 determinism** — S101 no unseeded ``random`` outside the blessed
+  ``repro.util.rng`` wrapper; S102 no wall-clock reads in cycle-path
+  layers; S103 no order-sensitive consumption of unsorted sets.
+- **S2 sphere-of-replication layering** — S201 the layers *inside* the
+  sphere (pipeline, predictors, memory, isa, util) never import the
+  sphere machinery in ``repro.core``; S202 ``repro.util`` is a leaf.
+- **S3 campaign pickle-safety** — S301 no lambdas handed to process
+  pools; S302 wire dataclasses are module-level with stable,
+  deterministic field types.
+
+Suppression: append ``# simlint: disable=S101`` (comma-separate for
+several rules) to the offending line.  Every suppression is an audited
+exception, greppable by rule id.
+
+Only the stdlib :mod:`ast` is used; no third-party linter frameworks.
+"""
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Layers that execute inside the simulated machine's cycle loop; these
+#: may never observe wall-clock time or host RNG state.
+CYCLE_LAYERS = ("core", "pipeline", "predictors", "memory", "isa", "util")
+
+#: Layers inside the sphere of replication (paper Figure 1): structures
+#: that are *replicated or compared* must not know about the comparator.
+SPHERE_INNER_LAYERS = ("pipeline", "predictors", "memory", "isa", "util")
+
+#: Modules whose dataclasses cross the campaign process pool.
+WIRE_MODULE_PATTERNS = (
+    re.compile(r"^campaign/"),
+    re.compile(r"^core/faults\.py$"),
+    re.compile(r"^core/metrics\.py$"),
+    re.compile(r"^core/config\.py$"),
+)
+
+#: The single module allowed to touch the host ``random`` module.
+RNG_HOME = "util/rng.py"
+
+_POOL_METHODS = {"submit", "map", "imap", "imap_unordered", "apply",
+                 "apply_async", "starmap", "starmap_async"}
+_CLOCK_ATTRS = {"time", "time_ns", "perf_counter", "perf_counter_ns",
+                "monotonic", "monotonic_ns", "process_time"}
+
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    id: str
+    severity: str  # "error" | "warning"
+    summary: str
+
+
+LINT_RULES: Dict[str, LintRule] = {rule.id: rule for rule in [
+    LintRule("S101", "error",
+             "host 'random' used outside repro.util.rng — every "
+             "stochastic choice must flow through DeterministicRng"),
+    LintRule("S102", "error",
+             "wall-clock source in a cycle-path layer — simulated time "
+             "must be a pure function of the configuration"),
+    LintRule("S103", "warning",
+             "unsorted set consumed in an order-sensitive position — "
+             "wrap in sorted() so output is byte-deterministic"),
+    LintRule("S201", "error",
+             "sphere-layering violation: layers inside the sphere of "
+             "replication must not import repro.core"),
+    LintRule("S202", "error",
+             "repro.util must be a leaf package (no repro.* imports)"),
+    LintRule("S301", "warning",
+             "lambda handed to a process pool — workers must receive "
+             "module-level callables to unpickle"),
+    LintRule("S302", "warning",
+             "wire dataclass is nested or has unstable (set-typed) "
+             "fields — it cannot cross the process pool safely"),
+]}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    rule: str
+    path: str  # repro-package-relative, posix separators
+    line: int
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return LINT_RULES[self.rule].severity
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} " \
+               f"[{self.severity}] {self.message}"
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    table: Dict[int, Set[str]] = {}
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            table[line_no] = rules
+    return table
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Does ``node`` syntactically produce a set with host-hash order?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_mentions_set(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in (
+                "set", "Set", "frozenset", "FrozenSet", "MutableSet"):
+            return True
+        if isinstance(child, ast.Attribute) and child.attr in (
+                "Set", "FrozenSet", "MutableSet"):
+            return True
+        if isinstance(child, ast.Constant) and isinstance(child.value, str):
+            if re.search(r"\b(Set|FrozenSet|set|frozenset)\b", child.value):
+                return True
+    return False
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    """Runs every applicable rule over one module's AST."""
+
+    def __init__(self, rel_path: str, source: str) -> None:
+        self.rel = rel_path  # e.g. "pipeline/core.py"
+        self.layer = rel_path.split("/", 1)[0] if "/" in rel_path else ""
+        self.suppress = _suppressions(source)
+        self.findings: List[LintFinding] = []
+        self.is_wire = any(p.search(rel_path) for p in WIRE_MODULE_PATTERNS)
+        self._tree = ast.parse(source, filename=rel_path)
+
+    # -- plumbing ----------------------------------------------------
+    def run(self) -> List[LintFinding]:
+        self.visit(self._tree)
+        self._check_wire_dataclasses(self._tree)
+        return self.findings
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if rule in self.suppress.get(line, ()):  # audited exception
+            return
+        self.findings.append(LintFinding(rule, self.rel, line, message))
+
+    # -- S1 determinism ----------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_import(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        self._check_import(node, module,
+                           names=[a.name for a in node.names])
+        self.generic_visit(node)
+
+    def _check_import(self, node: ast.AST, module: str,
+                      names: Sequence[str] = ()) -> None:
+        root = module.split(".", 1)[0]
+        if root == "random" and self.rel != RNG_HOME:
+            self.report("S101", node,
+                        f"import of 'random' in {self.rel}; use "
+                        f"repro.util.rng.DeterministicRng instead")
+        if self.layer in CYCLE_LAYERS and root in ("time", "datetime"):
+            clocky = (not names
+                      or any(n in _CLOCK_ATTRS or n in ("datetime", "date")
+                             for n in names))
+            if clocky:
+                self.report("S102", node,
+                            f"'{module}' imported in cycle-path layer "
+                            f"'{self.layer}/'")
+        if module.startswith("repro"):
+            self._check_layering(node, module, names)
+
+    # -- S2 layering -------------------------------------------------
+    def _check_layering(self, node: ast.AST, module: str,
+                        names: Sequence[str]) -> None:
+        if self.layer == "util":
+            if module != "repro.util" and not module.startswith("repro.util."):
+                self.report("S202", node,
+                            f"repro.util imports {module}; util must "
+                            f"stay a leaf package")
+            return
+        if self.layer in SPHERE_INNER_LAYERS:
+            if module == "repro.core" or module.startswith("repro.core."):
+                self.report("S201", node,
+                            f"layer '{self.layer}/' (inside the sphere "
+                            f"of replication) imports {module}; the "
+                            f"sphere machinery must stay above it")
+
+    # -- S1 determinism: wall clock / unsorted sets --------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (self.layer in CYCLE_LAYERS
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr in _CLOCK_ATTRS):
+            self.report("S102", node,
+                        f"time.{node.attr}() read in cycle-path layer "
+                        f"'{self.layer}/'")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self.report("S103", node,
+                        "iteration over an unsorted set; wrap the "
+                        "iterable in sorted()")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Binding a set *algebra* result (difference/union/...) is the
+        # tell-tale "collect then report" idiom whose order leaks into
+        # error messages and logs; `x = sorted(set(a) - b)` is the
+        # deterministic-by-construction form.  Plain `seen = set()`
+        # membership sets are fine and not flagged.
+        if isinstance(node.value, ast.BinOp) and _is_set_expr(node.value):
+            self.report("S103", node,
+                        "binding a raw set-algebra result; bind "
+                        "sorted(...) instead so every later consumer "
+                        "is order-stable")
+        self.generic_visit(node)
+
+    def visit_FormattedValue(self, node: ast.FormattedValue) -> None:
+        if _is_set_expr(node.value):
+            self.report("S103", node,
+                        "formatting an unsorted set into a string; "
+                        "wrap it in sorted()")
+        self.generic_visit(node)
+
+    # -- S3 pickle safety ---------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    self.report("S301", arg,
+                                f".{func.attr}(lambda ...) cannot cross "
+                                f"a process pool; pass a module-level "
+                                f"function")
+        self.generic_visit(node)
+
+    def _check_wire_dataclasses(self, tree: ast.Module) -> None:
+        if not self.is_wire:
+            return
+        top_level = {id(stmt) for stmt in tree.body}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            if id(node) not in top_level:
+                self.report("S302", node,
+                            f"dataclass {node.name!r} is not "
+                            f"module-level; nested classes cannot be "
+                            f"pickled by the campaign pool")
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and \
+                        _annotation_mentions_set(stmt.annotation):
+                    name = getattr(stmt.target, "id", "?")
+                    self.report("S302", stmt,
+                                f"field {node.name}.{name} is set-typed; "
+                                f"wire formats need deterministic "
+                                f"iteration order (use a sorted tuple)")
+                if isinstance(stmt, (ast.AnnAssign, ast.Assign)):
+                    value = stmt.value
+                    if isinstance(value, ast.Call):
+                        for kw in value.keywords:
+                            if (kw.arg == "default_factory"
+                                    and isinstance(kw.value, ast.Name)
+                                    and kw.value.id in ("set", "frozenset")):
+                                self.report(
+                                    "S302", stmt,
+                                    f"dataclass {node.name!r} uses "
+                                    f"default_factory={kw.value.id}; "
+                                    f"wire fields must be order-stable")
+
+
+# -- public API ------------------------------------------------------------
+
+def lint_source(source: str, rel_path: str) -> List[LintFinding]:
+    """Lint one module given its repro-package-relative path."""
+    return _ModuleLinter(rel_path, source).run()
+
+
+def package_root() -> Path:
+    """Filesystem directory of the installed ``repro`` package."""
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_package_files(root: Optional[Path] = None) -> Iterable[
+        Tuple[Path, str]]:
+    base = root or package_root()
+    for path in sorted(base.rglob("*.py")):
+        rel = path.relative_to(base).as_posix()
+        yield path, rel
+
+
+def lint_package(root: Optional[Path] = None,
+                 select: Optional[Sequence[str]] = None) -> List[LintFinding]:
+    """Lint every module of the repro package (or another tree).
+
+    ``select`` filters by rule-id prefix (``["S1"]`` keeps S101..S103).
+    """
+    findings: List[LintFinding] = []
+    for path, rel in iter_package_files(root):
+        findings.extend(lint_source(path.read_text(encoding="utf-8"), rel))
+    if select is not None:
+        findings = [f for f in findings
+                    if any(f.rule.startswith(p) for p in select)]
+    findings.sort(key=LintFinding.sort_key)
+    return findings

@@ -134,10 +134,10 @@ class CampaignSpec:
                 f"campaign format v{version} is not readable by this "
                 f"build (expected v{FORMAT_VERSION})")
         known = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(payload) - known
+        unknown = sorted(set(payload) - known)
         if unknown:
             raise CampaignConfigError(
-                f"unknown campaign fields: {sorted(unknown)}")
+                f"unknown campaign fields: {unknown}")
         if payload.get("strike_window") is not None:
             payload["strike_window"] = tuple(payload["strike_window"])
         return cls(**payload)

@@ -83,9 +83,9 @@ class MachineConfig:
         data = dict(data)
         core = CoreConfig(**data.pop("core", {}))
         hierarchy = HierarchyConfig(**data.pop("hierarchy", {}))
-        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - {f.name for f in dataclasses.fields(cls)})
         if unknown:
-            raise ValueError(f"unknown MachineConfig fields: {sorted(unknown)}")
+            raise ValueError(f"unknown MachineConfig fields: {unknown}")
         return cls(core=core, hierarchy=hierarchy, **data)
 
     @classmethod

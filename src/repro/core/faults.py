@@ -229,10 +229,11 @@ def fault_from_dict(data: Dict[str, object]) -> Fault:
         raise ValueError(
             f"unknown fault model {model!r}; expected one of "
             f"{sorted(FAULT_MODELS)}")
-    known = {f.name for f in dataclasses.fields(cls)} - _RUNTIME_FIELDS
-    unknown = set(payload) - known
+    known = {f.name for f in dataclasses.fields(cls)
+             if f.name not in _RUNTIME_FIELDS}
+    unknown = sorted(set(payload) - known)
     if unknown:
-        raise ValueError(f"unknown {model} fields: {sorted(unknown)}")
+        raise ValueError(f"unknown {model} fields: {unknown}")
     if cls is StuckFunctionalUnit and "fu_class" in payload:
         payload["fu_class"] = FuClass(payload["fu_class"])
     return cls(**payload)

@@ -14,6 +14,15 @@ Syntax, one instruction per line (``;`` starts a comment)::
         call  r30, subroutine
         ret   r30
         halt
+
+Directives understood by the static verifier (:mod:`repro.analysis`)::
+
+    .segment <lo> <hi>           ; declare a legal store range [lo, hi)
+    .shared  <lo> <hi>           ; declare a cross-thread-visible range
+
+Labels must be unique; branching to an undefined label is a
+line-numbered :class:`AssemblyError` (not a late KeyError), so the CFG
+builder can always assume well-formed targets.
 """
 
 import re
@@ -60,8 +69,10 @@ def _parse_imm(token: str, line_no: int) -> int:
 def assemble(source: str, name: str = "asm") -> Program:
     """Assemble ``source`` into a :class:`Program`."""
     labels: Dict[str, int] = {}
+    label_lines: Dict[str, int] = {}
     pending: List[Tuple[int, str, List[str]]] = []  # (line_no, mnemonic, args)
     data: Dict[int, int] = {}
+    segments: Dict[str, List[Tuple[int, int]]] = {}
 
     # Pass 1: strip comments, collect labels and raw instructions.
     index = 0
@@ -75,14 +86,32 @@ def assemble(source: str, name: str = "asm") -> Program:
                 raise AssemblyError(f"line {line_no}: .data needs addr and value")
             data[_parse_imm(parts[1], line_no)] = _parse_imm(parts[2], line_no)
             continue
+        if line.startswith((".segment", ".shared")):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError(
+                    f"line {line_no}: {parts[0]} needs lo and hi addresses")
+            lo = _parse_imm(parts[1], line_no)
+            hi = _parse_imm(parts[2], line_no)
+            if not 0 <= lo < hi:
+                raise AssemblyError(
+                    f"line {line_no}: {parts[0]} range [{lo}, {hi}) is empty "
+                    f"or negative")
+            key = ("data_segments" if parts[0] == ".segment"
+                   else "shared_segments")
+            segments.setdefault(key, []).append((lo, hi))
+            continue
         while ":" in line:
             label, _, rest = line.partition(":")
             label = label.strip()
             if not label.isidentifier():
                 raise AssemblyError(f"line {line_no}: bad label {label!r}")
             if label in labels:
-                raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+                raise AssemblyError(
+                    f"line {line_no}: duplicate label {label!r} "
+                    f"(first defined on line {label_lines[label]})")
             labels[label] = index
+            label_lines[label] = line_no
             line = rest.strip()
         if not line:
             continue
@@ -95,7 +124,17 @@ def assemble(source: str, name: str = "asm") -> Program:
         token = token.strip()
         if token in labels:
             return labels[token]
-        return _parse_imm(token, line_no)
+        if token.isidentifier():
+            known = ", ".join(sorted(labels)) or "(none defined)"
+            raise AssemblyError(
+                f"line {line_no}: branch to undefined label {token!r}; "
+                f"known labels: {known}")
+        target = _parse_imm(token, line_no)
+        if not 0 <= target < len(pending):
+            raise AssemblyError(
+                f"line {line_no}: branch target {target} is outside the "
+                f"program [0, {len(pending)})")
+        return target
 
     # Pass 2: encode.
     instructions: List[Instruction] = []
@@ -159,4 +198,7 @@ def assemble(source: str, name: str = "asm") -> Program:
 
     if not instructions:
         raise AssemblyError("no instructions in source")
-    return Program(name=name, instructions=instructions, initial_memory=data)
+    program = Program(name=name, instructions=instructions,
+                      initial_memory=data)
+    program.metadata.update(segments)
+    return program

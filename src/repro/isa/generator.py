@@ -126,7 +126,17 @@ class ProgramGenerator:
         self._mixed_toggle = 0
 
     # -- public entry point ------------------------------------------
-    def generate(self) -> Program:
+    def generate(self, verify: bool = True) -> Program:
+        """Generate the program; by default, statically verify it.
+
+        The verifier (:func:`repro.analysis.checks.gate_program`) is the
+        generator's mandatory validity gate: a program with
+        ERROR-severity findings (definitely-uninitialized reads,
+        statically out-of-bounds stores, control running off the end)
+        raises :class:`~repro.analysis.checks.ProgramVerificationError`
+        instead of being handed to a machine.  ``verify=False`` skips
+        the gate for callers that run the full verifier themselves.
+        """
         profile = self.profile
         main_pool = _PoolAllocator(MAIN_POOL, self.rng.derive("main-pool"),
                                    profile.dep_density)
@@ -144,6 +154,8 @@ class ProgramGenerator:
         program = self._link(prologue, main_blocks, sub_blocks)
         program.metadata.update(profile=profile.name, seed=self.seed,
                                 description=profile.description)
+        if verify:
+            _gate(program)
         return program
 
     # -- prologue -----------------------------------------------------
@@ -173,6 +185,14 @@ class ProgramGenerator:
         for reg in (*MAIN_POOL, *SUB_POOL):
             instrs.append(
                 Instruction(Op.LDI, rd=reg, imm=rng.randint(0, (1 << 32))))
+        for reg in R_LOOP:
+            # Zero the loop counters so the guarded loop tails (cmplt
+            # against zero) are well-defined even when a forward branch or
+            # indirect jump enters a loop body without passing the counter
+            # initialisation: a zero counter fails the guard and exits the
+            # loop immediately.  This also makes the dataflow verifier's
+            # A1 (definitely-uninitialized read) check hold on every path.
+            instrs.append(Instruction(Op.LDI, rd=reg, imm=0))
         instrs.append(Instruction(Op.LDI, rd=R_LINK, imm=0))
         return instrs
 
@@ -435,18 +455,36 @@ class ProgramGenerator:
                         instr, target=starts[item.sym_target])
                 instructions.append(instr)
 
-        initial_memory = self._build_initial_memory(starts, len(main_blocks))
+        initial_memory, table_targets = self._build_initial_memory(
+            starts, len(main_blocks))
         name = (self.profile.name if self.seed == 0
                 else f"{self.profile.name}#{self.seed}")
-        return Program(
+        program = Program(
             name=name,
             instructions=instructions,
             initial_memory=initial_memory,
             entry=0,
         )
+        # Structural facts the static verifier consumes
+        # (repro.analysis.checks documents each key).  The data segment
+        # covers the working set plus the worst-case body offset: a
+        # cursor may sit on the last working-set word while the body
+        # addresses up to MAX_LOAD_OFFSET_WORDS beyond it.
+        ws_bytes = self.profile.working_set_words * 8
+        program.metadata.update(
+            runs_forever=True,  # main region loops back to block 0
+            jump_table_targets=list(table_targets),
+            data_segments=[
+                (DATA_BASE, DATA_BASE + ws_bytes
+                 + 8 * MAX_LOAD_OFFSET_WORDS),
+                (TABLE_BASE, TABLE_BASE + 8 * JUMP_TABLE_SLOTS),
+            ],
+        )
+        return program
 
-    def _build_initial_memory(self, starts: Dict[Tuple[str, int], int],
-                              n_main: int) -> Dict[int, int]:
+    def _build_initial_memory(
+            self, starts: Dict[Tuple[str, int], int],
+            n_main: int) -> Tuple[Dict[int, int], List[int]]:
         rng = self.rng.derive("memory")
         memory: Dict[int, int] = {}
         init_words = min(self.profile.working_set_words, INIT_DATA_WORDS)
@@ -456,16 +494,37 @@ class ProgramGenerator:
                          for _ in range(JUMP_TABLE_SLOTS)]
         for slot, target in enumerate(table_targets):
             memory[TABLE_BASE + 8 * slot] = target
-        return memory
+        return memory, table_targets
 
 
-def generate_program(profile: WorkloadProfile, seed: int = 0) -> Program:
+#: (profile name, seed) pairs already certified by the gate in this
+#: process.  Generation is deterministic, so one verification per pair
+#: suffices; the cache keeps the mandatory gate O(1) for the test suite
+#: and the campaign workers, which regenerate the same workloads often.
+_VERIFIED: set = set()
+
+
+def _gate(program: Program) -> None:
+    key = (program.metadata.get("profile"), program.metadata.get("seed"))
+    if key in _VERIFIED:
+        return
+    # Imported lazily: repro.analysis depends on repro.isa, not the
+    # other way around (the gate is the one sanctioned back-reference).
+    from repro.analysis.checks import gate_program
+
+    gate_program(program)
+    _VERIFIED.add(key)
+
+
+def generate_program(profile: WorkloadProfile, seed: int = 0,
+                     verify: bool = True) -> Program:
     """Generate the synthetic benchmark for ``profile`` with ``seed``."""
-    return ProgramGenerator(profile, seed).generate()
+    return ProgramGenerator(profile, seed).generate(verify=verify)
 
 
-def generate_benchmark(name: str, seed: int = 0) -> Program:
+def generate_benchmark(name: str, seed: int = 0,
+                       verify: bool = True) -> Program:
     """Generate one of the named SPEC CPU95-like benchmarks."""
     from repro.isa.profiles import get_profile
 
-    return generate_program(get_profile(name), seed)
+    return generate_program(get_profile(name), seed, verify=verify)

@@ -1,0 +1,11 @@
+; Passes every verifier rule, including strict mode: a counted store
+; loop with monotone induction, all registers initialized, all stores
+; inside the declared segment, and a proper halt.
+    .segment 0x1000 0x1100
+    ldi r1, 8
+    ldi r2, 0x1000
+loop:
+    st r2, 0, r1
+    addi r1, r1, -1
+    bnez r1, loop
+    halt

@@ -1,0 +1,7 @@
+; A3-dead-store: the first write to r1 is overwritten before any read.
+    ldi r1, 1
+    ldi r1, 2
+    bnez r1, end
+    nop
+end:
+    halt

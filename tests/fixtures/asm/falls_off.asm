@@ -1,0 +1,8 @@
+; A8-falls-off-end: the taken path ends on a non-terminator, so control
+; can run past the last instruction.
+    ldi r1, 1
+    beqz r1, done
+done:
+    addi r2, r1, 1
+    bnez r2, done
+    addi r3, r1, 1

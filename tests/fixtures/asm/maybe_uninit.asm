@@ -1,0 +1,11 @@
+; A2-maybe-uninit-read: r2 is written only on the not-taken path, so the
+; read at 'join' is uninitialized when the branch is taken.
+    ldi r1, 1
+    beqz r1, join
+    ldi r2, 5
+join:
+    add r3, r2, r2
+    bnez r3, end
+    nop
+end:
+    halt

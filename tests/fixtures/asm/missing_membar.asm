@@ -1,0 +1,14 @@
+; A6-missing-membar: the store publishing to the shared segment at
+; 0x2000 is not fenced from the preceding data store; the one at
+; 0x2008 is correctly behind a membar.
+    .segment 0x1000 0x1100
+    .segment 0x2000 0x2100
+    .shared 0x2000 0x2100
+    ldi r1, 0x1000
+    ldi r2, 0x2000
+    ldi r3, 42
+    st r1, 0, r3
+    st r2, 0, r3
+    membar
+    st r2, 8, r3
+    halt

@@ -1,0 +1,8 @@
+; A5-oob-store: the declared data segment is [0x1000, 0x1100) but the
+; second store statically resolves to 0x2000.
+    .segment 0x1000 0x1100
+    .data 0x1000 7
+    ldi r1, 0x2000
+    st r0, 0x1000, r0
+    st r1, 0, r0
+    halt

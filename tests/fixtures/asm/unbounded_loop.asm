@@ -1,0 +1,8 @@
+; A7-unbounded-loop: the exit compare reads r1, but nothing in the loop
+; steps r1 toward the exit.
+    ldi r1, 10
+    ldi r2, 0
+loop:
+    add r2, r2, r1
+    bnez r1, loop
+    halt

@@ -1,0 +1,6 @@
+; A1-uninit-read: r1 is read but never written on any path.
+    add r2, r1, r1
+    bnez r2, end
+    nop
+end:
+    halt

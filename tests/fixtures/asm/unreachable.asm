@@ -1,0 +1,7 @@
+; A4-unreachable-block: the block after the unconditional branch has no
+; predecessors.
+    br end
+    ldi r1, 7
+    ldi r2, 9
+end:
+    halt

@@ -1,0 +1,135 @@
+"""CFG construction: leaders, edges, indirect flow, loops."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import Program
+
+
+def blocks_of(cfg):
+    return [(b.start, b.end, tuple(b.successors)) for b in cfg.blocks]
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(assemble("ldi r1, 1\nadd r2, r1, r1\nhalt"))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_conditional_branch_splits_three_ways(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 2
+        top:
+            addi r1, r1, -1
+            bnez r1, top
+            halt
+        """))
+        # [entry], [top..branch], [halt]
+        assert len(cfg.blocks) == 3
+        entry, loop, exit_block = cfg.blocks
+        assert entry.successors == [loop.index]
+        assert sorted(loop.successors) == sorted([loop.index,
+                                                  exit_block.index])
+        assert exit_block.successors == []
+        assert loop.predecessors.count(entry.index) == 1
+
+    def test_entry_block_first_reachable(self):
+        cfg = build_cfg(assemble("br end\nnop\nend:\nhalt"))
+        order = cfg.reachable()
+        assert order[0] == cfg.entry
+        # 'nop' block is not reachable.
+        nop_block = cfg.block_of_pc[1]
+        assert nop_block not in order
+
+    def test_call_and_ret_edges(self):
+        cfg = build_cfg(assemble("""
+            call r30, sub
+            halt
+        sub:
+            ret r30
+        """))
+        call_block = cfg.block_at(0)
+        sub_block = cfg.block_at(2)
+        halt_block = cfg.block_at(1)
+        assert call_block.successors == [sub_block.index]
+        # RET returns to the instruction after every CALL.
+        assert sub_block.successors == [halt_block.index]
+
+
+class TestIndirectFlow:
+    def _jmp_program(self, metadata=None):
+        program = Program(
+            name="jmp",
+            instructions=[
+                Instruction(Op.LDI, rd=1, imm=3),
+                Instruction(Op.JMP, ra=1),
+                Instruction(Op.HALT),
+                Instruction(Op.HALT),
+            ])
+        if metadata:
+            program.metadata.update(metadata)
+        return program
+
+    def test_unknown_indirect_targets_all_leaders(self):
+        cfg = build_cfg(self._jmp_program())
+        jmp_block = cfg.block_at(1)
+        assert jmp_block.imprecise_indirect
+        assert cfg.conservative_indirect_targets
+        # Every leader is a may-successor.
+        assert set(jmp_block.successors) == set(
+            cfg.block_of_pc[t] for t in cfg.conservative_indirect_targets)
+
+    def test_metadata_jump_table_is_precise(self):
+        cfg = build_cfg(self._jmp_program({"jump_table_targets": [3]}))
+        jmp_block = cfg.block_at(1)
+        assert not jmp_block.imprecise_indirect
+        assert jmp_block.successors == [cfg.block_of_pc[3]]
+
+    def test_explicit_targets_override(self):
+        cfg = build_cfg(self._jmp_program(), indirect_targets=[2])
+        jmp_block = cfg.block_at(1)
+        assert jmp_block.successors == [cfg.block_of_pc[2]]
+
+
+class TestLoops:
+    def test_back_edge_found(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 4
+        top:
+            addi r1, r1, -1
+            bnez r1, top
+            halt
+        """))
+        edges = cfg.back_edges()
+        assert len(edges) == 1
+        tail, head = edges[0]
+        assert cfg.blocks[head].start == 1
+
+    def test_natural_loop_body(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 4
+        top:
+            addi r1, r1, -1
+            beqz r1, out
+            br top
+        out:
+            halt
+        """))
+        (tail, head), = cfg.back_edges()
+        body = cfg.natural_loop(tail, head)
+        starts = sorted(cfg.blocks[b].start for b in body)
+        assert starts == [1, 3]  # the addi/beqz block and the br block
+
+    def test_deep_cfg_no_recursion_error(self):
+        # 3000 alternating conditional branches; iterative DFS must cope.
+        lines = ["ldi r1, 1"]
+        for _ in range(3000):
+            lines.append("addi r1, r1, -1")
+            # Target the instruction after this bnez (a forward skip).
+            lines.append(f"bnez r1, {len(lines) + 1}")
+        lines.append("halt")
+        cfg = build_cfg(assemble("\n".join(lines)))
+        assert cfg.back_edges() == []
+        assert len(cfg.reachable()) == len(cfg.blocks)

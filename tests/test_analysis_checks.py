@@ -1,0 +1,148 @@
+"""Golden-report tests: each dataflow check against its bad-asm fixture."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.checks import (Severity, gate_program,
+                                   ProgramVerificationError, verify_program)
+from repro.isa.assembler import assemble
+
+FIXTURES = Path(__file__).parent / "fixtures" / "asm"
+
+
+def load(name):
+    path = FIXTURES / f"{name}.asm"
+    return assemble(path.read_text(encoding="utf-8"), name=name)
+
+
+def report_for(name, **kwargs):
+    return verify_program(load(name), **kwargs)
+
+
+class TestFixtureGoldens:
+    def test_clean_fixture_is_strict_clean(self):
+        report = report_for("clean")
+        assert report.findings == []
+        assert report.ok(strict=True)
+
+    def test_uninit_read(self):
+        report = report_for("uninit_read")
+        assert report.by_rule() == {"A1-uninit-read": 1}
+        (finding,) = report.findings
+        assert finding.severity is Severity.ERROR
+        assert finding.pc == 0
+        assert "r1" in finding.message
+        assert not report.ok()
+
+    def test_maybe_uninit_read(self):
+        report = report_for("maybe_uninit")
+        assert report.by_rule() == {"A2-maybe-uninit-read": 1}
+        (finding,) = report.findings
+        assert finding.severity is Severity.WARNING
+        assert "r2" in finding.message
+        assert report.ok() and not report.ok(strict=True)
+
+    def test_dead_store(self):
+        report = report_for("dead_store")
+        assert report.by_rule() == {"A3-dead-store": 1}
+        (finding,) = report.findings
+        assert finding.pc == 0  # the first ldi, not the second
+
+    def test_unreachable_block(self):
+        report = report_for("unreachable")
+        assert report.by_rule() == {"A4-unreachable-block": 1}
+        (finding,) = report.findings
+        assert finding.pc == 1
+        assert "[1, 3)" in finding.message
+
+    def test_oob_store(self):
+        report = report_for("oob_store")
+        assert report.by_rule() == {"A5-oob-store": 1}
+        (finding,) = report.findings
+        assert finding.severity is Severity.ERROR
+        assert finding.pc == 2
+        assert "0x2000" in finding.message
+
+    def test_missing_membar(self):
+        report = report_for("missing_membar")
+        assert report.by_rule() == {"A6-missing-membar": 1}
+        (finding,) = report.findings
+        # The unfenced publish, not the one behind the membar.
+        assert finding.pc == 4
+
+    def test_unbounded_loop(self):
+        report = report_for("unbounded_loop")
+        assert report.by_rule() == {"A7-unbounded-loop": 1}
+        (finding,) = report.findings
+        assert "monotone induction" in finding.message
+
+    def test_falls_off_end(self):
+        report = report_for("falls_off")
+        assert "A8-falls-off-end" in report.by_rule()
+        assert any(f.severity is Severity.ERROR for f in report.findings)
+
+
+class TestCheckSelection:
+    def test_select_filters_rules(self):
+        report = report_for("falls_off", checks=["A8"])
+        assert set(report.by_rule()) == {"A8-falls-off-end"}
+
+    def test_entry_initialized_suppresses_uninit(self):
+        all_regs = (1 << 64) - 1
+        report = report_for("uninit_read", entry_initialized=all_regs)
+        assert report.by_rule() == {}
+
+
+class TestBoundedInduction:
+    def test_counted_loop_is_clean(self):
+        program = assemble("""
+            ldi r1, 10
+        top:
+            addi r1, r1, -1
+            bnez r1, top
+            halt
+        """)
+        assert verify_program(program).findings == []
+
+    def test_cmplt_guard_counts_as_induction(self):
+        # The generator's guarded loop-tail shape: addi + cmplt + bnez.
+        program = assemble("""
+            ldi r1, 10
+            ldi r2, 0
+        top:
+            add r2, r2, r1
+            addi r1, r1, -1
+            cmplt r3, r0, r1
+            bnez r3, top
+            bnez r2, end
+            nop
+        end:
+            halt
+        """)
+        assert "A7-unbounded-loop" not in verify_program(program).by_rule()
+
+    def test_runs_forever_metadata_disables_loop_check(self):
+        program = assemble("""
+            ldi r1, 1
+        top:
+            add r1, r1, r1
+            bnez r1, top
+            halt
+        """)
+        assert "A7-unbounded-loop" in verify_program(program).by_rule()
+        program.metadata["runs_forever"] = True
+        assert "A7-unbounded-loop" not in verify_program(program).by_rule()
+
+
+class TestGate:
+    def test_gate_raises_on_errors(self):
+        program = load("uninit_read")
+        with pytest.raises(ProgramVerificationError) as excinfo:
+            gate_program(program)
+        assert "A1-uninit-read" in str(excinfo.value)
+        assert excinfo.value.report.errors
+
+    def test_gate_passes_warnings(self):
+        program = load("maybe_uninit")
+        assert gate_program(program) is program

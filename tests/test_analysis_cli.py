@@ -1,0 +1,117 @@
+"""CLI surface of `python -m repro analyze` and `python -m repro lint`."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "asm"
+
+
+def fixture(name):
+    return str(FIXTURES / f"{name}.asm")
+
+
+class TestAnalyzeCli:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main(["analyze", fixture("clean"), "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_error_fixture_exits_nonzero(self, capsys):
+        assert main(["analyze", fixture("uninit_read")]) == 1
+        out = capsys.readouterr().out
+        assert "A1-uninit-read" in out
+
+    def test_warning_fixture_gated_only_by_strict(self, capsys):
+        assert main(["analyze", fixture("dead_store")]) == 0
+        assert main(["analyze", fixture("dead_store"), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "A3-dead-store" in out
+
+    def test_json_format(self, capsys):
+        assert main(["analyze", fixture("oob_store"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        (program,) = payload["programs"]
+        assert program["by_rule"] == {"A5-oob-store": 1}
+        (finding,) = program["findings"]
+        assert finding["severity"] == "error" and finding["pc"] == 2
+
+    def test_select_rules(self, capsys):
+        assert main(["analyze", fixture("falls_off"),
+                     "--select", "A3"]) == 0  # A3 is a warning
+        out = capsys.readouterr().out
+        assert "A8-falls-off-end" not in out
+
+    def test_generated_profile_clean(self, capsys):
+        assert main(["analyze", "--generated", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 program(s) clean" in out
+
+    def test_generated_unknown_profile(self, capsys):
+        assert main(["analyze", "--generated", "nope"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+    def test_missing_input_is_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "nothing to analyze" in capsys.readouterr().err
+
+    def test_rules_listing(self, capsys):
+        assert main(["analyze", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("A1-uninit-read", "A5-oob-store", "A8-falls-off-end"):
+            assert rule in out
+
+    def test_multiple_files_mixed(self, capsys):
+        assert main(["analyze", fixture("clean"),
+                     fixture("uninit_read"), "--quiet"]) == 1
+        out = capsys.readouterr().out
+        # --quiet hides the clean program's section.
+        assert "program 'clean'" not in out
+        assert "program 'uninit_read'" in out
+
+
+class TestLintCli:
+    def test_repo_is_strict_clean(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["findings"] == []
+
+    def test_violation_tree(self, tmp_path, capsys):
+        bad = tmp_path / "core"
+        bad.mkdir()
+        (bad / "clock.py").write_text(
+            "import time\nnow = time.time()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "S102" in out
+
+    def test_violation_selected_away(self, tmp_path, capsys):
+        bad = tmp_path / "core"
+        bad.mkdir()
+        (bad / "clock.py").write_text("import random\n")
+        assert main(["lint", str(tmp_path), "--select", "S2"]) == 0
+
+    def test_missing_path(self, capsys):
+        assert main(["lint", "/nonexistent/tree"]) == 2
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "S101" in out and "suppress" in out
+
+
+class TestListMentionsAnalysis:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze" in out and "lint" in out

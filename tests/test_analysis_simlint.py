@@ -1,0 +1,178 @@
+"""simlint: synthetic-violation modules, suppressions, and the
+self-test that the shipped tree is clean."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.simlint import (LINT_RULES, lint_package, lint_source)
+
+
+def lint(source, rel="core/example.py"):
+    return lint_source(textwrap.dedent(source), rel)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestS1Determinism:
+    def test_s101_random_import(self):
+        findings = lint("import random\n")
+        assert rules_of(findings) == ["S101"]
+
+    def test_s101_from_random(self):
+        findings = lint("from random import choice\n")
+        assert rules_of(findings) == ["S101"]
+
+    def test_s101_allowed_in_rng_home(self):
+        assert lint("import random\n", rel="util/rng.py") == []
+
+    def test_s102_time_import_in_cycle_layer(self):
+        findings = lint("from time import perf_counter\n",
+                        rel="pipeline/core.py")
+        assert rules_of(findings) == ["S102"]
+
+    def test_s102_time_attribute_in_cycle_layer(self):
+        findings = lint("import time\nstamp = time.time()\n",
+                        rel="core/machine.py")
+        assert "S102" in rules_of(findings)
+
+    def test_s102_allowed_in_harness(self):
+        # The harness may measure wall time for reporting.
+        assert lint("import time\nt = time.perf_counter()\n",
+                    rel="harness/runner.py") == []
+
+    def test_s103_set_difference_binding(self):
+        findings = lint("unknown = set(payload) - known\n")
+        assert rules_of(findings) == ["S103"]
+
+    def test_s103_sorted_binding_is_clean(self):
+        assert lint("unknown = sorted(set(payload) - known)\n") == []
+
+    def test_s103_iteration_over_set_literal(self):
+        findings = lint("for item in {1, 2, 3}:\n    print(item)\n")
+        assert rules_of(findings) == ["S103"]
+
+    def test_s103_fstring_of_set(self):
+        findings = lint("message = f'bad: {set(a) - set(b)}'\n")
+        assert rules_of(findings) == ["S103"]
+
+    def test_s103_membership_set_is_clean(self):
+        assert lint("seen = set()\nknown = {x for x in items}\n") == []
+
+
+class TestS2Layering:
+    @pytest.mark.parametrize("layer", ["pipeline", "predictors", "isa",
+                                       "memory", "util"])
+    def test_s2_inner_layers_cannot_import_core(self, layer):
+        findings = lint("from repro.core.srt import SrtMachine\n",
+                        rel=f"{layer}/mod.py")
+        expected = "S202" if layer == "util" else "S201"
+        assert expected in rules_of(findings)
+
+    def test_s201_package_facade_also_flagged(self):
+        findings = lint("from repro.core import SrtMachine\n",
+                        rel="pipeline/thread.py")
+        assert rules_of(findings) == ["S201"]
+
+    def test_s201_core_may_import_pipeline(self):
+        assert lint("from repro.pipeline.core import PipelineCore\n",
+                    rel="core/machine.py") == []
+
+    def test_s202_util_leaf(self):
+        findings = lint("from repro.isa.program import Program\n",
+                        rel="util/helpers.py")
+        assert rules_of(findings) == ["S202"]
+
+    def test_s202_util_may_import_util(self):
+        assert lint("from repro.util.bits import MASK64\n",
+                    rel="util/delayline.py") == []
+
+
+class TestS3PickleSafety:
+    def test_s301_lambda_to_pool(self):
+        findings = lint("results = pool.map(lambda t: t + 1, tasks)\n",
+                        rel="campaign/engine.py")
+        assert rules_of(findings) == ["S301"]
+
+    def test_s301_module_function_is_clean(self):
+        assert lint("results = pool.map(execute_chunk, tasks)\n",
+                    rel="campaign/engine.py") == []
+
+    def test_s302_nested_dataclass(self):
+        findings = lint("""
+            from dataclasses import dataclass
+
+            def make():
+                @dataclass
+                class Hidden:
+                    x: int
+                return Hidden
+        """, rel="campaign/spec.py")
+        assert rules_of(findings) == ["S302"]
+
+    def test_s302_set_typed_field(self):
+        findings = lint("""
+            from dataclasses import dataclass
+            from typing import Set
+
+            @dataclass
+            class Wire:
+                names: Set[str]
+        """, rel="campaign/spec.py")
+        assert rules_of(findings) == ["S302"]
+
+    def test_s302_default_factory_set(self):
+        findings = lint("""
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Wire:
+                names: list = field(default_factory=set)
+        """, rel="core/faults.py")
+        assert rules_of(findings) == ["S302"]
+
+    def test_s302_only_in_wire_modules(self):
+        source = """
+            from dataclasses import dataclass
+            from typing import Set
+
+            @dataclass
+            class Local:
+                names: Set[str]
+        """
+        assert lint(source, rel="pipeline/uop.py") == []
+        assert lint(source, rel="campaign/store.py") != []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        src = "import random  # simlint: disable=S101\n"
+        assert lint(src) == []
+
+    def test_suppression_is_rule_specific(self):
+        src = "import random  # simlint: disable=S103\n"
+        assert rules_of(lint(src)) == ["S101"]
+
+    def test_multi_rule_suppression(self):
+        src = "import random  # simlint: disable=S103,S101\n"
+        assert lint(src) == []
+
+
+class TestRegistryAndSelfCheck:
+    def test_registry_complete(self):
+        assert sorted(LINT_RULES) == ["S101", "S102", "S103", "S201",
+                                      "S202", "S301", "S302"]
+        for rule in LINT_RULES.values():
+            assert rule.severity in ("error", "warning")
+            assert rule.summary
+
+    def test_shipped_tree_is_strict_clean(self):
+        """Acceptance: `repro lint --strict` exits 0 on the repo."""
+        findings = lint_package()
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_select_prefix_filter(self):
+        findings = lint_package(select=["S9"])
+        assert findings == []

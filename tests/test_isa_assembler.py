@@ -76,6 +76,22 @@ class TestAssemble:
         assert program.instructions[0].imm == -5
         assert program.instructions[1].imm == 255
 
+    def test_segment_directives_attach_metadata(self):
+        program = assemble("""
+            .segment 0x1000 0x1100
+            .segment 0x2000 0x2100
+            .shared 0x2000 0x2100
+            halt
+        """)
+        assert program.metadata["data_segments"] == [
+            (0x1000, 0x1100), (0x2000, 0x2100)]
+        assert program.metadata["shared_segments"] == [(0x2000, 0x2100)]
+
+    def test_no_segment_directive_no_metadata(self):
+        program = assemble("halt")
+        assert "data_segments" not in program.metadata
+        assert "shared_segments" not in program.metadata
+
 
 class TestAssembleErrors:
     def test_unknown_mnemonic(self):
@@ -87,12 +103,31 @@ class TestAssembleErrors:
             assemble("add r1, r99, r2")
 
     def test_undefined_label_is_immediate_error(self):
-        with pytest.raises(AssemblyError):
+        with pytest.raises(AssemblyError,
+                           match=r"line 1: branch to undefined label "
+                                 r"'nowhere'"):
             assemble("br nowhere")
 
+    def test_undefined_label_lists_known_labels(self):
+        with pytest.raises(AssemblyError, match="known labels: here"):
+            assemble("here: nop\nbeqz r1, there\nhalt")
+
     def test_duplicate_label(self):
-        with pytest.raises(AssemblyError, match="duplicate"):
+        with pytest.raises(AssemblyError,
+                           match=r"line 2: duplicate label 'x' \(first "
+                                 r"defined on line 1\)"):
             assemble("x: nop\nx: halt")
+
+    def test_numeric_target_out_of_range(self):
+        with pytest.raises(AssemblyError, match=r"line 1: branch target "
+                                                r"9 is outside"):
+            assemble("br 9\nhalt")
+
+    def test_bad_segment_directive(self):
+        with pytest.raises(AssemblyError, match=r"\.segment needs lo"):
+            assemble(".segment 0x1000\nhalt")
+        with pytest.raises(AssemblyError, match="empty or negative"):
+            assemble(".shared 0x1100 0x1000\nhalt")
 
     def test_wrong_operand_count(self):
         with pytest.raises(AssemblyError, match="expects"):
