@@ -1,0 +1,81 @@
+"""Static AVF analysis economics: one pass classifies the whole universe.
+
+Shape: the point of the static ACE/AVF analyzer is *amortization* — a
+single ``analyze_program`` pass classifies every architectural fault
+site (millions of register bit-steps), so the per-site cost is orders
+of magnitude below one architectural injection through the oracle.
+That gap is what makes guided campaign sampling pay: every injection
+spent on a provably-masked site is wasted, and the analyzer proves a
+substantial fraction of the universe masked up front.
+
+Scale knobs: ``REPRO_AVF_STEPS`` (default 300 golden steps, matching
+the CI-sized campaigns) and ``REPRO_AVF_INJECTIONS`` (default 10 oracle
+injections for the cost comparison).
+"""
+
+import os
+import time
+
+from repro.avf.sites import ARCH_MODELS, SiteUniverse
+from repro.core.faults import ArchRegisterFault, run_arch_fault_experiment
+from repro.isa.generator import generate_benchmark
+from repro.util.rng import DeterministicRng
+
+
+def env_int(name, default):
+    return int(os.environ.get(name, default))
+
+
+STEPS = env_int("REPRO_AVF_STEPS", 300)
+INJECTIONS = env_int("REPRO_AVF_INJECTIONS", 10)
+
+
+def test_static_analysis_amortizes_the_oracle(benchmark):
+    """Per-site static classification undercuts per-injection cost by
+    orders of magnitude — the whole universe for a handful of runs."""
+    program = generate_benchmark("compress")
+
+    universe = benchmark.pedantic(
+        lambda: SiteUniverse("compress", STEPS), rounds=1, iterations=1)
+    start = time.perf_counter()
+    rebuilt = SiteUniverse("compress", STEPS)
+    analysis_seconds = time.perf_counter() - start
+
+    total_sites = sum(rebuilt.size(model) for model in ARCH_MODELS)
+
+    rng = DeterministicRng("avf-benchmark")
+    start = time.perf_counter()
+    for _ in range(INJECTIONS):
+        site = universe.sample(rng, "arch-register")
+        fault = ArchRegisterFault(step=site["step"], reg=site["reg"],
+                                  bit=site["bit"])
+        run_arch_fault_experiment(program, fault, instructions=STEPS)
+    per_injection = (time.perf_counter() - start) / INJECTIONS
+
+    per_site = analysis_seconds / total_sites
+    ratio = per_injection / max(per_site, 1e-12)
+    print()
+    print(f"  analysis: {analysis_seconds:.3f}s for {total_sites} sites "
+          f"({per_site * 1e9:.1f} ns/site)")
+    print(f"  oracle:   {per_injection * 1e3:.2f} ms/injection "
+          f"-> static is {ratio:.0f}x cheaper per site")
+    # The acceptance shape is a massive gap; demand a conservative floor.
+    assert ratio >= 1000, (
+        f"static per-site cost only {ratio:.0f}x below one injection")
+
+
+def test_analyzer_proves_enough_masked_to_guide_sampling(benchmark):
+    """Guided sampling only pays if the analyzer proves a real slice of
+    the universe masked — >= 20% of register bit-steps on compress (the
+    campaign's --guided skip-rate criterion)."""
+    universe = benchmark.pedantic(
+        lambda: SiteUniverse("compress", STEPS), rounds=1, iterations=1)
+    fractions = {model: universe.masked_fraction(model)
+                 for model in ARCH_MODELS}
+    print()
+    for model, fraction in sorted(fractions.items()):
+        print(f"  {model:<15} masked fraction {fraction:.3f}")
+    assert fractions["arch-register"] >= 0.20
+    # Every model must leave *something* ACE: an all-masked universe
+    # would mean the analyzer is claiming the program has no outputs.
+    assert all(fraction < 1.0 for fraction in fractions.values())

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Static AVF analysis cross-checked against the injection oracle.
+
+Walks `repro.avf` end to end on a small checksum kernel:
+
+1. classify every architectural fault site (register bits, memory-word
+   bits, destination fields) as masked or ACE and print the per-
+   component AVF table;
+2. show *why* individual sites get their class — a demanded bit, a
+   logically-masked bit, a dead register;
+3. cross-validate a batch of predicted-masked sites against the
+   architectural fault-injection oracle: none may be DETECTED
+   (the analyzer's soundness contract).
+
+Run:  python examples/avf_demo.py [steps]
+"""
+
+import sys
+
+from repro.avf.analyzer import MASKED_CLASSES, analyze_program
+from repro.avf.report import render_avf
+from repro.avf.sites import ARCH_MODELS, SiteUniverse
+from repro.core.faults import (ArchMemoryFault, ArchRegisterFault,
+                               run_arch_fault_experiment)
+from repro.isa import assemble
+from repro.util.rng import DeterministicRng
+
+# A checksum kernel with deliberately mixed vulnerability: r4's low
+# byte is ACE (it reaches the stores through the AND), its high bits
+# are logically masked, and r6 is written but never read (dead).
+KERNEL = """
+    .data 0x1000 0x1234
+    .data 0x1008 0x5678
+    .segment 0x2000 0x2100
+    ldi  r1, 0x1000              ; input base
+    ldi  r2, 0x2000              ; output base
+    ldi  r3, 0                   ; checksum
+    ldi  r6, 99                  ; dead: never read again
+    ld   r4, r1, 0
+    andi r5, r4, 0xFF            ; only r4's low byte survives
+    add  r3, r3, r5
+    ld   r4, r1, 8
+    andi r5, r4, 0xFF
+    add  r3, r3, r5
+    st   r2, 0, r3               ; publish the checksum
+    halt
+"""
+
+
+def main() -> int:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    program = assemble(KERNEL, name="checksum")
+    avf = analyze_program(program, steps=steps)
+
+    print("=== Per-component AVF ===")
+    print(render_avf(avf.summary()))
+
+    print()
+    print("=== Why individual sites get their class ===")
+    # pc 5 is the first andi: r4 feeds it, so its low byte is demanded.
+    for reg, bit, note in [(4, 0, "low byte reaches the store"),
+                           (4, 40, "ANDed away before any store"),
+                           (6, 0, "r6 is never read again")]:
+        cls = avf.classify_register(5, reg, bit)
+        print(f"  r{reg} bit {bit:2d} at pc 5: {cls:<14} ({note})")
+
+    print()
+    print("=== Soundness spot-check vs the injection oracle ===")
+    universe = SiteUniverse("compress", steps)
+    rng = DeterministicRng("avf-demo")
+    checked = 0
+    for model in ARCH_MODELS:
+        for _ in range(40):
+            site = universe.sample(rng, model)
+            if universe.classify(model, site) not in MASKED_CLASSES:
+                continue
+            fault = _fault_for(model, site)
+            if fault is None:
+                continue
+            report = run_arch_fault_experiment(
+                universe.program, fault, instructions=steps)
+            checked += 1
+            if report.outcome.value in ("detected",
+                                        "silent-data-corruption"):
+                print(f"  VIOLATION: {model} {site} -> "
+                      f"{report.outcome.value}")
+                return 1
+    print(f"  {checked} predicted-masked sites injected, "
+          "0 detected — soundness holds")
+    return 0
+
+
+def _fault_for(model, site):
+    if model == "arch-register":
+        return ArchRegisterFault(step=site["step"], reg=site["reg"],
+                                 bit=site["bit"])
+    if model == "arch-memory":
+        return ArchMemoryFault(step=site["step"], addr=site["addr"],
+                               bit=site["bit"])
+    return None  # dest-field spot checks live in the property test
+
+
+if __name__ == "__main__":
+    sys.exit(main())

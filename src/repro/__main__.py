@@ -110,6 +110,8 @@ def cmd_list() -> int:
           "('analyze --help', '--rules')")
     print("  lint               determinism/sphere-layering linter for "
           "the simulator ('lint --help', '--rules')")
+    print("  avf                static ACE/AVF vulnerability analyzer "
+          "('avf --help'; cross-check with 'campaign validate-avf')")
     return 0
 
 
@@ -143,6 +145,10 @@ def main(argv=None) -> int:
         # Simulator-invariant linter (determinism / layering / pickle).
         from repro.analysis.cli import cmd_lint
         return cmd_lint(argv[1:])
+    if argv and argv[0] == "avf":
+        # Static ACE/AVF vulnerability analyzer.
+        from repro.avf.cli import cmd_avf
+        return cmd_avf(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()

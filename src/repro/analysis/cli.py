@@ -107,8 +107,12 @@ def cmd_analyze(argv: Sequence[str]) -> int:
 
     failed = any(not report.ok(strict=args.strict) for report in reports)
     if args.format == "json":
-        payload = {"programs": [rpt.analysis_to_dict(r) for r in reports],
-                   "ok": not failed, "strict": args.strict}
+        program_dicts = [rpt.analysis_to_dict(r) for r in reports]
+        flat = [dict(finding, program=prog["program"])
+                for prog in program_dicts
+                for finding in prog["findings"]]
+        payload = rpt.envelope("analyze", not failed, flat,
+                               programs=program_dicts, strict=args.strict)
         print(rpt.to_json(payload))
     else:
         shown = 0
@@ -163,10 +167,13 @@ def cmd_lint(argv: Sequence[str]) -> int:
             return 2
         findings.extend(lint_package(root, select=select))
 
-    if args.format == "json":
-        print(rpt.to_json(rpt.lint_to_dict(findings)))
-    else:
-        print(rpt.render_lint(findings))
     errors = sum(1 for f in findings if f.severity == "error")
     gating = len(findings) if args.strict else errors
+    if args.format == "json":
+        detail = rpt.lint_to_dict(findings)
+        payload = rpt.envelope("lint", not gating, detail.pop("findings"),
+                               strict=args.strict, **detail)
+        print(rpt.to_json(payload))
+    else:
+        print(rpt.render_lint(findings))
     return 1 if gating else 0

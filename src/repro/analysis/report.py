@@ -6,10 +6,33 @@ text shapes are for humans.
 """
 
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.analysis.checks import (AnalysisReport, PROGRAM_RULES, Severity)
 from repro.analysis.simlint import LINT_RULES, LintFinding
+
+#: Version of the shared JSON envelope emitted by every analysis tool
+#: (``analyze``, ``lint``, ``avf``).  Bumped when the envelope shape
+#: changes; tool-specific extras carry their own compatibility story.
+SCHEMA_VERSION = 2
+
+
+def envelope(tool: str, ok: bool, findings: Iterable[Dict[str, object]],
+             **extras: object) -> Dict[str, object]:
+    """The unified JSON envelope shared by all analysis CLIs.
+
+    Every ``--format json`` reporter emits ``{"version", "tool", "ok",
+    "findings": [...]}`` plus tool-specific extras, so CI consumers can
+    dispatch on ``tool`` and aggregate ``findings`` uniformly.
+    """
+    payload: Dict[str, object] = {
+        "version": SCHEMA_VERSION,
+        "tool": tool,
+        "ok": ok,
+        "findings": list(findings),
+    }
+    payload.update(extras)
+    return payload
 
 
 # -- program verifier ------------------------------------------------------

@@ -12,7 +12,8 @@ Rule families (see ``docs/ANALYSIS.md`` for the full catalogue):
 
 - **S1 determinism** — S101 no unseeded ``random`` outside the blessed
   ``repro.util.rng`` wrapper; S102 no wall-clock reads in cycle-path
-  layers; S103 no order-sensitive consumption of unsorted sets.
+  layers; S103 no order-sensitive consumption of unsorted sets; S104
+  no dict views formatted into messages without ``sorted(...)``.
 - **S2 sphere-of-replication layering** — S201 the layers *inside* the
   sphere (pipeline, predictors, memory, isa, util) never import the
   sphere machinery in ``repro.core``; S202 ``repro.util`` is a leaf.
@@ -77,6 +78,10 @@ LINT_RULES: Dict[str, LintRule] = {rule.id: rule for rule in [
     LintRule("S103", "warning",
              "unsorted set consumed in an order-sensitive position — "
              "wrap in sorted() so output is byte-deterministic"),
+    LintRule("S104", "warning",
+             "dict view (.keys()/.values()) formatted into a message "
+             "without sorted() — insertion order leaks construction "
+             "history into output"),
     LintRule("S201", "error",
              "sphere-layering violation: layers inside the sphere of "
              "replication must not import repro.core"),
@@ -132,6 +137,22 @@ def _is_set_expr(node: ast.AST) -> bool:
             node.op, (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)):
         return _is_set_expr(node.left) or _is_set_expr(node.right)
     return False
+
+
+def _is_dict_view_expr(node: ast.AST) -> bool:
+    """Is ``node`` a bare ``<expr>.keys()`` / ``<expr>.values()`` call?
+
+    Dict views iterate in *insertion* order, which is deterministic for
+    one construction path but silently changes whenever the producing
+    code is reordered — exactly the instability that must not leak into
+    campaign records or error messages.  ``sorted(d.keys())`` is the
+    stable form (and, being a ``sorted`` call, is not a view any more,
+    so it naturally escapes this predicate).
+    """
+    return (isinstance(node, ast.Call)
+            and not node.args and not node.keywords
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "values"))
 
 
 def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
@@ -265,6 +286,11 @@ class _ModuleLinter(ast.NodeVisitor):
             self.report("S103", node,
                         "formatting an unsorted set into a string; "
                         "wrap it in sorted()")
+        if _is_dict_view_expr(node.value):
+            self.report("S104", node,
+                        "formatting a dict view into a string; wrap "
+                        "it in sorted() so the message is stable "
+                        "under producer reordering")
         self.generic_visit(node)
 
     # -- S3 pickle safety ---------------------------------------------
@@ -277,6 +303,13 @@ class _ModuleLinter(ast.NodeVisitor):
                                 f".{func.attr}(lambda ...) cannot cross "
                                 f"a process pool; pass a module-level "
                                 f"function")
+        if (isinstance(func, ast.Attribute) and func.attr == "join"
+                and len(node.args) == 1
+                and _is_dict_view_expr(node.args[0])):
+            self.report("S104", node,
+                        "joining a dict view into a string; wrap it "
+                        "in sorted() so the message is stable under "
+                        "producer reordering")
         self.generic_visit(node)
 
     def _check_wire_dataclasses(self, tree: ast.Module) -> None:

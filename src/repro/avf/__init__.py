@@ -1,0 +1,32 @@
+"""Static ACE/AVF vulnerability analysis for RISC-R programs.
+
+Classifies architectural fault sites (register bits, memory word bits,
+instruction destination fields) as masked (un-ACE) or ACE using the
+bit-level dataflow framework of :mod:`repro.analysis.valueflow`, and
+cross-validates the classification against the fault-injection campaign
+oracle (``python -m repro campaign validate-avf``).
+"""
+
+from repro.avf.analyzer import (ACE_CLASS, ALL_CLASSES, AVFSummary,
+                                ComponentAVF, DEFAULT_STEPS, GoldenTrace,
+                                MASKED_CLASSES, ProgramAVF, analyze_program,
+                                collect_trace)
+from repro.avf.sites import (ARCH_MODELS, SiteUniverse, clear_universe_cache,
+                             get_universe)
+
+__all__ = [
+    "ACE_CLASS",
+    "ALL_CLASSES",
+    "ARCH_MODELS",
+    "AVFSummary",
+    "ComponentAVF",
+    "DEFAULT_STEPS",
+    "GoldenTrace",
+    "MASKED_CLASSES",
+    "ProgramAVF",
+    "SiteUniverse",
+    "analyze_program",
+    "clear_universe_cache",
+    "collect_trace",
+    "get_universe",
+]

@@ -1,0 +1,96 @@
+"""CLI verb for the static AVF analyzer.
+
+``python -m repro avf`` — classify every architectural fault site of a
+RISC-R program (assembly files or generated workloads) as masked or
+ACE, and print per-program AVF estimates.
+
+Exit codes: 0 analysis complete, 2 usage error.  The analyzer itself
+never "fails" a program — use ``python -m repro analyze`` for the
+verifier gate and ``python -m repro campaign validate-avf`` for the
+empirical cross-check.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.avf import report as rpt
+from repro.avf.analyzer import DEFAULT_STEPS, AVFSummary, analyze_program
+from repro.isa.profiles import SPEC95_NAMES, split_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro avf",
+        description="Static ACE/AVF vulnerability analyzer for RISC-R "
+                    "programs")
+    parser.add_argument("sources", nargs="*",
+                        help="assembly file(s) to analyze")
+    parser.add_argument("--generated", metavar="PROFILE",
+                        help="analyze generated workload(s): a profile "
+                             "name (optionally name@seed) or "
+                             "'all-profiles'")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="with --generated: analyze seeds 0..N-1 "
+                             "(default 1)")
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS,
+                        help="golden-trace step horizon (default "
+                             f"{DEFAULT_STEPS}; must match the campaign "
+                             "horizon when cross-validating)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    return parser
+
+
+def _gather_programs(args: argparse.Namespace) -> List[object]:
+    from repro.isa.assembler import assemble
+    from repro.isa.generator import generate_benchmark
+
+    programs = []
+    for source in args.sources:
+        path = Path(source)
+        programs.append(assemble(path.read_text(encoding="utf-8"),
+                                 name=path.stem))
+    if args.generated:
+        workloads = (SPEC95_NAMES if args.generated == "all-profiles"
+                     else [args.generated])
+        for workload in workloads:
+            name, base_seed = split_workload(workload)
+            for offset in range(max(1, args.seeds)):
+                programs.append(generate_benchmark(name,
+                                                   base_seed + offset))
+    return programs
+
+
+def cmd_avf(argv: Sequence[str]) -> int:
+    args = _build_parser().parse_args(list(argv))
+    if not args.sources and not args.generated:
+        print("error: nothing to analyze (pass assembly files or "
+              "--generated PROFILE)", file=sys.stderr)
+        return 2
+    if args.steps <= 0:
+        print("error: --steps must be positive", file=sys.stderr)
+        return 2
+    try:
+        programs = _gather_programs(args)
+    except (OSError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    summaries: List[AVFSummary] = []
+    for program in programs:
+        summaries.append(analyze_program(program,
+                                         steps=args.steps).summary())
+
+    if args.format == "json":
+        print(rpt.render_avf_json(summaries))
+    else:
+        for index, summary in enumerate(summaries):
+            if index:
+                print()
+            print(rpt.render_avf(summary))
+        print()
+        print(rpt.render_avf_footer(summaries))
+    return 0

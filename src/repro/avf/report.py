@@ -1,0 +1,70 @@
+"""Text and JSON reporters for the AVF analyzer.
+
+The JSON shape uses the unified analysis envelope
+(:func:`repro.analysis.report.envelope`): ``{"version", "tool": "avf",
+"ok", "findings": [...]}`` where each finding is one per-program
+component estimate, plus a ``programs`` extra with the full per-program
+breakdown.
+"""
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import envelope, to_json
+from repro.avf.analyzer import ALL_CLASSES, AVFSummary, MASKED_CLASSES
+
+
+def summary_findings(summary: AVFSummary) -> List[Dict[str, object]]:
+    """Flatten one program's component estimates into envelope findings."""
+    findings: List[Dict[str, object]] = []
+    for comp in summary.components:
+        findings.append({
+            "program": summary.program,
+            "component": comp.name,
+            "avf": comp.avf,
+            "total": comp.total,
+            "ace": comp.ace_bits,
+            "classes": {cls: comp.class_bits.get(cls, 0)
+                        for cls in ALL_CLASSES},
+        })
+    return findings
+
+
+def avf_payload(summaries: Sequence[AVFSummary]) -> Dict[str, object]:
+    findings = [finding for summary in summaries
+                for finding in summary_findings(summary)]
+    return envelope("avf", True, findings,
+                    programs=[summary.to_dict() for summary in summaries])
+
+
+def render_avf_json(summaries: Sequence[AVFSummary]) -> str:
+    return to_json(avf_payload(summaries))
+
+
+def render_avf(summary: AVFSummary) -> str:
+    lines = [
+        f"program {summary.program!r}: {summary.steps} golden steps"
+        + ("" if summary.halted else " (horizon reached)"),
+        f"  {'component':<16s} {'AVF':>7s} {'masked':>7s}  "
+        + "  ".join(f"{cls:>12s}" for cls in ALL_CLASSES),
+    ]
+    for comp in summary.components:
+        cells = "  ".join(f"{comp.class_bits.get(cls, 0):>12d}"
+                          for cls in ALL_CLASSES)
+        lines.append(f"  {comp.name:<16s} {comp.avf:>7.4f} "
+                     f"{comp.masked_fraction:>7.4f}  {cells}")
+    return "\n".join(lines)
+
+
+def render_avf_footer(summaries: Sequence[AVFSummary]) -> str:
+    """One-line rollup over all analyzed programs."""
+    count = len(summaries)
+    if not count:
+        return "avf: no programs analyzed"
+    parts = []
+    for name in ("register", "memory", "dest-field"):
+        ace = sum(s.component(name).ace_bits for s in summaries)
+        total = sum(s.component(name).total for s in summaries)
+        parts.append(f"{name} {ace / total if total else 0.0:.4f}")
+    masked = ", ".join(MASKED_CLASSES)
+    return (f"avf: {count} program(s); mean AVF by component: "
+            + ", ".join(parts) + f"\n     (masked classes: {masked})")

@@ -1,0 +1,136 @@
+"""Architectural fault-site universes for AVF-guided campaigns.
+
+A :class:`SiteUniverse` enumerates (implicitly) every single-bit fault
+site of the three architectural models over one workload and step
+horizon, knows how to draw uniform samples from each model's universe,
+and classifies any site via the static analyzer.  The campaign sampler
+uses it for ``stratified`` and ``guided`` sampling; the report uses its
+exact per-class fractions to re-weight guided coverage estimates.
+
+Universes are cached per ``(workload, steps)`` because building one
+costs a CFG + two bit-level fixpoints + a golden trace.
+"""
+
+from typing import Dict, Optional, Tuple
+
+from repro.avf.analyzer import (ALL_CLASSES, DEST_FIELD_BITS,
+                                MASKED_CLASSES, ProgramAVF, analyze_program)
+from repro.isa.generator import generate_benchmark
+from repro.isa.instructions import NUM_ARCH_REGS
+from repro.isa.profiles import split_workload
+from repro.util.rng import DeterministicRng
+
+#: Fault models backed by the architectural oracle.
+ARCH_MODELS = ("arch-register", "arch-memory", "arch-destfield")
+
+
+class SiteUniverse:
+    """All architectural fault sites of one workload at one horizon.
+
+    ``seed`` is the campaign root seed; it composes with a ``name@N``
+    workload suffix exactly the way the campaign worker builds its
+    program, so classification and injection always see the same code.
+    """
+
+    def __init__(self, workload: str, steps: int, seed: int = 0) -> None:
+        self.workload = workload
+        self.steps = steps
+        self.seed = seed
+        name, workload_seed = split_workload(workload)
+        self.program = generate_benchmark(name, seed=workload_seed + seed)
+        self.avf: ProgramAVF = analyze_program(self.program, steps=steps)
+        self._fractions: Dict[str, Dict[str, float]] = {}
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def trace_steps(self) -> int:
+        return self.avf.trace.steps
+
+    def size(self, model: str) -> int:
+        steps = self.trace_steps
+        if model == "arch-register":
+            return steps * (NUM_ARCH_REGS - 1) * 64
+        if model == "arch-memory":
+            return steps * len(self.avf.trace.footprint) * 64
+        if model == "arch-destfield":
+            return steps * DEST_FIELD_BITS
+        raise ValueError(f"unknown arch model {model!r}")
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, rng: DeterministicRng, model: str) -> Dict[str, int]:
+        """Draw one uniform site from ``model``'s universe."""
+        step = rng.randint(0, self.trace_steps - 1)
+        if model == "arch-register":
+            return {"step": step,
+                    "reg": rng.randint(1, NUM_ARCH_REGS - 1),
+                    "bit": rng.randint(0, 63)}
+        if model == "arch-memory":
+            footprint = self.avf.trace.footprint
+            word = footprint[rng.randint(0, len(footprint) - 1)]
+            return {"step": step, "addr": word, "bit": rng.randint(0, 63)}
+        if model == "arch-destfield":
+            return {"step": step, "bit": rng.randint(0, DEST_FIELD_BITS - 1)}
+        raise ValueError(f"unknown arch model {model!r}")
+
+    # -- classification ----------------------------------------------------
+
+    def classify(self, model: str, site: Dict[str, int]) -> str:
+        """Masking class of one sampled site."""
+        if model == "arch-register":
+            return self.avf.classify_register_site(
+                site["step"], site["reg"], site["bit"])
+        if model == "arch-memory":
+            return self.avf.classify_memory_site(
+                site["step"], site["addr"], site["bit"])
+        if model == "arch-destfield":
+            return self.avf.classify_dest_field_site(site["step"],
+                                                     site["bit"])
+        raise ValueError(f"unknown arch model {model!r}")
+
+    def is_masked(self, model: str, site: Dict[str, int]) -> bool:
+        return self.classify(model, site) in MASKED_CLASSES
+
+    # -- exact class fractions ---------------------------------------------
+
+    def class_fractions(self, model: str) -> Dict[str, float]:
+        """Exact fraction of the universe in each masking class."""
+        cached = self._fractions.get(model)
+        if cached is not None:
+            return cached
+        if model == "arch-register":
+            component = self.avf.register_component(dynamic=True)
+        elif model == "arch-memory":
+            component = self.avf.memory_component()
+        elif model == "arch-destfield":
+            component = self.avf.dest_field_component()
+        else:
+            raise ValueError(f"unknown arch model {model!r}")
+        total = component.total or 1
+        fractions = {cls: component.class_bits.get(cls, 0) / total
+                     for cls in ALL_CLASSES}
+        self._fractions[model] = fractions
+        return fractions
+
+    def masked_fraction(self, model: str) -> float:
+        fractions = self.class_fractions(model)
+        return sum(fractions[cls] for cls in MASKED_CLASSES)
+
+
+_UNIVERSES: Dict[Tuple[str, int, int], SiteUniverse] = {}
+
+
+def get_universe(workload: str, steps: int, seed: int = 0) -> SiteUniverse:
+    """Cached universe for ``(workload, steps, seed)`` (analysis is pure)."""
+    key = (workload, steps, seed)
+    universe = _UNIVERSES.get(key)
+    if universe is None:
+        universe = SiteUniverse(workload, steps, seed=seed)
+        _UNIVERSES[key] = universe
+    return universe
+
+
+def clear_universe_cache() -> None:
+    """Drop cached universes (tests and long-lived workers)."""
+    _UNIVERSES.clear()

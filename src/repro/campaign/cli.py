@@ -71,8 +71,41 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--recovery", action="store_true",
                      help="run injections on recovery-enabled machines "
                           "(checkpoint + rollback-and-replay)")
+    run.add_argument("--sampling", choices=("uniform", "stratified",
+                                            "guided"), default="uniform",
+                     help="site sampling: uniform draws; stratified "
+                          "alternates predicted-masked/ACE (arch models "
+                          "only); guided skips statically-proven-masked "
+                          "sites")
     run.add_argument("--fresh", action="store_true",
                      help="discard records from a different config")
+
+    validate = sub.add_parser(
+        "validate-avf",
+        help="cross-validate the static AVF analyzer against the "
+             "architectural injection oracle (confusion matrix; exits "
+             "nonzero on any false-masked site)")
+    add_out(validate)
+    add_exec(validate)
+    validate.add_argument("--workloads", type=_csv, default=["gcc"],
+                          help="benchmarks, optionally name@seed")
+    validate.add_argument("--seeds", type=int, default=1,
+                          help="generator seeds per workload (expands "
+                               "each into name@0..N-1)")
+    validate.add_argument("--models", type=_csv, default=None,
+                          help="architectural fault models (default: "
+                               "all three)")
+    validate.add_argument("--injections", type=int, default=60,
+                          help="injections per workload x model stratum")
+    validate.add_argument("--instructions", type=int, default=800,
+                          help="step horizon (analysis and oracle)")
+    validate.add_argument("--seed", type=int, default=0,
+                          help="campaign root seed")
+    validate.add_argument("--guided", action="store_true",
+                          help="use guided sampling (skip proven-masked "
+                               "sites) instead of stratified")
+    validate.add_argument("--fresh", action="store_true",
+                          help="discard records from a different config")
 
     resume = sub.add_parser(
         "resume", help="continue a killed/partial campaign from its "
@@ -92,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append the termination breakdown "
                              "(done/cycle-limit/hung/livelock/recovered/"
                              "unrecoverable) and recovery-latency summary")
+    report.add_argument("--vs-avf", action="store_true",
+                        help="render the AVF cross-view instead: "
+                             "confusion matrix, per-class detection "
+                             "rates, universe-reweighted coverage "
+                             "(exits 1 on any false-masked site)")
     return parser
 
 
@@ -121,7 +159,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         models=tuple(args.models), injections=args.injections,
         seed=args.seed, instructions=args.instructions,
         warmup=args.warmup, strike_window=window,
-        config={"recovery_enabled": True} if args.recovery else None)
+        config={"recovery_enabled": True} if args.recovery else None,
+        sampling=args.sampling)
     engine = CampaignEngine(spec, args.out, jobs=args.jobs,
                             task_timeout=args.timeout,
                             chunk_size=args.chunk)
@@ -129,6 +168,63 @@ def cmd_run(args: argparse.Namespace) -> int:
                          progress=_progress_printer(sys.stdout))
     _print_summary(summary)
     return 0
+
+
+def _avf_fractions(spec: CampaignSpec):
+    """Exact per-(workload, model) class fractions for arch strata."""
+    from repro.avf.sites import get_universe
+    from repro.core.faults import ARCH_FAULT_MODELS
+
+    fractions = {}
+    for workload in spec.workloads:
+        for model in spec.models:
+            if model in ARCH_FAULT_MODELS:
+                universe = get_universe(workload, spec.instructions,
+                                        seed=spec.seed)
+                fractions[(workload, model)] = (
+                    universe.class_fractions(model))
+    return fractions
+
+
+def _expand_workloads(workloads: List[str], seeds: int) -> List[str]:
+    from repro.isa.profiles import split_workload
+
+    expanded = []
+    for workload in workloads:
+        name, base = split_workload(workload)
+        for offset in range(max(1, seeds)):
+            seed = base + offset
+            expanded.append(f"{name}@{seed}" if seed else name)
+    return expanded
+
+
+def cmd_validate_avf(args: argparse.Namespace) -> int:
+    from repro.campaign.report import false_masked_records, render_vs_avf
+    from repro.core.faults import ARCH_FAULT_MODELS
+
+    models = tuple(args.models) if args.models else ARCH_FAULT_MODELS
+    try:
+        workloads = tuple(_expand_workloads(args.workloads, args.seeds))
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    spec = CampaignSpec(
+        kinds=("arch",), workloads=workloads, models=models,
+        injections=args.injections, seed=args.seed,
+        instructions=args.instructions, warmup=0,
+        sampling="guided" if args.guided else "stratified")
+    engine = CampaignEngine(spec, args.out, jobs=args.jobs,
+                            task_timeout=args.timeout,
+                            chunk_size=args.chunk)
+    summary = engine.run(fresh=args.fresh,
+                         progress=_progress_printer(sys.stdout))
+    _print_summary(summary)
+    store = CampaignStore(args.out)
+    records = store.records()
+    print()
+    print(render_vs_avf(records, _avf_fractions(spec)))
+    return 1 if false_masked_records(records) else 0
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
@@ -163,11 +259,17 @@ def cmd_status(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.campaign.report import render_report
+    from repro.campaign.report import (false_masked_records, render_report,
+                                       render_vs_avf)
 
     store = CampaignStore(args.out)
-    store.load_manifest()  # fail loudly on a non-campaign directory
-    print(render_report(store.records(), bucket_width=args.bucket_width,
+    manifest = store.load_manifest()  # fail loudly on a non-campaign dir
+    records = store.records()
+    if args.vs_avf:
+        spec = CampaignSpec.from_dict(manifest["spec"])
+        print(render_vs_avf(records, _avf_fractions(spec)))
+        return 1 if false_masked_records(records) else 0
+    print(render_report(records, bucket_width=args.bucket_width,
                         by_termination=args.by_termination))
     return 0
 
@@ -175,7 +277,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "resume": cmd_resume,
-                "status": cmd_status, "report": cmd_report}
+                "status": cmd_status, "report": cmd_report,
+                "validate-avf": cmd_validate_avf}
     try:
         return handlers[args.subcommand](args)
     except CampaignConfigError as error:

@@ -213,6 +213,190 @@ def latency_histograms(strata: Dict[Tuple[str, str], StratumStats],
     return by_kind
 
 
+# ---------------------------------------------------------------------------
+# AVF cross-validation (``campaign report --vs-avf`` / ``validate-avf``)
+# ---------------------------------------------------------------------------
+
+#: Observed outcomes that *falsify* a masked prediction: the fault
+#: provably crossed the sphere of replication.
+FALSE_MASKED_OUTCOMES = (FaultOutcome.DETECTED.value, FaultOutcome.SDC.value)
+
+
+def _predicted_group(record: Dict[str, object]) -> str:
+    from repro.avf.analyzer import MASKED_CLASSES
+
+    predicted = record.get("predicted")
+    if predicted is None:
+        return ""
+    return "masked" if predicted in MASKED_CLASSES else "ace"
+
+
+def false_masked_records(records: Iterable[Dict[str, object]]
+                         ) -> List[Dict[str, object]]:
+    """Records that violate the analyzer's soundness contract."""
+    return [record for record in records
+            if _predicted_group(record) == "masked"
+            and record["outcome"] in FALSE_MASKED_OUTCOMES]
+
+
+def confusion_table(records: List[Dict[str, object]]) -> ExperimentResult:
+    """Predicted (masked/ace) × observed outcome counts per stratum."""
+    cells: Dict[Tuple[str, str], Counter] = defaultdict(Counter)
+    for record in records:
+        group = _predicted_group(record)
+        if not group:
+            continue
+        observed = ("detected" if record["outcome"] in FALSE_MASKED_OUTCOMES
+                    else "masked" if record["outcome"]
+                    == FaultOutcome.MASKED.value else "latent")
+        cells[(record["workload"], record["model"])][
+            (group, observed)] += 1
+    series = ["msk>det", "msk>msk", "msk>lat",
+              "ace>det", "ace>msk", "ace>lat", "false-masked", "n"]
+    result = ExperimentResult(
+        "campaign_vs_avf",
+        "Confusion matrix: static AVF prediction vs injection outcome "
+        "(msk>det would be a soundness violation)", series=series)
+    for (workload, model), counter in sorted(cells.items()):
+        row = {
+            "msk>det": counter[("masked", "detected")],
+            "msk>msk": counter[("masked", "masked")],
+            "msk>lat": counter[("masked", "latent")],
+            "ace>det": counter[("ace", "detected")],
+            "ace>msk": counter[("ace", "masked")],
+            "ace>lat": counter[("ace", "latent")],
+        }
+        row["false-masked"] = row["msk>det"]
+        row["n"] = sum(counter.values())
+        result.add_row(f"{workload}/{model}", row)
+    return result.finish()
+
+
+def class_rate_table(records: List[Dict[str, object]]) -> ExperimentResult:
+    """Observed detection rate per predicted class, with Wilson CIs."""
+    from repro.avf.analyzer import ALL_CLASSES
+
+    totals: Dict[Tuple[str, str, str], List[int]] = defaultdict(
+        lambda: [0, 0])
+    for record in records:
+        predicted = record.get("predicted")
+        if predicted is None:
+            continue
+        key = (record["workload"], record["model"], predicted)
+        totals[key][0] += 1
+        if record["outcome"] in FALSE_MASKED_OUTCOMES:
+            totals[key][1] += 1
+    result = ExperimentResult(
+        "campaign_avf_classes",
+        "Detection rate per predicted masking class (95% Wilson CI)",
+        series=["n", "detected", "rate", "ci_low", "ci_high"])
+    class_order = {cls: index for index, cls in enumerate(ALL_CLASSES)}
+    for key in sorted(totals,
+                      key=lambda k: (k[0], k[1], class_order.get(k[2], 99))):
+        n, detected = totals[key]
+        low, high = wilson_interval(detected, n)
+        result.add_row("/".join(key), {
+            "n": n, "detected": detected,
+            "rate": detected / n if n else 0.0,
+            "ci_low": low, "ci_high": high,
+        })
+    return result.finish()
+
+
+def adjusted_detection_table(records: List[Dict[str, object]],
+                             fractions: Dict[Tuple[str, str],
+                                             Dict[str, float]]
+                             ) -> ExperimentResult:
+    """Universe-reweighted P(detected) per stratum.
+
+    Guided/stratified samples are deliberately biased by predicted
+    class; the unbiased detection probability over the whole site
+    universe is recovered as ``sum_cls frac(cls) * rate(cls)`` using the
+    analyzer's *exact* class fractions.  Classes with no samples
+    contribute their soundness bound: statically-masked classes are
+    provably undetectable (rate 0); an unsampled ACE class widens the
+    interval to its full weight.  This is what makes ``--guided`` safe:
+    skipping proven-masked sites changes the sampling, not the estimate.
+    """
+    from repro.avf.analyzer import ALL_CLASSES, MASKED_CLASSES
+
+    per_class: Dict[Tuple[str, str, str], List[int]] = defaultdict(
+        lambda: [0, 0])
+    for record in records:
+        predicted = record.get("predicted")
+        if predicted is None:
+            continue
+        key = (record["workload"], record["model"], predicted)
+        per_class[key][0] += 1
+        if record["outcome"] in FALSE_MASKED_OUTCOMES:
+            per_class[key][1] += 1
+    result = ExperimentResult(
+        "campaign_avf_adjusted",
+        "AVF-reweighted detection probability over the full site "
+        "universe (exact class fractions x per-class Wilson CIs)",
+        series=["samples", "point", "ci_low", "ci_high", "ace_frac"])
+    for (workload, model), class_fracs in sorted(fractions.items()):
+        point = low = high = 0.0
+        samples = 0
+        for cls in ALL_CLASSES:
+            frac = class_fracs.get(cls, 0.0)
+            if frac <= 0.0:
+                continue
+            n, detected = per_class.get((workload, model, cls), (0, 0))
+            samples += n
+            if cls in MASKED_CLASSES and detected == 0:
+                # Soundness bound: a statically-masked class detects with
+                # probability exactly 0 (the property test enforces it),
+                # so no Wilson widening — sampled or not.
+                rate = cls_low = cls_high = 0.0
+            elif n:
+                rate = detected / n
+                cls_low, cls_high = wilson_interval(detected, n)
+            else:
+                rate, cls_low, cls_high = 0.0, 0.0, 1.0
+            point += frac * rate
+            low += frac * cls_low
+            high += frac * cls_high
+        ace_frac = 1.0 - sum(class_fracs.get(cls, 0.0)
+                             for cls in MASKED_CLASSES)
+        result.add_row(f"{workload}/{model}", {
+            "samples": samples, "point": point,
+            "ci_low": low, "ci_high": min(1.0, high),
+            "ace_frac": ace_frac,
+        })
+    return result.finish()
+
+
+def render_vs_avf(records: List[Dict[str, object]],
+                  fractions: Dict[Tuple[str, str],
+                                  Dict[str, float]] = None) -> str:
+    """The ``--vs-avf`` cross-view: confusion matrix + class rates.
+
+    ``fractions`` (per (workload, model) exact class fractions from
+    :meth:`repro.avf.sites.SiteUniverse.class_fractions`) additionally
+    enables the universe-reweighted detection table.
+    """
+    tagged = [record for record in records
+              if record.get("predicted") is not None]
+    if not tagged:
+        return ("(no AVF-tagged records — run an architectural campaign "
+                "with sampling=stratified/guided or validate-avf)")
+    sections = [render_table(confusion_table(tagged)),
+                render_table(class_rate_table(tagged))]
+    if fractions:
+        sections.append(render_table(
+            adjusted_detection_table(tagged, fractions)))
+    violations = false_masked_records(tagged)
+    verdict = (f"SOUNDNESS VIOLATION: {len(violations)} predicted-masked "
+               "site(s) were detected"
+               if violations else
+               "soundness: 0 false-masked sites "
+               f"({sum(1 for r in tagged if _predicted_group(r) == 'masked')}"
+               " predicted-masked injections)")
+    sections.append(verdict)
+    return "\n\n".join(sections)
+
+
 def render_report(records: List[Dict[str, object]],
                   bucket_width: int = 64,
                   by_termination: bool = False) -> str:

@@ -16,9 +16,10 @@ subset is re-enumerated on resume.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.campaign.spec import CampaignSpec
+from repro.core.faults import ARCH_FAULT_MODELS
 from repro.isa.instructions import FuClass
 from repro.pipeline.ebox import POOL_SIZES
 from repro.util.rng import DeterministicRng, seed_from
@@ -48,6 +49,10 @@ class InjectionTask:
     seed: int
     instructions: int
     warmup: int
+    #: Static AVF class of the site ("ace", "dead", ...) for
+    #: architectural models sampled under stratified/guided modes;
+    #: ``None`` when the analyzer was not consulted.
+    predicted: Optional[str] = None
 
     def fault_dict(self) -> Dict[str, object]:
         return dict(self.fault)
@@ -63,6 +68,7 @@ class InjectionTask:
             "seed": self.seed,
             "instructions": self.instructions,
             "warmup": self.warmup,
+            "predicted": self.predicted,
         }
 
 
@@ -106,6 +112,46 @@ def _sample_site(rng: DeterministicRng, model: str, kind: str,
     raise ValueError(f"sampler has no site model for {model!r}")
 
 
+#: Rejection-sampling attempt budget for stratified/guided draws.  A
+#: stratum with a vanishing target class falls back to the last draw
+#: (still uniform within the universe) rather than spinning forever.
+_REJECTION_BUDGET = 256
+
+
+def _sample_arch_site(rng: DeterministicRng, model: str, workload: str,
+                      spec: CampaignSpec, draw: int
+                      ) -> Tuple[Dict[str, object], str]:
+    """Draw one architectural site plus its predicted AVF class.
+
+    ``stratified`` alternates the wanted class (masked on even draws,
+    ACE on odd) so confusion matrices get balanced evidence for both
+    sides of the soundness contract; ``guided`` rejects sites the
+    analyzer proves masked, so every injection spent is a potentially
+    informative one.  Both are plain rejection sampling, so within the
+    accepted class the distribution stays uniform.
+    """
+    from repro.avf.analyzer import MASKED_CLASSES
+    from repro.avf.sites import get_universe
+
+    universe = get_universe(workload, spec.instructions, seed=spec.seed)
+    want_masked: Optional[bool] = None
+    if spec.sampling == "stratified":
+        want_masked = draw % 2 == 0
+    elif spec.sampling == "guided":
+        want_masked = False
+    site = universe.sample(rng, model)
+    predicted = universe.classify(model, site)
+    if want_masked is not None:
+        for _ in range(_REJECTION_BUDGET):
+            if (predicted in MASKED_CLASSES) == want_masked:
+                break
+            site = universe.sample(rng, model)
+            predicted = universe.classify(model, site)
+    fault: Dict[str, object] = {"model": model}
+    fault.update(site)
+    return fault, predicted
+
+
 def _task_id(spec_hash: str, index: int) -> str:
     """Stable short id: same spec + index ⇒ same id across runs."""
     return format(seed_from("task", spec_hash, index), "016x")
@@ -121,7 +167,12 @@ def enumerate_tasks(spec: CampaignSpec) -> List[InjectionTask]:
     for kind, workload, model in spec.strata():
         for draw in range(spec.injections):
             rng = root.spawn(kind, workload, model, draw)
-            fault = _sample_site(rng, model, kind, spec)
+            predicted = None
+            if model in ARCH_FAULT_MODELS:
+                fault, predicted = _sample_arch_site(rng, model, workload,
+                                                     spec, draw)
+            else:
+                fault = _sample_site(rng, model, kind, spec)
             tasks.append(InjectionTask(
                 task_id=_task_id(spec_hash, index),
                 index=index,
@@ -132,6 +183,7 @@ def enumerate_tasks(spec: CampaignSpec) -> List[InjectionTask]:
                 seed=spec.seed,
                 instructions=spec.instructions,
                 warmup=spec.warmup,
+                predicted=predicted,
             ))
             index += 1
     return tasks

@@ -17,15 +17,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import MachineConfig
-from repro.core.faults import FAULT_MODELS
-from repro.isa.profiles import SPEC95_NAMES
+from repro.core.faults import ARCH_FAULT_MODELS, FAULT_MODELS
+from repro.isa.profiles import split_workload
 
-#: Machine kinds a campaign may target (mirrors ``make_machine``).
-CAMPAIGN_KINDS = ("base", "srt", "crt", "lockstep")
+#: Machine kinds a campaign may target (mirrors ``make_machine``);
+#: ``arch`` runs the functional-executor oracle used by validate-avf.
+CAMPAIGN_KINDS = ("base", "srt", "crt", "lockstep", "arch")
+
+#: Site-sampling strategies (non-uniform ones need the AVF analyzer,
+#: hence architectural models).
+SAMPLING_MODES = ("uniform", "stratified", "guided")
 
 #: Bump when the record schema or sampling procedure changes in a way
 #: that makes old JSONL artifacts incomparable.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 class CampaignConfigError(ValueError):
@@ -51,6 +56,11 @@ class CampaignSpec:
     #: Full MachineConfig as a dict (``None`` = defaults).  Stored
     #: expanded so the content hash captures every knob.
     config: Optional[Dict[str, object]] = None
+    #: Site-sampling strategy.  ``uniform`` draws i.i.d. sites;
+    #: ``stratified`` alternates predicted-masked / predicted-ACE draws
+    #: (validate-avf confusion matrices); ``guided`` skips sites the AVF
+    #: analyzer proves masked (cheaper campaigns, reweighted coverage).
+    sampling: str = "uniform"
 
     def __post_init__(self) -> None:
         self.kinds = tuple(self.kinds)
@@ -70,15 +80,37 @@ class CampaignSpec:
                     f"unknown machine kind {kind!r}; expected one of "
                     f"{sorted(CAMPAIGN_KINDS)}")
         for workload in self.workloads:
-            if workload not in SPEC95_NAMES:
+            try:
+                split_workload(workload)
+            except (KeyError, ValueError) as error:
+                message = error.args[0] if error.args else str(error)
                 raise CampaignConfigError(
-                    f"unknown workload {workload!r}; expected one of "
-                    f"{', '.join(SPEC95_NAMES)}")
+                    f"bad workload: {message}") from None
         for model in self.models:
             if model not in FAULT_MODELS:
                 raise CampaignConfigError(
                     f"unknown fault model {model!r}; expected one of "
                     f"{sorted(FAULT_MODELS)}")
+        arch_models = [m for m in self.models if m in ARCH_FAULT_MODELS]
+        if arch_models and len(arch_models) != len(self.models):
+            raise CampaignConfigError(
+                "architectural and machine fault models cannot be mixed "
+                "in one campaign")
+        if arch_models and tuple(self.kinds) != ("arch",):
+            raise CampaignConfigError(
+                "architectural fault models require kinds=('arch',)")
+        if not arch_models and "arch" in self.kinds:
+            raise CampaignConfigError(
+                "kind 'arch' requires architectural fault models "
+                f"({', '.join(ARCH_FAULT_MODELS)})")
+        if self.sampling not in SAMPLING_MODES:
+            raise CampaignConfigError(
+                f"unknown sampling mode {self.sampling!r}; expected one "
+                f"of {SAMPLING_MODES}")
+        if self.sampling != "uniform" and not arch_models:
+            raise CampaignConfigError(
+                f"sampling={self.sampling!r} needs the AVF analyzer, "
+                "which covers architectural fault models only")
         if self.injections <= 0:
             raise CampaignConfigError("injections must be positive")
         if self.instructions <= 0:

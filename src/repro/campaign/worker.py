@@ -20,9 +20,12 @@ import signal
 from typing import Dict, List, Optional
 
 from repro.core.config import MachineConfig
-from repro.core.faults import fault_from_dict, run_fault_experiment_detailed
+from repro.core.faults import (ARCH_FAULT_MODELS, fault_from_dict,
+                               run_arch_fault_experiment,
+                               run_fault_experiment_detailed)
 from repro.core.machine import make_machine
 from repro.isa.generator import generate_benchmark
+from repro.isa.profiles import split_workload
 from repro.isa.program import Program
 
 
@@ -38,7 +41,8 @@ def _program_for(workload: str, seed: int,
                  cache: Dict[tuple, Program]) -> Program:
     key = (workload, seed)
     if key not in cache:
-        cache[key] = generate_benchmark(workload, seed=seed)
+        name, workload_seed = split_workload(workload)
+        cache[key] = generate_benchmark(name, seed=workload_seed + seed)
     return cache[key]
 
 
@@ -52,17 +56,23 @@ def execute_task(task: Dict[str, object],
     construction so the SIGALRM timeout path can salvage the watchdog's
     last progress fingerprint from a wedged run.
     """
-    machine_config = (MachineConfig.from_dict(config) if config
-                      else MachineConfig())
     program = _program_for(task["workload"], task["seed"],
                            _cache if _cache is not None else {})
-    machine = make_machine(task["kind"], machine_config, [program])
-    if _holder is not None:
-        _holder.append(machine)
     fault = fault_from_dict(task["fault"])
-    report = run_fault_experiment_detailed(
-        machine, program, fault,
-        instructions=task["instructions"], warmup=task["warmup"])
+    if task["model"] in ARCH_FAULT_MODELS:
+        # Architectural oracle: no machine, no warmup — the functional
+        # executor pair classifies the site directly.
+        report = run_arch_fault_experiment(
+            program, fault, instructions=task["instructions"])
+    else:
+        machine_config = (MachineConfig.from_dict(config) if config
+                          else MachineConfig())
+        machine = make_machine(task["kind"], machine_config, [program])
+        if _holder is not None:
+            _holder.append(machine)
+        report = run_fault_experiment_detailed(
+            machine, program, fault,
+            instructions=task["instructions"], warmup=task["warmup"])
     record = {
         "task_id": task["task_id"],
         "index": task["index"],
@@ -72,6 +82,8 @@ def execute_task(task: Dict[str, object],
         "fault": task["fault"],
         "timed_out": False,
     }
+    if task.get("predicted") is not None:
+        record["predicted"] = task["predicted"]
     record.update(report.to_dict())
     return record
 
@@ -96,6 +108,8 @@ def _timed_out_record(task: Dict[str, object],
         "fault": task["fault"],
         "timed_out": True,
         "outcome": "hung",
+        **({"predicted": task["predicted"]}
+           if task.get("predicted") is not None else {}),
         "struck_cycle": None,
         "detected_cycle": None,
         "latency": None,

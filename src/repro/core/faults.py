@@ -186,13 +186,68 @@ class StuckFunctionalUnit(Fault):
 # ``fault_from_dict`` are the single source of truth for that format.
 # ---------------------------------------------------------------------------
 
+class ArchFault(Fault):
+    """Base for *architectural* fault models.
+
+    These are injected into the functional executor by
+    :func:`run_arch_fault_experiment` (the oracle that cross-validates
+    the static AVF analyzer), not into a pipeline machine: pipeline
+    state is speculative and renamed, so "register r at step s" is only
+    well-defined architecturally.  ``attach`` therefore refuses.
+    """
+
+    def attach(self, machine: Machine) -> None:
+        raise TypeError(
+            f"{type(self).__name__} is an architectural fault model; "
+            "use run_arch_fault_experiment, not a machine injector")
+
+
+@dataclass
+class ArchRegisterFault(ArchFault):
+    """Flip ``bit`` of architectural register ``reg`` just before the
+    instruction at dynamic step ``step`` executes."""
+
+    step: int
+    reg: int
+    bit: int
+    fired: bool = False
+
+
+@dataclass
+class ArchMemoryFault(ArchFault):
+    """Flip ``bit`` of the memory word holding ``addr`` just before
+    dynamic step ``step``."""
+
+    step: int
+    addr: int
+    bit: int
+    fired: bool = False
+
+
+@dataclass
+class ArchDestFieldFault(ArchFault):
+    """Flip ``bit`` (0..5) of the destination-register *field* of the
+    instruction executed at dynamic step ``step`` — a decoded-opcode
+    latch strike: the result is written to the wrong register."""
+
+    step: int
+    bit: int
+    fired: bool = False
+
+
 #: model-name -> fault class.  Keys are the public names used by the
 #: campaign CLI (``--models``) and the JSONL artifact records.
 FAULT_MODELS = {
     "transient-register": TransientRegisterFault,
     "transient-result": TransientResultFault,
     "stuck-unit": StuckFunctionalUnit,
+    "arch-register": ArchRegisterFault,
+    "arch-memory": ArchMemoryFault,
+    "arch-destfield": ArchDestFieldFault,
 }
+
+#: The architectural models (classified by the AVF oracle, not a machine).
+ARCH_FAULT_MODELS = ("arch-register", "arch-memory", "arch-destfield")
 
 #: Transient state per fault instance that must never survive a round
 #: trip (a deserialized fault is always un-fired).
@@ -386,6 +441,124 @@ def run_fault_experiment_detailed(machine: Machine, program, fault: Fault,
           and machine.watchdog.last_fingerprint is not None):
         report.fingerprint = machine.watchdog.last_fingerprint.to_dict()
     return report
+
+
+# ---------------------------------------------------------------------------
+# Architectural oracle (AVF cross-validation)
+# ---------------------------------------------------------------------------
+
+def _arch_snapshot(executor: FunctionalExecutor) -> tuple:
+    """Comparable end-state: pc, halt flag, registers, non-zero memory.
+
+    Zero-valued words are dropped so a word that was never materialized
+    compares equal to one explicitly holding zero, and ``r0`` is
+    normalized (it is hardwired; its backing slot is unobservable).
+    """
+    state = executor.state
+    regs = list(state.regs)
+    regs[0] = 0
+    memory = {addr: value for addr, value in state.memory.items() if value}
+    return (state.pc, state.halted, regs, memory)
+
+
+def _arch_golden(program, max_steps: int):
+    """Golden stores [(step, op, addr, value)] + end snapshot."""
+    executor = FunctionalExecutor(program)
+    stores = []
+    for step in range(max_steps):
+        if executor.state.halted:
+            break
+        try:
+            result = executor.step()
+        except RuntimeError:
+            break
+        if result.store is not None:
+            stores.append((step, result.instr.op.name,
+                           result.store[0], result.store[1]))
+    return stores, _arch_snapshot(executor)
+
+
+def _inject_arch_fault(executor: FunctionalExecutor, fault: "ArchFault"
+                       ) -> None:
+    """Flip the fault's site in the architectural state (pre-step)."""
+    state = executor.state
+    if isinstance(fault, ArchRegisterFault):
+        if fault.reg != 0:  # r0 has no architectural storage
+            state.regs[fault.reg] = flip_bit(state.regs[fault.reg],
+                                             fault.bit)
+    elif isinstance(fault, ArchMemoryFault):
+        from repro.isa.executor import align_word
+        word = align_word(fault.addr)
+        state.memory[word] = flip_bit(state.memory.get(word, 0), fault.bit)
+    fault.fired = True
+    fault.struck_cycle = fault.step
+
+
+def run_arch_fault_experiment(program, fault: "ArchFault",
+                              instructions: int = 1500) -> FaultReport:
+    """Inject an architectural fault and classify against the golden run.
+
+    DETECTED — the (op, addr, value) store stream diverges from the
+    golden stream within the horizon, or the run crashes (control left
+    the code region: an output comparator / watchdog catch).
+    MASKED — stream identical *and* final architectural state identical.
+    LATENT — stream identical but the flipped bit is still resident in
+    the end state (it could still be consumed beyond the horizon).
+
+    The static analyzer's soundness contract is one-directional: a site
+    it predicts masked must never come back DETECTED here (LATENT is
+    allowed — dead state legitimately retains the flip).
+    """
+    golden_stores, golden_end = _arch_golden(program, instructions)
+    executor = FunctionalExecutor(program)
+    faulty_stores = []
+    detected_step: Optional[int] = None
+    crashed = False
+    for step in range(instructions):
+        if executor.state.halted:
+            break
+        if step == fault.step and not fault.fired:
+            _inject_arch_fault(executor, fault)
+        swapped = None
+        if (isinstance(fault, ArchDestFieldFault) and step == fault.step
+                and program.in_range(executor.state.pc)):
+            pc = executor.state.pc
+            swapped = (pc, program.instructions[pc])
+            original = swapped[1]
+            program.instructions[pc] = dataclasses.replace(
+                original, rd=original.rd ^ (1 << fault.bit))
+        try:
+            result = executor.step()
+        except RuntimeError:
+            crashed = True
+            detected_step = step
+            break
+        finally:
+            if swapped is not None:
+                program.instructions[swapped[0]] = swapped[1]
+        if result.store is not None:
+            index = len(faulty_stores)
+            faulty_stores.append((step, result.instr.op.name,
+                                  result.store[0], result.store[1]))
+            if detected_step is None and (
+                    index >= len(golden_stores)
+                    or golden_stores[index][1:] != faulty_stores[index][1:]):
+                detected_step = step
+
+    if detected_step is None and len(faulty_stores) < len(golden_stores):
+        # Stream truncated: the missing store is the divergence point.
+        detected_step = golden_stores[len(faulty_stores)][0]
+    if crashed or detected_step is not None:
+        outcome = FaultOutcome.DETECTED
+    elif _arch_snapshot(executor) == golden_end:
+        outcome = FaultOutcome.MASKED
+    else:
+        outcome = FaultOutcome.LATENT
+    return FaultReport(outcome=outcome, struck_cycle=fault.struck_cycle,
+                       detected_cycle=detected_step,
+                       termination=Termination.DONE.value
+                       if executor.state.halted
+                       else Termination.CYCLE_LIMIT.value)
 
 
 def run_fault_experiment(machine: Machine, program,

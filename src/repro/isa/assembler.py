@@ -20,6 +20,15 @@ Directives understood by the static verifier (:mod:`repro.analysis`)::
     .segment <lo> <hi>           ; declare a legal store range [lo, hi)
     .shared  <lo> <hi>           ; declare a cross-thread-visible range
 
+Segment declarations are validated at assembly time: two ``.segment``
+(or two ``.shared``) ranges may not overlap each other, and every
+``.shared`` range must lie inside one declared ``.segment`` (a shared
+window that stores cannot legally reach is a contradiction the
+verifier would otherwise silently ignore).  A ``.shared`` range *may*
+coincide with a ``.segment`` — that is the normal way to mark a data
+segment cross-thread visible.  Violations are line-numbered
+:class:`AssemblyError`\\ s, like every other syntax error.
+
 Labels must be unique; branching to an undefined label is a
 line-numbered :class:`AssemblyError` (not a late KeyError), so the CFG
 builder can always assume well-formed targets.
@@ -66,13 +75,47 @@ def _parse_imm(token: str, line_no: int) -> int:
         raise AssemblyError(f"line {line_no}: bad immediate {token!r}") from exc
 
 
+_SEGMENT_KIND = {".segment": "data_segments", ".shared": "shared_segments"}
+
+
+def _validate_segments(
+        ranges: Dict[str, List[Tuple[int, int, int]]]) -> None:
+    """Reject overlapping ranges and ``.shared`` outside any segment.
+
+    ``ranges`` maps the directive name to ``(lo, hi, line_no)`` triples
+    in declaration order.  Overlap is checked *within* each directive
+    kind only: a ``.shared`` range coinciding with a ``.segment`` range
+    is the intended way to mark a data segment cross-thread visible.
+    """
+    for directive, declared in ranges.items():
+        by_lo = sorted(declared)
+        for (lo_a, hi_a, line_a), (lo_b, hi_b, line_b) in zip(
+                by_lo, by_lo[1:]):
+            if lo_b < hi_a:
+                first, second = sorted(((line_a, lo_a, hi_a),
+                                        (line_b, lo_b, hi_b)))
+                raise AssemblyError(
+                    f"line {second[0]}: {directive} range "
+                    f"[{second[1]:#x}, {second[2]:#x}) overlaps the "
+                    f"{directive} [{first[1]:#x}, {first[2]:#x}) "
+                    f"declared on line {first[0]}")
+    data_ranges = ranges.get(".segment", [])
+    for lo, hi, line_no in ranges.get(".shared", []):
+        if not any(seg_lo <= lo and hi <= seg_hi
+                   for seg_lo, seg_hi, _ in data_ranges):
+            raise AssemblyError(
+                f"line {line_no}: .shared range [{lo:#x}, {hi:#x}) is "
+                f"not contained in any declared .segment; shared "
+                f"windows must be store-reachable")
+
+
 def assemble(source: str, name: str = "asm") -> Program:
     """Assemble ``source`` into a :class:`Program`."""
     labels: Dict[str, int] = {}
     label_lines: Dict[str, int] = {}
     pending: List[Tuple[int, str, List[str]]] = []  # (line_no, mnemonic, args)
     data: Dict[int, int] = {}
-    segments: Dict[str, List[Tuple[int, int]]] = {}
+    seg_ranges: Dict[str, List[Tuple[int, int, int]]] = {}
 
     # Pass 1: strip comments, collect labels and raw instructions.
     index = 0
@@ -97,9 +140,7 @@ def assemble(source: str, name: str = "asm") -> Program:
                 raise AssemblyError(
                     f"line {line_no}: {parts[0]} range [{lo}, {hi}) is empty "
                     f"or negative")
-            key = ("data_segments" if parts[0] == ".segment"
-                   else "shared_segments")
-            segments.setdefault(key, []).append((lo, hi))
+            seg_ranges.setdefault(parts[0], []).append((lo, hi, line_no))
             continue
         while ":" in line:
             label, _, rest = line.partition(":")
@@ -198,7 +239,10 @@ def assemble(source: str, name: str = "asm") -> Program:
 
     if not instructions:
         raise AssemblyError("no instructions in source")
+    _validate_segments(seg_ranges)
     program = Program(name=name, instructions=instructions,
                       initial_memory=data)
-    program.metadata.update(segments)
+    for directive, declared in seg_ranges.items():
+        program.metadata[_SEGMENT_KIND[directive]] = [
+            (lo, hi) for lo, hi, _ in declared]
     return program

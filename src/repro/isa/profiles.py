@@ -205,3 +205,28 @@ def get_profile(name: str) -> WorkloadProfile:
         raise KeyError(
             f"unknown benchmark {name!r}; available: {', '.join(SPEC95_NAMES)}"
         ) from None
+
+
+def split_workload(workload: str) -> Tuple[str, int]:
+    """Split a ``name[@seed]`` workload spec into (profile, seed).
+
+    Campaigns address generator variants of one profile as e.g.
+    ``gcc@3``; a bare profile name means seed 0.  The profile part is
+    validated against :data:`SPEC95_PROFILES`.
+    """
+    name, sep, seed_text = workload.partition("@")
+    if name not in SPEC95_PROFILES:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(SPEC95_NAMES)}"
+        )
+    if not sep:
+        return name, 0
+    try:
+        seed = int(seed_text, 10)
+    except ValueError:
+        raise ValueError(
+            f"workload {workload!r}: seed {seed_text!r} is not an integer"
+        ) from None
+    if seed < 0:
+        raise ValueError(f"workload {workload!r}: seed must be >= 0")
+    return name, seed

@@ -61,6 +61,29 @@ class TestS1Determinism:
     def test_s103_membership_set_is_clean(self):
         assert lint("seen = set()\nknown = {x for x in items}\n") == []
 
+    def test_s104_fstring_of_dict_keys(self):
+        findings = lint("message = f'fields: {data.keys()}'\n")
+        assert rules_of(findings) == ["S104"]
+
+    def test_s104_join_of_dict_values(self):
+        findings = lint("text = ', '.join(table.values())\n")
+        assert rules_of(findings) == ["S104"]
+
+    def test_s104_sorted_view_is_clean(self):
+        assert lint("message = f'fields: {sorted(data.keys())}'\n") == []
+        assert lint("text = ', '.join(sorted(table.values()))\n") == []
+
+    def test_s104_non_view_attribute_call_is_clean(self):
+        # Only bare .keys()/.values() calls are views; other calls and
+        # plain iteration over a dict are insertion-order by intent.
+        assert lint("text = ', '.join(table.names())\n") == []
+        assert lint("for key in table:\n    print(key)\n") == []
+
+    def test_s104_suppression(self):
+        src = ("message = f'{data.keys()}'"
+               "  # simlint: disable=S104\n")
+        assert lint(src) == []
+
 
 class TestS2Layering:
     @pytest.mark.parametrize("layer", ["pipeline", "predictors", "isa",
@@ -162,7 +185,7 @@ class TestSuppression:
 
 class TestRegistryAndSelfCheck:
     def test_registry_complete(self):
-        assert sorted(LINT_RULES) == ["S101", "S102", "S103", "S201",
+        assert sorted(LINT_RULES) == ["S101", "S102", "S103", "S104", "S201",
                                       "S202", "S301", "S302"]
         for rule in LINT_RULES.values():
             assert rule.severity in ("error", "warning")

@@ -1,0 +1,97 @@
+"""Tests for ``python -m repro avf`` and the AVF report envelope."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.avf.analyzer import ALL_CLASSES, analyze_program
+from repro.avf.report import avf_payload, render_avf, render_avf_json
+from repro.isa.assembler import assemble
+
+DEMO_ASM = """
+    .segment 0x1000 0x1100
+    ldi  r1, 0xF5
+    andi r2, r1, 0x0F
+    st   r0, 0x1000, r2
+    halt
+"""
+
+
+@pytest.fixture()
+def asm_file(tmp_path):
+    path = tmp_path / "demo.asm"
+    path.write_text(DEMO_ASM, encoding="utf-8")
+    return path
+
+
+class TestAvfCli:
+    def test_assembly_file_text(self, asm_file, capsys):
+        assert main(["avf", str(asm_file)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "register" in out and "dest-field" in out
+        assert "AVF" in out
+
+    def test_generated_profile(self, capsys):
+        assert main(["avf", "--generated", "compress",
+                     "--steps", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out
+
+    def test_generated_with_seed_suffix(self, capsys):
+        assert main(["avf", "--generated", "compress@2",
+                     "--steps", "200"]) == 0
+        assert "compress" in capsys.readouterr().out
+
+    def test_json_envelope(self, asm_file, capsys):
+        assert main(["avf", str(asm_file), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 2
+        assert payload["tool"] == "avf"
+        assert payload["ok"] is True
+        assert isinstance(payload["findings"], list)
+        (program,) = payload["programs"]
+        names = [c["name"] for c in program["components"]]
+        assert "register" in names and "memory" in names
+
+    def test_no_input_is_usage_error(self, capsys):
+        assert main(["avf"]) == 2
+        assert "nothing to analyze" in capsys.readouterr().err
+
+    def test_bad_profile_is_usage_error(self, capsys):
+        assert main(["avf", "--generated", "nonesuch"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_steps_is_usage_error(self, capsys):
+        assert main(["avf", "--generated", "compress",
+                     "--steps", "0"]) == 2
+        capsys.readouterr()
+
+    def test_missing_file_is_usage_error(self, capsys, tmp_path):
+        assert main(["avf", str(tmp_path / "absent.asm")]) == 2
+        capsys.readouterr()
+
+    def test_listed_in_command_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "avf" in capsys.readouterr().out
+
+
+class TestAvfReport:
+    def _summary(self):
+        return analyze_program(assemble(DEMO_ASM), steps=100).summary()
+
+    def test_render_text_has_all_classes(self):
+        text = render_avf(self._summary())
+        for cls in ALL_CLASSES:
+            assert cls in text
+
+    def test_payload_shares_envelope_shape(self):
+        payload = avf_payload([self._summary()])
+        assert set(payload) >= {"version", "tool", "ok", "findings",
+                                "programs"}
+
+    def test_json_is_deterministic(self):
+        a = render_avf_json([self._summary()])
+        b = render_avf_json([self._summary()])
+        assert a == b

@@ -1,0 +1,224 @@
+"""Campaign-side AVF integration: arch fault models in the spec,
+class-aware sampling, worker execution, and the --vs-avf report."""
+
+import pytest
+
+from repro.avf.analyzer import ACE_CLASS, ALL_CLASSES, MASKED_CLASSES
+from repro.avf.sites import clear_universe_cache, get_universe
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.report import (adjusted_detection_table,
+                                   confusion_table, false_masked_records,
+                                   render_vs_avf)
+from repro.campaign.sampler import enumerate_tasks
+from repro.campaign.spec import CampaignConfigError, CampaignSpec
+from repro.campaign.worker import execute_task
+from repro.core.faults import ARCH_FAULT_MODELS
+
+
+def arch_spec(**overrides):
+    base = dict(kinds=("arch",), workloads=("compress",),
+                models=("arch-register",), injections=20,
+                instructions=300, warmup=0, sampling="stratified")
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestSpecRules:
+    def test_arch_models_require_arch_kind(self):
+        with pytest.raises(CampaignConfigError, match="arch"):
+            arch_spec(kinds=("srt",)).validate()
+
+    def test_arch_kind_requires_arch_models(self):
+        with pytest.raises(CampaignConfigError, match="architectural"):
+            arch_spec(models=("transient-result",)).validate()
+
+    def test_no_mixing_arch_and_machine_models(self):
+        with pytest.raises(CampaignConfigError, match="mixed"):
+            arch_spec(models=("arch-register",
+                              "transient-result")).validate()
+
+    def test_sampling_needs_arch_models(self):
+        with pytest.raises(CampaignConfigError, match="sampling"):
+            CampaignSpec(kinds=("srt",), workloads=("compress",),
+                         models=("transient-result",),
+                         sampling="guided").validate()
+
+    def test_valid_arch_spec(self):
+        spec = arch_spec().validate()
+        assert spec.total_tasks() == 20
+
+
+class TestArchSampling:
+    def setup_method(self):
+        clear_universe_cache()
+
+    def test_tasks_carry_predictions(self):
+        tasks = enumerate_tasks(arch_spec())
+        assert len(tasks) == 20
+        for task in tasks:
+            assert task.predicted in ALL_CLASSES
+            assert dict(task.fault)["model"] == "arch-register"
+
+    def test_stratified_samples_both_sides(self):
+        tasks = enumerate_tasks(arch_spec(injections=30))
+        groups = {task.predicted in MASKED_CLASSES for task in tasks}
+        assert groups == {True, False}
+
+    def test_enumeration_is_deterministic(self):
+        spec = arch_spec()
+        assert enumerate_tasks(spec) == enumerate_tasks(spec)
+
+    def test_uniform_arch_sampling_also_tags(self):
+        tasks = enumerate_tasks(arch_spec(sampling="uniform",
+                                          injections=5))
+        assert all(task.predicted in ALL_CLASSES for task in tasks)
+
+    def test_guided_skips_proven_masked_sites(self):
+        """Acceptance: guided sampling skips >= 20% of the universe on
+        at least one profile (every skipped site is proven masked)."""
+        spec = arch_spec(sampling="guided", injections=30)
+        universe = get_universe("compress", 300, seed=0)
+        skipped = universe.masked_fraction("arch-register")
+        assert skipped >= 0.20
+        tasks = enumerate_tasks(spec)
+        assert all(task.predicted == ACE_CLASS for task in tasks)
+
+    def test_machine_models_have_no_prediction(self):
+        spec = CampaignSpec(kinds=("srt",), workloads=("compress",),
+                            models=("transient-result",), injections=4,
+                            instructions=200, warmup=100)
+        tasks = enumerate_tasks(spec)
+        assert all(task.predicted is None for task in tasks)
+
+
+class TestArchWorker:
+    def setup_method(self):
+        clear_universe_cache()
+
+    def test_execute_arch_task(self):
+        task = enumerate_tasks(arch_spec(injections=3))[0].to_dict()
+        record = execute_task(task)
+        assert record["kind"] == "arch"
+        assert record["predicted"] in ALL_CLASSES
+        assert record["outcome"] in ("detected", "masked", "latent",
+                                     "silent-data-corruption")
+        assert record["timed_out"] is False
+
+    @pytest.mark.parametrize("model", ARCH_FAULT_MODELS)
+    def test_all_arch_models_run(self, model):
+        spec = arch_spec(models=(model,), injections=2)
+        for task in enumerate_tasks(spec):
+            record = execute_task(task.to_dict())
+            assert record["model"] == model
+
+
+def fake_record(predicted, outcome, workload="compress",
+                model="arch-register"):
+    return {"task_id": "x", "index": 0, "kind": "arch",
+            "workload": workload, "model": model,
+            "fault": {"model": model}, "predicted": predicted,
+            "outcome": outcome, "timed_out": False}
+
+
+class TestVsAvfReport:
+    def test_false_masked_detection(self):
+        records = [fake_record("dead", "detected"),
+                   fake_record("dead", "latent"),
+                   fake_record("ace", "detected")]
+        violations = false_masked_records(records)
+        assert len(violations) == 1
+        assert violations[0]["predicted"] == "dead"
+
+    def test_sdc_also_falsifies_masked(self):
+        records = [fake_record("overwritten", "silent-data-corruption")]
+        assert len(false_masked_records(records)) == 1
+
+    def test_confusion_table_counts(self):
+        records = [fake_record("dead", "masked"),
+                   fake_record("dead", "latent"),
+                   fake_record("ace", "detected"),
+                   fake_record("ace", "masked")]
+        table = confusion_table(records)
+        row = table.rows["compress/arch-register"]
+        assert row["msk>msk"] == 1 and row["msk>lat"] == 1
+        assert row["ace>det"] == 1 and row["ace>msk"] == 1
+        assert row["false-masked"] == 0
+        assert row["n"] == 4
+
+    def test_adjusted_estimate_uses_soundness_bound(self):
+        # The masked class is unsampled; its contribution must be the
+        # soundness bound 0, not a (0, 1) ignorance interval.
+        records = [fake_record("ace", "detected"),
+                   fake_record("ace", "detected"),
+                   fake_record("ace", "masked"),
+                   fake_record("ace", "masked")]
+        fractions = {("compress", "arch-register"):
+                     {"dead": 0.6, ACE_CLASS: 0.4}}
+        table = adjusted_detection_table(records, fractions)
+        row = table.rows["compress/arch-register"]
+        assert row["point"] == pytest.approx(0.4 * 0.5)
+        assert row["ci_high"] <= 0.4  # dead mass contributes nothing
+
+    def test_render_mentions_soundness(self):
+        text = render_vs_avf([fake_record("dead", "latent")])
+        assert "soundness: 0 false-masked" in text
+        text = render_vs_avf([fake_record("dead", "detected")])
+        assert "SOUNDNESS VIOLATION" in text
+
+    def test_untagged_records_explain_themselves(self):
+        record = fake_record(None, "masked")
+        record.pop("predicted")
+        assert "no AVF-tagged records" in render_vs_avf([record])
+
+
+class TestValidateAvfCli:
+    def test_end_to_end_tiny_run(self, tmp_path, capsys):
+        clear_universe_cache()
+        out = tmp_path / "vavf"
+        code = campaign_main([
+            "validate-avf", "--out", str(out),
+            "--workloads", "compress", "--models", "arch-register",
+            "--injections", "10", "--instructions", "300"])
+        captured = capsys.readouterr()
+        assert code == 0, captured.out + captured.err
+        assert "campaign_vs_avf" in captured.out
+        assert "soundness: 0 false-masked" in captured.out
+        # The stored campaign supports the report --vs-avf view too.
+        code = campaign_main(["report", "--out", str(out), "--vs-avf"])
+        assert code == 0
+        assert "campaign_avf_adjusted" in capsys.readouterr().out
+
+    def test_guided_coverage_matches_stratified(self, tmp_path, capsys):
+        """Acceptance: guided sampling changes which sites are drawn,
+        not the reweighted coverage estimate — point estimates must lie
+        inside each other's confidence intervals."""
+        clear_universe_cache()
+        rows = {}
+        for flag, label in (((), "stratified"), (("--guided",), "guided")):
+            out = tmp_path / label
+            code = campaign_main([
+                "validate-avf", "--out", str(out),
+                "--workloads", "compress", "--models", "arch-register",
+                "--injections", "40", "--instructions", "300", *flag])
+            assert code == 0
+            store_records = _records_of(out)
+            fractions = _fractions_for()
+            table = adjusted_detection_table(
+                [r for r in store_records
+                 if r.get("predicted") is not None], fractions)
+            rows[label] = table.rows["compress/arch-register"]
+        capsys.readouterr()
+        strat, guided = rows["stratified"], rows["guided"]
+        assert strat["ci_low"] <= guided["point"] <= strat["ci_high"]
+        assert guided["ci_low"] <= strat["point"] <= guided["ci_high"]
+
+
+def _records_of(out):
+    from repro.campaign.store import CampaignStore
+    return CampaignStore(str(out)).records()
+
+
+def _fractions_for():
+    universe = get_universe("compress", 300, seed=0)
+    return {("compress", "arch-register"):
+            universe.class_fractions("arch-register")}

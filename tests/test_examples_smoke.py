@@ -51,6 +51,17 @@ class TestExamples:
         assert "re-ran only" in out
         assert "coverage" in out and "Wilson" in out
 
+    def test_avf_demo(self, capsys):
+        # avf_demo exits via sys.exit(main()); 0 means the soundness
+        # spot-check against the injection oracle passed.
+        with pytest.raises(SystemExit) as excinfo:
+            run_example("avf_demo.py", ["200"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "Per-component AVF" in out
+        assert "logic-masked" in out and "dead" in out
+        assert "soundness holds" in out
+
     def test_recovery_demo(self, capsys):
         run_example("recovery_demo.py", ["gcc", "800"])
         out = capsys.readouterr().out

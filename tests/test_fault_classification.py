@@ -162,16 +162,25 @@ class TestFaultWireFormat:
         assert data["fu_class"] == "logic"
         assert data["model"] == "stuck-unit"
 
+    # Minimal constructor payload per registered model (machine faults
+    # address cycles/cores; architectural faults address golden steps).
+    MINIMAL_PAYLOADS = {
+        "transient-result": {"cycle": 1, "core_index": 0, "bit": 0},
+        "transient-register": {"cycle": 1, "core_index": 0, "bit": 0,
+                               "reg": 70},
+        "stuck-unit": {"core_index": 0, "fu_class": "int",
+                       "unit_index": 0},
+        "arch-register": {"step": 1, "reg": 7, "bit": 0},
+        "arch-memory": {"step": 1, "addr": 0x1000, "bit": 0},
+        "arch-destfield": {"step": 1, "bit": 0},
+    }
+
     def test_every_registered_model_has_a_name(self):
+        assert set(self.MINIMAL_PAYLOADS) == set(FAULT_MODELS), \
+            "new fault model: add a minimal payload above"
         for name, cls in FAULT_MODELS.items():
-            instance = fault_from_dict({"model": name, "core_index": 0,
-                                        **({"cycle": 1, "bit": 0}
-                                           if name != "stuck-unit"
-                                           else {"fu_class": "int",
-                                                 "unit_index": 0}),
-                                        **({"reg": 70}
-                                           if name == "transient-register"
-                                           else {})})
+            instance = fault_from_dict(
+                {"model": name, **self.MINIMAL_PAYLOADS[name]})
             assert isinstance(instance, cls)
             assert fault_model_name(instance) == name
 

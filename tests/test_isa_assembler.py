@@ -129,6 +129,50 @@ class TestAssembleErrors:
         with pytest.raises(AssemblyError, match="empty or negative"):
             assemble(".shared 0x1100 0x1000\nhalt")
 
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(AssemblyError,
+                           match=r"line 2: \.segment range \[0x10c0, "
+                                 r"0x1200\) overlaps the \.segment "
+                                 r"\[0x1000, 0x1100\) declared on line 1"):
+            assemble(".segment 0x1000 0x1100\n"
+                     ".segment 0x10C0 0x1200\nhalt")
+
+    def test_overlapping_shared_rejected_regardless_of_order(self):
+        # The later *address* is reported against the earlier one even
+        # when declared first.
+        with pytest.raises(AssemblyError,
+                           match=r"line 3: \.shared range .* overlaps "
+                                 r"the \.shared .* declared on line 2"):
+            assemble(".segment 0x1000 0x3000\n"
+                     ".shared 0x2000 0x2100\n"
+                     ".shared 0x1000 0x2010\nhalt")
+
+    def test_shared_outside_any_segment_rejected(self):
+        with pytest.raises(AssemblyError,
+                           match=r"line 1: \.shared range \[0x2000, "
+                                 r"0x2100\) is not contained in any "
+                                 r"declared \.segment"):
+            assemble(".shared 0x2000 0x2100\nhalt")
+
+    def test_shared_straddling_segment_boundary_rejected(self):
+        with pytest.raises(AssemblyError, match="not contained"):
+            assemble(".segment 0x1000 0x1100\n"
+                     ".segment 0x2000 0x2100\n"
+                     ".shared 0x10F0 0x2010\nhalt")
+
+    def test_shared_coinciding_with_segment_is_legal(self):
+        # Cross-kind overlap is the normal idiom (missing_membar.asm).
+        program = assemble(".segment 0x2000 0x2100\n"
+                           ".shared 0x2000 0x2100\nhalt")
+        assert program.metadata["shared_segments"] == [(0x2000, 0x2100)]
+
+    def test_adjacent_segments_are_legal(self):
+        # Half-open ranges: [lo, hi) touching at hi is not an overlap.
+        program = assemble(".segment 0x1000 0x1100\n"
+                           ".segment 0x1100 0x1200\nhalt")
+        assert program.metadata["data_segments"] == [
+            (0x1000, 0x1100), (0x1100, 0x1200)]
+
     def test_wrong_operand_count(self):
         with pytest.raises(AssemblyError, match="expects"):
             assemble("add r1, r2")

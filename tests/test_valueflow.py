@@ -1,0 +1,204 @@
+"""Unit tests for the bit-level lattices behind the AVF analyzer:
+known-bits transfer functions and the backward demand solver."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.valueflow import (KB_TOP, KB_ZERO, KnownBits, kb_add,
+                                      kb_and, kb_const, kb_mul, kb_not,
+                                      kb_or, kb_shl, kb_shr, kb_sub,
+                                      kb_xor, solve_bit_liveness,
+                                      solve_known_bits)
+from repro.isa.assembler import assemble
+from repro.util.bits import MASK64
+
+ALL64 = MASK64
+
+
+class TestKnownBitsLattice:
+    def test_const_is_fully_known(self):
+        kb = kb_const(0xDEAD)
+        assert kb.is_constant
+        assert kb.known_one == 0xDEAD
+        assert kb.known_zero == MASK64 ^ 0xDEAD
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            KnownBits(mask=0x1, value=0x2)
+
+    def test_join_keeps_agreeing_bits(self):
+        joined = kb_const(0b1100).join(kb_const(0b1010))
+        # Bits 0 (both 0) and 3 (both 1) agree; bits 1, 2 disagree.
+        assert joined.known_one == 0b1000
+        assert (joined.known_zero & 0b0111) == 0b0001
+
+    def test_join_with_top_is_top(self):
+        assert kb_const(7).join(KB_TOP).mask == 0
+
+
+def exhaustive_check(op, kb_op, width=4):
+    """Every abstract result must cover every concrete result pair."""
+    values = range(1 << width)
+    for av in values:
+        for bv in values:
+            abstract = kb_op(kb_const(av), kb_const(bv))
+            concrete = op(av, bv) & MASK64
+            # Constant inputs => constant (sound and precise) output.
+            assert abstract.is_constant
+            assert abstract.value == concrete
+
+
+class TestTransferFunctions:
+    def test_add_constants_exact(self):
+        exhaustive_check(lambda a, b: a + b, kb_add)
+
+    def test_sub_constants_exact(self):
+        exhaustive_check(lambda a, b: a - b, kb_sub)
+
+    def test_mul_constants_exact(self):
+        exhaustive_check(lambda a, b: a * b, kb_mul, width=3)
+
+    def test_bitwise_constants_exact(self):
+        exhaustive_check(lambda a, b: a & b, kb_and)
+        exhaustive_check(lambda a, b: a | b, kb_or)
+        exhaustive_check(lambda a, b: a ^ b, kb_xor)
+
+    def test_and_with_partial_knowledge(self):
+        # unknown & known-zero = known-zero, regardless of the unknown.
+        result = kb_and(KB_TOP, kb_const(0x0F))
+        assert result.known_zero & ~0x0F == MASK64 & ~0x0F
+
+    def test_or_with_partial_knowledge(self):
+        result = kb_or(KB_TOP, kb_const(0xF0))
+        assert result.known_one == 0xF0
+
+    def test_not_flips_knowledge(self):
+        kb = kb_not(kb_const(0))
+        assert kb.is_constant and kb.value == MASK64
+
+    def test_add_soundness_with_unknowns(self):
+        # a = xxxx1000 (low 4 bits known), b = 1: the low three result
+        # bits are knowable, bits above the unknown region are not.
+        a = KnownBits(mask=0xF, value=0x8)
+        result = kb_add(a, kb_const(1))
+        assert result.mask & 0x7 == 0x7
+        assert result.value & 0x7 == 0x1  # 8 + 1 = 9 -> low bits 001
+
+    def test_shifts_with_known_amount(self):
+        assert kb_shl(kb_const(1), kb_const(4)).value == 16
+        assert kb_shr(kb_const(16), kb_const(4)).value == 1
+
+    def test_shift_with_unknown_amount_is_top_or_sound(self):
+        result = kb_shl(kb_const(1), KB_TOP)
+        for amount in range(64):
+            concrete = (1 << amount) & MASK64
+            assert concrete & result.known_zero == 0
+            assert result.known_one & ~concrete == 0
+
+    def test_zero_identities(self):
+        assert kb_add(KB_ZERO, KB_TOP).mask == 0
+        assert kb_and(KB_ZERO, KB_TOP).value == 0
+        # 0 * unknown: the abstraction may lose precision but must
+        # never claim a one bit.
+        assert kb_mul(KB_ZERO, KB_TOP).known_one == 0
+
+
+class TestKnownBitsSolver:
+    def test_constants_propagate_through_blocks(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 12
+            addi r2, r1, 30
+            st  r0, 0x1000, r2
+            halt
+        """))
+        states = solve_known_bits(cfg)
+        entry_state = states[cfg.entry]
+        assert entry_state is not None
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 8
+        loop:
+            addi r1, r1, -1
+            bnez r1, loop
+            halt
+        """))
+        states = solve_known_bits(cfg)
+        assert all(states[i] is not None for i in cfg.reachable())
+
+
+class TestDemandSolver:
+    def test_andi_masks_demand(self):
+        cfg = build_cfg(assemble("""
+            ldi  r1, 0xFF
+            andi r2, r1, 0x0F
+            st   r0, 0x1000, r2
+            halt
+        """))
+        liveness = solve_bit_liveness(cfg)
+        # Before the andi (pc 1), only r1's low nibble is demanded.
+        assert liveness.before[1][1] == 0x0F
+
+    def test_store_demands_all_value_bits(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 1
+            st  r0, 0x1000, r1
+            halt
+        """))
+        liveness = solve_bit_liveness(cfg)
+        assert liveness.before[1][1] == ALL64
+
+    def test_address_registers_fully_demanded(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 0x1000
+            st  r1, 0, r0
+            halt
+        """))
+        liveness = solve_bit_liveness(cfg)
+        assert liveness.before[1][1] == ALL64
+
+    def test_branch_with_known_one_demands_anchor_bit(self):
+        cfg = build_cfg(assemble("""
+            ldi  r1, 4
+            bnez r1, out
+            ldi  r2, 1
+        out:
+            halt
+        """))
+        liveness = solve_bit_liveness(cfg)
+        # r1 is the constant 4: bit 2 alone pins the branch outcome.
+        assert liveness.before[1][1] == 0x4
+
+    def test_branch_with_unknown_operand_demands_all(self):
+        cfg = build_cfg(assemble("""
+            .data 0x1000 3
+            ldi  r1, 0x1000
+            ld   r2, r1, 0
+            bnez r2, out
+            nop
+        out:
+            halt
+        """))
+        liveness = solve_bit_liveness(cfg)
+        assert liveness.before[2][2] == ALL64
+
+    def test_shift_translates_demand(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 0xFF
+            ldi r2, 8
+            shl r3, r1, r2
+            st  r0, 0x1000, r3
+            halt
+        """))
+        liveness = solve_bit_liveness(cfg)
+        # r3 fully demanded; r1 contributes bits 0..55 (shifted left 8).
+        assert liveness.before[2][1] == MASK64 >> 8
+
+    def test_dead_value_has_no_demand(self):
+        cfg = build_cfg(assemble("""
+            ldi r1, 7
+            halt
+        """))
+        liveness = solve_bit_liveness(cfg)
+        assert liveness.before[1][1] == 0
+        assert liveness.after[0][1] == 0
