@@ -15,44 +15,10 @@ Usage::
 import argparse
 import sys
 
-from repro.harness import experiments as exp
+from repro.harness.experiments import EXPERIMENT_REGISTRY as EXPERIMENTS
 from repro.harness.reporting import render_table
 from repro.harness.runner import Runner
 from repro.isa.profiles import SPEC95_NAMES
-
-EXPERIMENTS = {
-    "fig6": (exp.fig6_srt_one_thread,
-             "SMT-Efficiency, one logical thread (SRT variants)"),
-    "fig7": (exp.fig7_psr, "Preferential space redundancy"),
-    "fig8": (exp.fig8_srt_two_threads,
-             "SMT-Efficiency, two logical threads (SRT)"),
-    "fig9": (exp.fig9_store_lifetime, "Store lifetimes, base vs SRT"),
-    "fig10": (exp.fig10_crt_one_thread,
-              "One logical thread on the CMP machines"),
-    "fig11": (exp.fig11_crt_multithread,
-              "Multithreaded lockstep vs CRT"),
-    "line-pred": (exp.line_predictor_rates, "Line predictor rates"),
-    "faults": (exp.fault_coverage, "Transient fault coverage"),
-    "detect-latency": (exp.detection_latency,
-                       "Fault detection latency per machine kind"),
-    "psr-faults": (exp.psr_permanent_fault_coverage,
-                   "Stuck-unit coverage with/without PSR"),
-    "sq-sweep": (exp.store_queue_sweep, "Store-queue size sweep"),
-    "sq-occupancy": (exp.store_queue_occupancy,
-                     "Store-queue occupancy, base vs SRT"),
-    "slack": (exp.slack_distribution,
-              "Leading-trailing slack distribution"),
-    "ablation-fetch": (exp.ablation_fetch_policy,
-                       "Trailing priority vs ICOUNT"),
-    "ablation-cross": (exp.ablation_cross_latency,
-                       "CRT cross-core latency sweep"),
-    "ablation-checker": (exp.ablation_checker_latency,
-                         "Lockstep checker latency sweep"),
-    "ablation-lvq": (exp.ablation_lvq_size, "LVQ size sweep"),
-    "ablation-slack": (exp.ablation_slack_fetch, "Explicit slack fetch"),
-    "ablation-lpq": (exp.ablation_trailing_fetch_mode,
-                     "LPQ vs shared-predictor trailing fetch"),
-}
 
 
 def positive_int(text: str) -> int:
@@ -105,6 +71,11 @@ def cmd_list() -> int:
     print("\nrobustness:")
     print("  recovery           watchdog forensics + checkpoint-recovery "
           "demos ('recovery --help')")
+    print("\nserving:")
+    print("  serve              async simulation-as-a-service daemon "
+          "('serve --help')")
+    print("  submit             submit work to a running daemon "
+          "('submit --help'; also status/fetch/cancel/metrics)")
     print("\nstatic analysis:")
     print("  analyze            dataflow verifier for RISC-R programs "
           "('analyze --help', '--rules')")
@@ -149,6 +120,11 @@ def main(argv=None) -> int:
         # Static ACE/AVF vulnerability analyzer.
         from repro.avf.cli import cmd_avf
         return cmd_avf(argv[1:])
+    if argv and argv[0] in ("serve", "submit", "status", "fetch",
+                            "cancel", "metrics"):
+        # Simulation-as-a-service daemon and its client verbs.
+        from repro.serve.cli import main as serve_main
+        return serve_main(argv)
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()

@@ -251,7 +251,14 @@ def cmd_status(args: argparse.Namespace) -> int:
     print(f"progress   {done}/{total} injections "
           f"({100.0 * done / total if total else 0.0:.1f}%)")
     progress = store.load_progress()
-    if progress and progress.get("tasks_per_s"):
+    if progress is None:
+        print("sidecar    none yet (progress.json is advisory; counts "
+              "above come from results.jsonl)")
+    elif progress.get("state") == "running":
+        print(f"sidecar    running at jobs={progress['jobs']} "
+              f"({progress['done']}/{progress['total_tasks']} at last "
+              f"chunk flush)")
+    elif progress.get("tasks_per_s"):
         print(f"last rate  {progress['tasks_per_s']} tasks/s "
               f"at jobs={progress['jobs']}")
     print("state      " + ("complete" if done >= total else "resumable"))

@@ -1,22 +1,30 @@
-"""Campaign engine: chunked parallel dispatch with resume.
+"""Campaign engine: chunked parallel dispatch with resume and cancel.
 
 The engine is the bridge between the deterministic world (spec →
 task list → records) and the messy one (worker processes, timeouts,
-mid-run kills):
+mid-run kills, service-layer cancellations):
 
 - ``jobs == 1`` executes in-process — no pool, no pickling, ideal for
   tests and debugging, and by construction the reference output every
   parallel run must match byte-for-byte;
 - ``jobs > 1`` fans chunks of tasks across a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  ``Executor.map``
-  yields chunk results **in submission order**, so records land in
-  ``results.jsonl`` in canonical task order even though chunks complete
-  out of order — that ordering is what makes the artifact byte-identical
-  at any ``--jobs`` and makes resume's completed-set a simple prefix.
+  :class:`concurrent.futures.ProcessPoolExecutor` with a bounded
+  submission window.  Results are consumed **in submission order**, so
+  records land in ``results.jsonl`` in canonical task order even though
+  chunks complete out of order — that ordering is what makes the
+  artifact byte-identical at any ``--jobs`` and makes resume's
+  completed-set a simple prefix.
+
+Cooperative cancellation (``should_stop``): checked between chunks.
+Already-submitted chunks are drained in order (their records are kept —
+they were paid for), unstarted chunks are cancelled, and the artifact
+is left a valid canonical-order prefix that ``resume`` completes later.
+The serve layer's job cancellation and SIGTERM drain both ride on this.
 
 Chunking amortizes per-task IPC and lets a worker reuse its generated
-benchmark across the chunk; the auto chunk size keeps at least ~4
-chunks in flight per worker so the pool stays busy near the tail.
+benchmark across the chunk; the shared :mod:`repro.util.chunking`
+policy keeps at least ~4 chunks in flight per worker so the pool stays
+busy near the tail.
 """
 
 import time
@@ -26,15 +34,12 @@ from repro.campaign.sampler import InjectionTask, enumerate_tasks
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.campaign.worker import execute_chunk
+from repro.util.chunking import auto_chunk_size
 
 ProgressFn = Callable[[int, int], None]
+StopFn = Callable[[], bool]
 
-
-def auto_chunk_size(remaining: int, jobs: int) -> int:
-    """Tasks per chunk: ≥4 chunks in flight per worker, capped at 16."""
-    if remaining <= 0:
-        return 1
-    return max(1, min(16, remaining // max(1, jobs * 4) or 1))
+__all__ = ["CampaignEngine", "auto_chunk_size", "run_campaign"]
 
 
 def _chunks(tasks: List[InjectionTask], size: int,
@@ -72,11 +77,17 @@ class CampaignEngine:
 
     # -- execution ---------------------------------------------------------
     def run(self, fresh: bool = False,
-            progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+            progress: Optional[ProgressFn] = None,
+            should_stop: Optional[StopFn] = None) -> Dict[str, object]:
         """Execute every remaining task; returns a summary dict.
 
         Safe to invoke repeatedly: completed injections are never
         re-executed (their records are already in the store).
+
+        ``should_stop`` is polled between chunk appends; when it turns
+        true the engine stops feeding the pool, drains what was already
+        submitted, and returns a summary with ``cancelled: True``.  The
+        artifact stays a valid resume point.
         """
         remaining = self.plan(fresh=fresh)
         total = self.spec.total_tasks()
@@ -86,47 +97,106 @@ class CampaignEngine:
         size = self.chunk_size or auto_chunk_size(len(remaining), self.jobs)
         payloads = _chunks(remaining, size, self.spec.config,
                            self.task_timeout)
-        for records in self._execute(payloads):
+        cancelled = False
+        for records in self._execute(payloads, should_stop):
             self.store.append(records)
             executed += len(records)
             if progress is not None:
                 progress(done_before + executed, total)
+            self.store.write_progress(self._progress_snapshot(
+                done_before + executed, total, started))
+        if should_stop is not None and should_stop():
+            cancelled = done_before + executed < total
         elapsed = time.monotonic() - started
         summary = {
             "campaign_hash": self.spec.content_hash(),
             "total_tasks": total,
             "already_complete": done_before,
             "executed": executed,
+            "cancelled": cancelled,
             "jobs": self.jobs,
             "chunk_size": size,
             "elapsed_s": round(elapsed, 3),
             "tasks_per_s": round(executed / elapsed, 3) if elapsed else None,
         }
+        summary["state"] = ("cancelled" if cancelled else
+                            "complete" if done_before + executed >= total
+                            else "partial")
         self.store.write_progress(summary)
         return summary
 
-    def _execute(self, payloads: Iterator[Dict[str, object]]
+    def _progress_snapshot(self, done: int, total: int,
+                           started: float) -> Dict[str, object]:
+        """Advisory mid-run sidecar (read by status and /metrics)."""
+        elapsed = time.monotonic() - started
+        return {
+            "state": "running",
+            "campaign_hash": self.spec.content_hash(),
+            "done": done,
+            "total_tasks": total,
+            "jobs": self.jobs,
+            "elapsed_s": round(elapsed, 3),
+        }
+
+    def _execute(self, payloads: Iterator[Dict[str, object]],
+                 should_stop: Optional[StopFn] = None
                  ) -> Iterator[List[Dict[str, object]]]:
+        stopping = (should_stop if should_stop is not None
+                    else (lambda: False))
         if self.jobs == 1:
             for payload in payloads:
+                if stopping():
+                    return
                 yield execute_chunk(payload)
             return
         # Lazy import: keep single-process campaigns importable on
         # platforms with broken multiprocessing.
+        from collections import deque
         from concurrent.futures import ProcessPoolExecutor
+        # Bounded submission window: enough chunks in flight to keep
+        # every worker busy, few enough that a cancellation only has to
+        # drain a small, already-running suffix.
+        window = self.jobs * 4
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            # Executor.map yields in submission order (canonical task
-            # order) while chunks execute concurrently — exactly the
-            # in-order flush the byte-identical artifact needs.
-            for records in pool.map(execute_chunk, payloads):
-                yield records
+            pending = deque()
+            exhausted = False
+            while True:
+                while not exhausted and len(pending) < window:
+                    try:
+                        payload = next(payloads)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append(pool.submit(execute_chunk, payload))
+                if not pending:
+                    return
+                # Futures resolve in submission order (canonical task
+                # order) even though chunks complete out of order —
+                # exactly the in-order flush the byte-identical
+                # artifact needs.
+                yield pending.popleft().result()
+                if stopping():
+                    # Drain the contiguous already-running prefix (the
+                    # pool starts futures in submission order, so the
+                    # cancellable ones form a suffix) and drop the rest.
+                    while pending:
+                        future = pending.popleft()
+                        if future.cancel():
+                            for rest in pending:
+                                rest.cancel()
+                            pending.clear()
+                            break
+                        yield future.result()
+                    return
 
 
 def run_campaign(spec: CampaignSpec, out_dir, jobs: int = 1,
                  task_timeout: int = 0, fresh: bool = False,
                  chunk_size: Optional[int] = None,
-                 progress: Optional[ProgressFn] = None) -> Dict[str, object]:
+                 progress: Optional[ProgressFn] = None,
+                 should_stop: Optional[StopFn] = None) -> Dict[str, object]:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(spec, out_dir, jobs=jobs,
                             task_timeout=task_timeout, chunk_size=chunk_size)
-    return engine.run(fresh=fresh, progress=progress)
+    return engine.run(fresh=fresh, progress=progress,
+                      should_stop=should_stop)

@@ -11,14 +11,13 @@ that could alter results invalidates previously collected records.
 """
 
 import dataclasses
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import MachineConfig
 from repro.core.faults import ARCH_FAULT_MODELS, FAULT_MODELS
 from repro.isa.profiles import split_workload
+from repro.util.canonical import canonical_json, content_hash
 
 #: Machine kinds a campaign may target (mirrors ``make_machine``);
 #: ``arch`` runs the functional-executor oracle used by validate-avf.
@@ -175,10 +174,8 @@ class CampaignSpec:
         return cls(**payload)
 
     def canonical_json(self) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True,
-                          separators=(",", ":"))
+        return canonical_json(self.to_dict())
 
     def content_hash(self) -> str:
         """Identity of the campaign: hash of every result-affecting field."""
-        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
-        return digest.hexdigest()[:16]
+        return content_hash(self.canonical_json())

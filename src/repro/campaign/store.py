@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set
 
 from repro.campaign.spec import CampaignConfigError, CampaignSpec
+from repro.util.canonical import canonical_json
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
@@ -33,7 +34,7 @@ PROGRESS_NAME = "progress.json"
 
 def canonical_record(record: Dict[str, object]) -> str:
     """The one true byte encoding of a result record."""
-    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return canonical_json(record)
 
 
 class CampaignStore:
@@ -148,13 +149,32 @@ class CampaignStore:
 
     # -- progress sidecar --------------------------------------------------
     def write_progress(self, progress: Dict[str, object]) -> None:
+        """Atomically replace the progress sidecar.
+
+        The engine rewrites this file after every chunk append while a
+        concurrent ``campaign status`` (or the serve layer's
+        ``/metrics`` endpoint) may be reading it — write-temp-then-
+        ``os.replace`` guarantees a reader sees either the old or the
+        new sidecar, never a half-written hybrid.
+        """
         self._write_json(self.progress_path, progress)
 
     def load_progress(self) -> Optional[Dict[str, object]]:
+        """The progress sidecar, or None when absent *or unreadable*.
+
+        The sidecar is advisory — a missing file (campaign has never
+        run under this build) or an unparsable one (torn by a pre-atomic
+        writer, or a crash between create and replace) must never make
+        ``status`` fail when the authoritative ``results.jsonl`` is
+        fine.
+        """
         if not self.progress_path.exists():
             return None
-        with open(self.progress_path, "r", encoding="utf-8") as handle:
-            return json.load(handle)
+        try:
+            with open(self.progress_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            return None
 
     # -- helpers -----------------------------------------------------------
     @staticmethod
@@ -163,4 +183,6 @@ class CampaignStore:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(data, handle, indent=2, sort_keys=True)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)

@@ -17,6 +17,7 @@ the pool.
 """
 
 import signal
+import threading
 from typing import Dict, List, Optional
 
 from repro.core.config import MachineConfig
@@ -133,7 +134,11 @@ def execute_chunk(payload: Dict[str, object]) -> List[Dict[str, object]]:
     tasks: List[Dict[str, object]] = payload["tasks"]
     config = payload.get("config")
     timeout = int(payload.get("timeout") or 0)
-    use_alarm = timeout > 0 and hasattr(signal, "SIGALRM")
+    # SIGALRM can only be armed from the main thread; in-process
+    # execution on a serve executor thread silently loses the per-task
+    # timeout (the scheduler's job-level timeout still applies there).
+    use_alarm = (timeout > 0 and hasattr(signal, "SIGALRM")
+                 and threading.current_thread() is threading.main_thread())
     cache: Dict[tuple, Program] = {}
     records: List[Dict[str, object]] = []
     for task in tasks:

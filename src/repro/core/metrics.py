@@ -6,6 +6,7 @@ base machine.  The figure-of-merit for a workload is the arithmetic mean
 over its logical threads — Snavely & Tullsen's weighted speedup.
 """
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -112,6 +113,32 @@ class RunResult:
         """Did every measured thread reach its target?"""
         return self.termination in (Termination.DONE, Termination.RECOVERED)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able structured form (serve jobs, machine consumers).
+
+        Deterministic by construction — no wall-clock fields — so the
+        serve layer can cache it content-addressed.
+        """
+        return {
+            "kind": self.kind,
+            "cycles": self.cycles,
+            "termination": self.termination.value,
+            "threads": [
+                {"name": t.name, "retired": t.retired, "cycles": t.cycles,
+                 "ipc": t.ipc}
+                for t in self.threads
+            ],
+            "fault_events": [
+                {"cycle": e.cycle, "kind": e.kind, "thread": e.thread,
+                 "detail": e.detail}
+                for e in self.fault_events
+            ],
+            "stats": dict(self.stats),
+            "hang_report": self.hang_report,
+            "recovery": self.recovery,
+            "drain_truncated": self.drain_truncated,
+        }
+
 
 def smt_efficiency(result: RunResult,
                    baseline_ipc: Dict[str, float]) -> Dict[str, float]:
@@ -134,3 +161,34 @@ def mean_smt_efficiency(result: RunResult,
 
 def arithmetic_mean(values: List[float]) -> float:
     return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic served-job counters (the serve layer's ``/metrics``).
+
+    Invariant: every accepted job ends in exactly one of ``completed``
+    / ``failed`` / ``cancelled``, so once a server drains,
+    ``accepted == completed + failed + cancelled``.  ``rejected``
+    counts admission-control refusals (never accepted), ``cache_hits``
+    the accepted jobs answered from the result cache without pool work,
+    and ``coalesced`` the accepted jobs attached to an identical
+    already-in-flight computation.
+    """
+
+    accepted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    timeouts: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def consistent(self) -> bool:
+        """Does the lifecycle invariant hold right now (drained state)?"""
+        return self.accepted == (self.completed + self.failed
+                                 + self.cancelled)

@@ -41,6 +41,21 @@ class ExperimentResult:
             self.summary[f"mean.{series}"] = self.mean(series)
         return self
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able structured form (serve jobs, machine consumers).
+
+        Row and summary insertion order is the driver's deterministic
+        iteration order, so the canonical encoding of this dict is
+        byte-stable across runs — the serve cache relies on that.
+        """
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "series": list(self.series),
+            "rows": {label: dict(row) for label, row in self.rows.items()},
+            "summary": dict(self.summary),
+        }
+
 
 def _benchmarks(subset: Optional[Sequence[str]]) -> List[str]:
     return list(subset) if subset else list(SPEC95_NAMES)
@@ -580,3 +595,44 @@ def ablation_lvq_size(runner: Runner, benchmark: str = "swim",
         ipc = runner.run("srt", [benchmark], config=config).ipc_of(benchmark)
         result.add_row(str(size), {"efficiency": ipc / base_ipc})
     return result.finish()
+
+
+# ---------------------------------------------------------------------------
+# Registry: one entry per paper table/figure.  The CLI (`python -m repro
+# fig6`), the parallel fan-out, and the serve layer's `experiment` jobs
+# all dispatch through this table, so a new driver becomes reachable
+# from every entry point by adding one line here.
+# ---------------------------------------------------------------------------
+EXPERIMENT_REGISTRY = {
+    "fig6": (fig6_srt_one_thread,
+             "SMT-Efficiency, one logical thread (SRT variants)"),
+    "fig7": (fig7_psr, "Preferential space redundancy"),
+    "fig8": (fig8_srt_two_threads,
+             "SMT-Efficiency, two logical threads (SRT)"),
+    "fig9": (fig9_store_lifetime, "Store lifetimes, base vs SRT"),
+    "fig10": (fig10_crt_one_thread,
+              "One logical thread on the CMP machines"),
+    "fig11": (fig11_crt_multithread,
+              "Multithreaded lockstep vs CRT"),
+    "line-pred": (line_predictor_rates, "Line predictor rates"),
+    "faults": (fault_coverage, "Transient fault coverage"),
+    "detect-latency": (detection_latency,
+                       "Fault detection latency per machine kind"),
+    "psr-faults": (psr_permanent_fault_coverage,
+                   "Stuck-unit coverage with/without PSR"),
+    "sq-sweep": (store_queue_sweep, "Store-queue size sweep"),
+    "sq-occupancy": (store_queue_occupancy,
+                     "Store-queue occupancy, base vs SRT"),
+    "slack": (slack_distribution,
+              "Leading-trailing slack distribution"),
+    "ablation-fetch": (ablation_fetch_policy,
+                       "Trailing priority vs ICOUNT"),
+    "ablation-cross": (ablation_cross_latency,
+                       "CRT cross-core latency sweep"),
+    "ablation-checker": (ablation_checker_latency,
+                         "Lockstep checker latency sweep"),
+    "ablation-lvq": (ablation_lvq_size, "LVQ size sweep"),
+    "ablation-slack": (ablation_slack_fetch, "Explicit slack fetch"),
+    "ablation-lpq": (ablation_trailing_fetch_mode,
+                     "LPQ vs shared-predictor trailing fetch"),
+}

@@ -24,6 +24,7 @@ from repro.harness.experiments import (ExperimentResult, fig8_default_pairs,
                                        fig11_default_workloads)
 from repro.harness.runner import Runner
 from repro.isa.profiles import SPEC95_NAMES
+from repro.util.chunking import auto_chunk_size, chunked
 
 #: Parameter names (in priority order) through which a driver accepts
 #: its workload list.
@@ -98,8 +99,12 @@ def run_experiment_parallel(driver_name: str,
     items = default_items(driver) if param else None
     if jobs <= 1 or param is None or items is None or len(items) <= 1:
         return driver(Runner(**runner_kwargs))
-    payloads = [(driver_name, runner_kwargs, param, [item])
-                for item in items]
+    # Shared fan-out policy (repro.util.chunking): one slice per item
+    # for the typical figure-sized lists, larger slices only when the
+    # item count dwarfs the worker pool.
+    size = auto_chunk_size(len(items), jobs)
+    payloads = [(driver_name, runner_kwargs, param, chunk)
+                for chunk in chunked(items, size)]
     from concurrent.futures import ProcessPoolExecutor
     with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
         slices = list(pool.map(_run_slice, payloads))

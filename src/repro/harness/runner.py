@@ -82,6 +82,25 @@ class Runner:
         return machine.run(max_instructions=self.instructions,
                            warmup=self.warmup)
 
+    def run_structured(self, kind: str, spec: WorkloadSpec,
+                       config: Optional[MachineConfig] = None,
+                       **kwargs) -> Dict[str, object]:
+        """Run and return a JSON-able result dict (serve `run` jobs).
+
+        Extends :meth:`RunResult.to_dict` with the per-thread
+        SMT-Efficiency ratios (and their single-thread baselines) that
+        the print-only CLI path used to compute inline.
+        """
+        result = self.run(kind, spec, config, **kwargs)
+        payload = result.to_dict()
+        payload["efficiency"] = self.efficiency(result)
+        payload["baseline_ipc"] = {
+            thread.name: self.baseline_ipc(thread.name)
+            for thread in result.threads
+        }
+        payload["mean_efficiency"] = self.mean_efficiency(result)
+        return payload
+
     def baseline_ipc(self, program_name: str) -> float:
         """Single-thread base-machine IPC (the SMT-Efficiency denominator)."""
         if program_name not in self._baseline:

@@ -1,0 +1,130 @@
+"""Content-addressed result cache (disk-backed, integrity-sealed).
+
+Entries are keyed by :meth:`JobSpec.cache_key` — the content hash of
+the canonical job spec — so the cache *is* the dedupe: two requests
+for the same computation land on the same key whether they arrive
+concurrently (coalesced upstream by the scheduler), sequentially
+(second one served from here), or across daemon restarts (entries are
+plain files).
+
+Layout::
+
+    <root>/ab/ab12cd34....json     one JSON entry per key
+
+Each entry stores the spec it answers, the result payload, and a full
+SHA-256 seal over the payload's canonical encoding.  ``get`` verifies
+the seal and the key binding; an entry that fails either check (torn
+write from a pre-atomic crash, bit rot, manual tampering) is **evicted
+and reported as a miss** — the caller recomputes, never serves a
+corrupt payload.  Writes are write-temp-then-``os.replace`` atomic
+with an fsync, mirroring the campaign store's sidecar discipline.
+"""
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.serve.jobs import JobSpec
+from repro.util.canonical import canonical_json, payload_digest
+
+ENTRY_VERSION = 1
+
+
+class ResultCache:
+    """On-disk content-addressed store for finished job payloads."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read --------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached result for ``key``, or None (miss).
+
+        A corrupt or mismatched entry counts as a miss *and* is evicted
+        so the recomputation can overwrite it cleanly.
+        """
+        path = self.path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            self._evict_corrupt(path)
+            return None
+        if not self._entry_valid(key, entry):
+            self._evict_corrupt(path)
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    @staticmethod
+    def _entry_valid(key: str, entry: object) -> bool:
+        if not isinstance(entry, dict):
+            return False
+        if entry.get("entry_version") != ENTRY_VERSION:
+            return False
+        if entry.get("key") != key or "result" not in entry:
+            return False
+        return entry.get("sha256") == payload_digest(entry["result"])
+
+    def _evict_corrupt(self, path: Path) -> None:
+        self.misses += 1
+        self.evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone, or unlinkable — recompute regardless
+
+    # -- write -------------------------------------------------------------
+    def put(self, spec: JobSpec, result: Dict[str, object]) -> str:
+        """Seal and store ``result`` under ``spec``'s key; returns it."""
+        key = spec.cache_key()
+        entry = {
+            "entry_version": ENTRY_VERSION,
+            "key": key,
+            "spec": spec.to_dict(),
+            "sha256": payload_digest(result),
+            "result": result,
+        }
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(entry))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return key
+
+    def evict(self, key: str) -> bool:
+        """Drop ``key`` if present (admin/endpoint use); True if it was."""
+        path = self.path(key)
+        if not path.exists():
+            return False
+        self.evictions += 1
+        path.unlink()
+        return True
+
+    # -- introspection -----------------------------------------------------
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": self.entry_count(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

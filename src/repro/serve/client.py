@@ -1,0 +1,127 @@
+"""Stdlib HTTP client for a running serve daemon.
+
+Used by the ``repro submit|status|fetch|cancel|metrics`` CLI verbs,
+tests, and examples.  Every method returns the server's parsed JSON;
+non-2xx responses raise :class:`ServeError` carrying the HTTP status
+and the server's error payload (including ``retry_after`` on 429, so a
+polite caller can back off exactly as long as the server asked).
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+#: Cap on one blocking status long-poll (mirrors the server's cap).
+WAIT_SLICE_S = 30
+
+
+class ServeError(Exception):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        message = (payload.get("error")
+                   if isinstance(payload, dict) else None)
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload if isinstance(payload, dict) else {}
+
+    @property
+    def retry_after(self) -> Optional[int]:
+        value = self.payload.get("retry_after")
+        return int(value) if value is not None else None
+
+
+class ServeClient:
+    """Thin blocking wrapper over the daemon's JSON API."""
+
+    def __init__(self, base_url: str = DEFAULT_URL,
+                 timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, object]] = None,
+                timeout: Optional[float] = None) -> Dict[str, object]:
+        data = (json.dumps(body).encode("utf-8")
+                if body is not None else None)
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=timeout or self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                payload = {"error": raw}
+            raise ServeError(error.code, payload) from None
+
+    # -- verbs -------------------------------------------------------------
+    def submit(self, job_type: str,
+               params: Optional[Dict[str, object]] = None,
+               client: str = "cli",
+               priority: int = 0) -> Dict[str, object]:
+        return self.request("POST", "/v1/jobs", body={
+            "type": job_type, "params": params or {},
+            "client": client, "priority": priority,
+        })
+
+    def status(self, job_id: str,
+               wait: float = 0.0) -> Dict[str, object]:
+        path = f"/v1/jobs/{job_id}"
+        if wait > 0:
+            path += f"?wait={wait}"
+        return self.request("GET", path,
+                            timeout=self.timeout + max(0.0, wait))
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, object]:
+        return self.request("GET", "/v1/jobs")
+
+    def metrics(self) -> Dict[str, object]:
+        return self.request("GET", "/metrics")
+
+    def healthz(self) -> Dict[str, object]:
+        return self.request("GET", "/healthz")
+
+    # -- conveniences ------------------------------------------------------
+    def wait_for(self, job_id: str,
+                 timeout: float = 600.0) -> Dict[str, object]:
+        """Long-poll until the job leaves the queued/running states."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still unfinished after {timeout}s")
+            status = self.status(job_id,
+                                 wait=min(WAIT_SLICE_S, remaining))
+            job = status["job"]
+            if job["state"] in ("done", "failed", "cancelled"):
+                return status
+
+    def ping(self, attempts: int = 50,
+             interval: float = 0.1) -> Dict[str, object]:
+        """Poll ``/healthz`` until the daemon answers (startup races)."""
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                return self.healthz()
+            except (ServeError, urllib.error.URLError, OSError) as error:
+                last_error = error
+                time.sleep(interval)
+        raise ConnectionError(
+            f"no serve daemon at {self.base_url}: {last_error}")

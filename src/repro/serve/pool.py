@@ -1,0 +1,168 @@
+"""Executor bridge: serve jobs onto the existing simulation machinery.
+
+No new run paths: a ``campaign`` job drives the PR-1
+:class:`~repro.campaign.engine.CampaignEngine` (which in turn owns the
+process-pool fan-out and the resumable artifact store), an
+``experiment`` job drives the per-figure registry through
+:func:`~repro.harness.parallel.run_experiment_parallel`, a ``run`` job
+drives :class:`~repro.harness.runner.Runner`, and ``avf`` / ``analyze``
+jobs drive the static analyzers.  The bridge's whole job is (a) to map
+a normalized :class:`JobSpec` onto those entry points, (b) to thread
+the scheduler's cooperative ``cancel`` event into the engine's
+``should_stop`` hook so a cancelled or timed-out job stops at the next
+chunk boundary, and (c) to return a JSON-able result payload the cache
+can seal.
+
+Campaign artifacts live under ``<workdir>/artifacts/<cache-key>/`` —
+the same content-addressed key as the result cache — so a job that is
+cancelled mid-flight leaves a valid resumable campaign directory, and
+resubmitting the identical spec *resumes* instead of restarting.
+"""
+
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.serve.jobs import JobSpec
+
+#: Keys of an engine summary that are wall-clock measurements; they are
+#: stripped from cached campaign payloads so identical work produces
+#: identical (cacheable, byte-comparable) results.
+_TIMING_KEYS = ("elapsed_s", "tasks_per_s")
+
+
+class JobCancelled(Exception):
+    """The job observed its cancel event and stopped cooperatively."""
+
+
+class WorkerPool:
+    """Maps job specs onto the blocking simulation entry points.
+
+    One instance per daemon; ``execute`` runs on a scheduler executor
+    thread (never the event loop) and may block for the whole job.
+    """
+
+    def __init__(self, workdir, campaign_jobs: int = 1) -> None:
+        self.workdir = Path(workdir)
+        #: Worker processes per campaign job unless the job says otherwise.
+        self.campaign_jobs = max(1, int(campaign_jobs))
+
+    def artifact_dir(self, spec: JobSpec) -> Path:
+        return self.workdir / "artifacts" / spec.cache_key()
+
+    # -- dispatch ----------------------------------------------------------
+    def execute(self, spec: JobSpec,
+                cancel: Optional[threading.Event] = None
+                ) -> Dict[str, object]:
+        """Run one job to completion; raises JobCancelled if stopped."""
+        cancel = cancel or threading.Event()
+        handler = getattr(self, f"_run_{spec.type}")
+        if cancel.is_set():
+            raise JobCancelled(f"{spec.type} job cancelled before start")
+        # A cancel that lands after the handler's last chunk is too
+        # late to save any work — the complete result is returned (and
+        # cached) rather than discarded; only the campaign handler can
+        # actually stop early, and it raises JobCancelled itself.
+        return handler(spec, cancel)
+
+    # -- handlers ----------------------------------------------------------
+    def _run_campaign(self, spec: JobSpec,
+                      cancel: threading.Event) -> Dict[str, object]:
+        from repro.campaign.engine import CampaignEngine
+        from repro.campaign.report import aggregate
+        from repro.campaign.spec import CampaignSpec
+        from repro.campaign.store import CampaignStore
+
+        params = spec.params
+        fields = {key: value for key, value in params.items()
+                  if key not in ("jobs", "task_timeout", "chunk_size")}
+        campaign_spec = CampaignSpec(**fields)
+        out_dir = self.artifact_dir(spec)
+        engine = CampaignEngine(
+            campaign_spec, out_dir,
+            jobs=int(params["jobs"]) or self.campaign_jobs,
+            task_timeout=int(params["task_timeout"]),
+            chunk_size=params["chunk_size"])
+        summary = engine.run(should_stop=cancel.is_set)
+        if summary.get("cancelled"):
+            raise JobCancelled(
+                f"campaign stopped at {summary['already_complete'] + summary['executed']}"
+                f"/{summary['total_tasks']} injections (artifact resumable "
+                f"at {out_dir})")
+        for key in _TIMING_KEYS:
+            summary.pop(key, None)
+        records = CampaignStore(out_dir).records()
+        outcomes: Dict[str, Dict[str, object]] = {}
+        for (kind, workload), stats in sorted(aggregate(records).items()):
+            point, ci_low, ci_high = stats.coverage()
+            outcomes[f"{kind}/{workload}"] = {
+                "total": stats.total,
+                "by_outcome": dict(sorted(stats.outcomes.items())),
+                "detected": stats.detected,
+                "unmasked": stats.unmasked,
+                "coverage": point,
+                "coverage_ci": [ci_low, ci_high],
+            }
+        return {
+            "summary": summary,
+            "strata": outcomes,
+            "artifact_dir": str(out_dir),
+        }
+
+    def _run_run(self, spec: JobSpec,
+                 cancel: threading.Event) -> Dict[str, object]:
+        from repro.harness.runner import Runner
+
+        params = spec.params
+        runner = Runner(instructions=int(params["instructions"]),
+                        warmup=int(params["warmup"]),
+                        seed=int(params["seed"]))
+        return runner.run_structured(params["kind"],
+                                     list(params["benchmarks"]))
+
+    def _run_experiment(self, spec: JobSpec,
+                        cancel: threading.Event) -> Dict[str, object]:
+        from repro.harness.experiments import EXPERIMENT_REGISTRY
+        from repro.harness.parallel import run_experiment_parallel
+        from repro.harness.runner import Runner
+
+        params = spec.params
+        driver, _ = EXPERIMENT_REGISTRY[params["experiment"]]
+        runner_kwargs = {
+            "instructions": int(params["instructions"]),
+            "warmup": int(params["warmup"]),
+            "seed": int(params["seed"]),
+        }
+        jobs = int(params["jobs"])
+        if jobs > 1:
+            result = run_experiment_parallel(driver.__name__,
+                                             runner_kwargs, jobs=jobs)
+        else:
+            result = driver(Runner(**runner_kwargs))
+        return result.to_dict()
+
+    def _run_avf(self, spec: JobSpec,
+                 cancel: threading.Event) -> Dict[str, object]:
+        from repro.avf.analyzer import analyze_program
+        from repro.avf.report import avf_payload
+        from repro.isa.generator import generate_benchmark
+        from repro.isa.profiles import split_workload
+
+        params = spec.params
+        name, seed = split_workload(params["workload"])
+        program = generate_benchmark(name, seed=seed)
+        summary = analyze_program(program, steps=int(params["steps"]))
+        return avf_payload([summary])
+
+    def _run_analyze(self, spec: JobSpec,
+                     cancel: threading.Event) -> Dict[str, object]:
+        from repro.analysis.checks import verify_program
+        from repro.analysis.report import analysis_to_dict
+        from repro.isa.generator import generate_benchmark
+        from repro.isa.profiles import split_workload
+
+        params = spec.params
+        name, base_seed = split_workload(params["workload"])
+        program = generate_benchmark(name,
+                                     seed=base_seed + int(params["seed"]))
+        return analysis_to_dict(verify_program(program))

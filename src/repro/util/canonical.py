@@ -1,0 +1,49 @@
+"""Canonical JSON encoding and content hashing.
+
+One byte encoding to rule them all: sorted keys, no whitespace, UTF-8.
+The campaign store keys its resumable artifact on the SHA-256 of the
+spec's canonical JSON, the serve layer keys its result cache on the
+canonical JSON of a job spec, and result records are appended in this
+encoding so artifacts are byte-identical across processes and hosts.
+Anything that hashes or compares JSON for identity must round through
+these two functions — a second encoder is a cache-invalidation bug
+waiting to happen.
+"""
+
+import hashlib
+import json
+from typing import Dict, Union
+
+#: Truncated-hex length used for human-facing content hashes (the
+#: campaign hash, serve cache keys).  64 bits of prefix is far beyond
+#: birthday-collision range for any plausible corpus of specs.
+HASH_PREFIX_LEN = 16
+
+
+def canonical_json(data: object) -> str:
+    """The one true byte encoding of a JSON-able value."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(data: Union[str, Dict[str, object], list],
+                 length: int = HASH_PREFIX_LEN) -> str:
+    """Truncated SHA-256 of ``data``'s canonical encoding.
+
+    Strings hash their UTF-8 bytes verbatim (callers that already hold
+    a canonical encoding must not pay for — or risk — a re-encode);
+    everything else is canonicalized first.
+    """
+    if not isinstance(data, str):
+        data = canonical_json(data)
+    digest = hashlib.sha256(data.encode("utf-8"))
+    return digest.hexdigest()[:length]
+
+
+def payload_digest(data: object) -> str:
+    """Full SHA-256 of a payload's canonical encoding.
+
+    Used by the serve result cache as an integrity seal: a cache entry
+    whose stored digest no longer matches its stored payload was torn
+    or tampered and must be evicted, not served.
+    """
+    return content_hash(data, length=64)

@@ -1,0 +1,41 @@
+"""Shared fan-out sizing for every process/thread pool in the tree.
+
+The campaign engine, the per-figure experiment fan-out, and the serve
+executor bridge all face the same trade-off: big chunks amortize IPC
+and per-chunk setup (benchmark generation, Runner construction), small
+chunks keep the pool busy near the tail and bound how much work a
+cancellation has to wait out.  One helper, one policy: keep at least
+``min_chunks_per_worker`` chunks in flight per worker, capped so a
+chunk never grows unbounded.
+"""
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Minimum chunks in flight per worker — keeps the pool from starving
+#: near the tail when chunk runtimes are uneven.
+MIN_CHUNKS_PER_WORKER = 4
+
+#: Hard cap on tasks per chunk — bounds both worker-side memory and the
+#: latency of a cooperative cancellation (which lands on a chunk
+#: boundary).
+MAX_CHUNK_SIZE = 16
+
+
+def auto_chunk_size(total: int, jobs: int,
+                    min_chunks_per_worker: int = MIN_CHUNKS_PER_WORKER,
+                    cap: int = MAX_CHUNK_SIZE) -> int:
+    """Tasks per chunk for ``total`` tasks over ``jobs`` workers."""
+    if total <= 0:
+        return 1
+    per_worker = max(1, jobs) * max(1, min_chunks_per_worker)
+    return max(1, min(cap, total // per_worker or 1))
+
+
+def chunked(items: Sequence[T], size: int) -> List[List[T]]:
+    """Split ``items`` into contiguous slices of at most ``size``."""
+    if size <= 0:
+        raise ValueError(f"chunk size must be positive, got {size}")
+    return [list(items[start:start + size])
+            for start in range(0, len(items), size)]

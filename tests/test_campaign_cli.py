@@ -73,3 +73,21 @@ class TestCampaignCli:
     def test_campaign_requires_subcommand(self, capsys):
         with pytest.raises(SystemExit):
             main(["campaign"])
+
+    def test_status_tolerates_missing_sidecar(self, tmp_path, capsys):
+        out = tmp_path / "c"
+        assert run_campaign(out) == 0
+        capsys.readouterr()
+        (out / "progress.json").unlink()
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        status = capsys.readouterr().out
+        assert "2/2" in status  # truth comes from results.jsonl
+        assert "none yet" in status
+
+    def test_status_tolerates_corrupt_sidecar(self, tmp_path, capsys):
+        out = tmp_path / "c"
+        assert run_campaign(out) == 0
+        capsys.readouterr()
+        (out / "progress.json").write_text('{"torn')
+        assert main(["campaign", "status", "--out", str(out)]) == 0
+        assert "2/2" in capsys.readouterr().out

@@ -96,3 +96,96 @@ class TestWorker:
         record = execute_task(task)
         assert not any("time" in key or "stamp" in key for key in record
                        if key != "timed_out")
+
+
+class TestCancellation:
+    """Cooperative should_stop: clean prefix, resumable, both modes."""
+
+    def stop_after(self, n):
+        calls = {"count": 0}
+
+        def should_stop():
+            calls["count"] += 1
+            return calls["count"] > n
+
+        return should_stop
+
+    def test_serial_stop_leaves_canonical_prefix(self, tmp_path):
+        out = tmp_path / "c"
+        engine = CampaignEngine(SPEC, out, jobs=1, chunk_size=1)
+        summary = engine.run(should_stop=self.stop_after(2))
+        assert summary["cancelled"] is True
+        assert summary["state"] == "cancelled"
+        records = CampaignStore(out).records()
+        assert 0 < len(records) < SPEC.total_tasks()
+        # The stored prefix is exactly canonical order: resumable.
+        assert [r["index"] for r in records] == list(range(len(records)))
+
+    def test_parallel_stop_leaves_canonical_prefix(self, tmp_path):
+        # Enough tasks that the bounded submission window (jobs*4)
+        # cannot swallow the whole campaign before the stop lands.
+        big = CampaignSpec(kinds=("base", "srt"), workloads=("m88ksim",),
+                           models=("transient-result",), injections=12,
+                           instructions=150, warmup=400)
+        out = tmp_path / "c"
+        engine = CampaignEngine(big, out, jobs=2, chunk_size=1)
+        summary = engine.run(should_stop=self.stop_after(2))
+        assert summary["cancelled"] is True
+        records = CampaignStore(out).records()
+        assert 0 < len(records) < big.total_tasks()
+        assert [r["index"] for r in records] == list(range(len(records)))
+
+    def test_cancelled_campaign_resumes_to_completion(self, tmp_path):
+        out = tmp_path / "c"
+        CampaignEngine(SPEC, out, jobs=1, chunk_size=1).run(
+            should_stop=self.stop_after(2))
+        # Second run, no stop: picks up where the cancel left off.
+        summary = CampaignEngine(SPEC, out, jobs=1).run()
+        assert summary["cancelled"] is False
+        assert summary["state"] == "complete"
+        records = CampaignStore(out).records()
+        assert len(records) == SPEC.total_tasks()
+        assert [r["index"] for r in records] \
+            == list(range(SPEC.total_tasks()))
+
+    def test_cancelled_matches_uncancelled_prefix(self, tmp_path):
+        # Determinism: a cancelled-then-resumed campaign is record-for-
+        # record identical to one that never stopped.
+        stopped = tmp_path / "stopped"
+        CampaignEngine(SPEC, stopped, jobs=1, chunk_size=1).run(
+            should_stop=self.stop_after(2))
+        CampaignEngine(SPEC, stopped, jobs=1).run()
+        straight = tmp_path / "straight"
+        CampaignEngine(SPEC, straight, jobs=1).run()
+        assert (CampaignStore(stopped).results_path.read_text()
+                == CampaignStore(straight).results_path.read_text())
+
+    def test_never_stopping_is_not_cancelled(self, tmp_path):
+        out, summary = run_into(tmp_path, "c", jobs=1)
+        assert summary["cancelled"] is False
+        assert summary["state"] == "complete"
+
+    def test_progress_sidecar_live_during_run(self, tmp_path):
+        # The engine writes the sidecar after every chunk, so an
+        # observer (campaign status) sees live progress mid-run.
+        out = tmp_path / "c"
+        seen = []
+        store_holder = {}
+
+        def spy_stop():
+            store = store_holder.get("store")
+            if store is not None:
+                progress = store.load_progress()
+                if progress is not None:
+                    seen.append(progress["done"])
+            return False
+
+        engine = CampaignEngine(SPEC, out, jobs=1, chunk_size=1)
+        store_holder["store"] = CampaignStore(out)
+        engine.run(should_stop=spy_stop)
+        assert seen  # sidecar observable while running
+        assert seen == sorted(seen)
+        final = CampaignStore(out).load_progress()
+        assert final["state"] == "complete"
+        assert final["already_complete"] + final["executed"] \
+            == SPEC.total_tasks()

@@ -102,3 +102,24 @@ class TestProgress:
         assert store.load_progress() is None
         store.write_progress({"executed": 3, "jobs": 2})
         assert store.load_progress() == {"executed": 3, "jobs": 2}
+
+    def test_corrupt_sidecar_reads_as_none(self, tmp_path):
+        # progress.json is advisory: a torn or garbage sidecar must
+        # never break status reporting.
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        store.write_progress({"executed": 3})
+        store.progress_path.write_text('{"executed":')  # torn write
+        assert store.load_progress() is None
+        store.write_progress({"executed": 4})  # recovers cleanly
+        assert store.load_progress() == {"executed": 4}
+
+    def test_progress_write_is_atomic(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.initialize(spec())
+        store.write_progress({"executed": 1})
+        # No temp residue: the write-temp-then-replace leaves one file.
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name.startswith("progress")
+                     and p.name != store.progress_path.name]
+        assert leftovers == []

@@ -69,3 +69,10 @@ class TestExamples:
         assert "unrecoverable" in out
         assert "prefix matches fault-free run" in out
         assert "all three verdicts rendered as designed" in out
+
+    def test_serve_demo(self, capsys):
+        run_example("serve_demo.py", ["m88ksim", "3"])
+        out = capsys.readouterr().out
+        assert "one execution, two answers" in out
+        assert "cache_hit=True" in out
+        assert "drained cleanly" in out

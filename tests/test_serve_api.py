@@ -1,0 +1,235 @@
+"""HTTP API end-to-end: real daemon on a background loop, stdlib
+client, real simulation pool (tiny workloads).  Covers the PR's
+acceptance demo: concurrent identical submissions coalesce onto one
+execution, resubmission after restart is served from the disk cache,
+and /metrics counters stay consistent throughout."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.api import BackgroundServer, ServeServer
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import JobSpec
+from repro.serve.pool import JobCancelled
+from repro.serve.scheduler import Scheduler
+
+RUN_PARAMS = {"kind": "srt", "benchmarks": ["gcc"], "instructions": 250}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with BackgroundServer(workdir=str(tmp_path / "serve"),
+                          max_queue=4, max_running=2) as handle:
+        client = ServeClient(handle.url)
+        client.ping()
+        yield handle, client
+
+
+class TestLifecycle:
+    def test_submit_wait_fetch(self, server):
+        _, client = server
+        job = client.submit("run", RUN_PARAMS)["job"]
+        assert job["state"] in ("queued", "running", "done")
+        final = client.wait_for(job["id"], timeout=120)
+        assert final["job"]["state"] == "done"
+        result = client.result(job["id"])["job"]["result"]
+        assert result["kind"] == "srt"
+        assert result["cycles"] > 0
+        assert "mean_efficiency" in result
+
+    def test_envelope_shape(self, server):
+        _, client = server
+        payload = client.submit("run", RUN_PARAMS)
+        assert payload["tool"] == "serve"
+        assert payload["version"] >= 2
+        assert payload["ok"] is True
+
+    def test_health_and_metrics(self, server):
+        _, client = server
+        health = client.healthz()
+        assert health["state"] == "serving"
+        metrics = client.metrics()
+        assert set(metrics["counters"]) >= {"accepted", "completed",
+                                            "cache_hits", "coalesced"}
+        assert metrics["queue"]["limit"] == 4
+
+    def test_unknown_job_404(self, server):
+        _, client = server
+        with pytest.raises(ServeError) as exc:
+            client.status("j999999")
+        assert exc.value.status == 404
+
+    def test_bad_spec_400(self, server):
+        _, client = server
+        with pytest.raises(ServeError) as exc:
+            client.submit("run", {"kind": "warp-drive"})
+        assert exc.value.status == 400
+
+    def test_result_before_done_409(self, server):
+        handle, client = server
+        # A job that blocks forever until cancelled.
+        job = client.submit("campaign", {
+            "kinds": ["srt"], "workloads": ["gcc"],
+            "models": ["transient-result"], "injections": 500,
+            "instructions": 400})["job"]
+        with pytest.raises(ServeError) as exc:
+            client.result(job["id"])
+        assert exc.value.status == 409
+        client.cancel(job["id"])
+
+
+class TestCacheOverHTTP:
+    def test_resubmit_is_cache_hit_and_byte_identical(self, server):
+        _, client = server
+        first = client.submit("run", RUN_PARAMS)["job"]
+        client.wait_for(first["id"], timeout=120)
+        second = client.submit("run", RUN_PARAMS)["job"]
+        assert second["state"] == "done"
+        assert second["cache_hit"] is True
+        blob1 = json.dumps(client.result(first["id"])["job"]["result"],
+                           sort_keys=True)
+        blob2 = json.dumps(client.result(second["id"])["job"]["result"],
+                           sort_keys=True)
+        assert blob1 == blob2
+        metrics = client.metrics()
+        assert metrics["counters"]["cache_hits"] == 1
+        assert metrics["cache"]["entries"] == 1
+
+    def test_cache_survives_daemon_restart(self, tmp_path):
+        workdir = str(tmp_path / "serve")
+        with BackgroundServer(workdir=workdir) as handle:
+            client = ServeClient(handle.url)
+            client.ping()
+            job = client.submit("run", RUN_PARAMS)["job"]
+            first = client.wait_for(job["id"], timeout=120)
+            assert first["job"]["cache_hit"] is False
+        # Fresh daemon, same workdir: served from disk, no recompute.
+        with BackgroundServer(workdir=workdir) as handle:
+            client = ServeClient(handle.url)
+            client.ping()
+            job = client.submit("run", RUN_PARAMS)["job"]
+            assert job["state"] == "done"
+            assert job["cache_hit"] is True
+
+
+class FakePool:
+    """Deterministic pool for coalescing/admission tests over HTTP."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.executions = 0
+        self.lock = threading.Lock()
+
+    def execute(self, spec, cancel):
+        with self.lock:
+            self.executions += 1
+        while not self.gate.wait(timeout=0.02):
+            if cancel.is_set():
+                raise JobCancelled("stopped")
+        return {"echo": spec.params.get("instructions")}
+
+
+@pytest.fixture()
+def fake_server(tmp_path):
+    pool = FakePool()
+    scheduler = Scheduler(pool, ResultCache(tmp_path / "cache"),
+                          max_queue=2, max_running=1)
+    with BackgroundServer(scheduler=scheduler) as handle:
+        client = ServeClient(handle.url)
+        client.ping()
+        yield handle, client, pool
+
+
+class TestCoalescingOverHTTP:
+    def test_concurrent_identical_submissions_one_execution(
+            self, fake_server):
+        _, client, pool = fake_server
+        first = client.submit("run", RUN_PARAMS, client="a")["job"]
+        second = client.submit("run", RUN_PARAMS, client="b")["job"]
+        assert second["coalesced_with"] == first["id"]
+        pool.gate.set()
+        final1 = client.wait_for(first["id"], timeout=30)["job"]
+        final2 = client.wait_for(second["id"], timeout=30)["job"]
+        assert final1["state"] == final2["state"] == "done"
+        assert pool.executions == 1
+        metrics = client.metrics()
+        assert metrics["counters"]["coalesced"] == 1
+        assert metrics["counters"]["accepted"] == 2
+        assert metrics["counters"]["completed"] == 2
+
+
+class TestAdmissionOverHTTP:
+    def test_429_with_retry_after_header(self, fake_server):
+        handle, client, pool = fake_server
+        specs = [dict(RUN_PARAMS, instructions=300 + i)
+                 for i in range(4)]
+        jobs = [client.submit("run", s)["job"] for s in specs[:3]]
+        # One running (slot=1), two queued (queue=2): full.
+        with pytest.raises(ServeError) as exc:
+            client.submit("run", specs[3])
+        assert exc.value.status == 429
+        assert exc.value.retry_after >= 1
+        # The actual HTTP header, not just the JSON payload.
+        request = urllib.request.Request(
+            handle.url + "/v1/jobs",
+            data=json.dumps({"type": "run",
+                             "params": specs[3]}).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as http_exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert http_exc.value.code == 429
+        assert int(http_exc.value.headers["Retry-After"]) >= 1
+        for job in jobs:
+            client.cancel(job["id"])
+
+    def test_cancel_frees_queue_slot(self, fake_server):
+        _, client, pool = fake_server
+        specs = [dict(RUN_PARAMS, instructions=300 + i)
+                 for i in range(4)]
+        jobs = [client.submit("run", s)["job"] for s in specs[:3]]
+        with pytest.raises(ServeError):
+            client.submit("run", specs[3])
+        cancelled = client.cancel(jobs[-1]["id"])["job"]
+        assert cancelled["state"] == "cancelled"
+        late = client.submit("run", specs[3])["job"]  # admitted now
+        assert late["state"] == "queued"
+        for job in jobs[:2] + [late]:
+            client.cancel(job["id"])
+
+
+class TestDrain:
+    def test_drain_leaves_no_torn_campaign_artifact(self, tmp_path):
+        """SIGTERM mid-campaign: results.jsonl has no torn tail and
+        the artifact resumes instead of restarting."""
+        workdir = tmp_path / "serve"
+        params = {"kinds": ["srt"], "workloads": ["gcc"],
+                  "models": ["transient-result"], "injections": 200,
+                  "instructions": 300}
+        with BackgroundServer(workdir=str(workdir)) as handle:
+            client = ServeClient(handle.url)
+            client.ping()
+            job = client.submit("campaign", params)["job"]
+            client.status(job["id"], wait=0)
+            handle.drain()  # the SIGTERM path, synchronously
+        spec = JobSpec.build("campaign", params)
+        artifact = workdir / "artifacts" / spec.cache_key()
+        results = artifact / "results.jsonl"
+        if results.exists():
+            lines = results.read_text().splitlines()
+            for line in lines:  # every line parses: no torn tail
+                json.loads(line)
+            indices = [json.loads(line)["index"] for line in lines]
+            assert indices == list(range(len(indices)))
+
+    def test_background_server_exits_cleanly(self, tmp_path):
+        with BackgroundServer(workdir=str(tmp_path / "serve")) as handle:
+            ServeClient(handle.url).ping()
+        # __exit__ drained; a second context on the same dir works.
+        with BackgroundServer(workdir=str(tmp_path / "serve")) as handle:
+            assert ServeClient(handle.url).ping()["state"] == "serving"

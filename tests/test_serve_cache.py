@@ -1,0 +1,125 @@
+"""Cache semantics: byte-identity, key sensitivity, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobSpec, JobValidationError
+
+
+def spec(**overrides):
+    params = {"kind": "srt", "benchmarks": ["gcc"], "instructions": 300}
+    params.update(overrides)
+    return JobSpec.build("run", params)
+
+
+RESULT = {"cycles": 1234, "stats": {"ipc": 1.5, "vectors": [1, 2, 3]}}
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        assert spec().cache_key() == spec().cache_key()
+
+    def test_equivalent_specs_share_a_key(self):
+        # Defaults merged and tuples/lists normalized before hashing.
+        explicit = spec(warmup=12000, seed=0)  # the defaults, spelled out
+        assert explicit.cache_key() == spec().cache_key()
+
+    def test_one_field_difference_distinct_key(self):
+        assert spec().cache_key() != spec(instructions=301).cache_key()
+        assert spec().cache_key() != spec(kind="crt").cache_key()
+        assert spec().cache_key() != spec(seed=8).cache_key()
+
+    def test_type_disambiguates(self):
+        avf = JobSpec.build("avf", {"workload": "gcc"})
+        analyze = JobSpec.build("analyze", {"workload": "gcc"})
+        assert avf.cache_key() != analyze.cache_key()
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(JobValidationError):
+            spec(flux_capacitor=True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(JobValidationError):
+            JobSpec.build("mine-bitcoin", {})
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec()
+        assert cache.get(job.cache_key()) is None
+        cache.put(job, RESULT)
+        hit = cache.get(job.cache_key())
+        assert hit == RESULT
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
+                                 "evictions": 0}
+
+    def test_hit_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT)
+        first = json.dumps(cache.get(spec().cache_key()), sort_keys=True)
+        second = json.dumps(cache.get(spec().cache_key()), sort_keys=True)
+        assert first == second == json.dumps(RESULT, sort_keys=True)
+
+    def test_survives_reopen(self, tmp_path):
+        ResultCache(tmp_path).put(spec(), RESULT)
+        assert ResultCache(tmp_path).get(spec().cache_key()) == RESULT
+
+    def test_one_field_difference_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT)
+        assert cache.get(spec(instructions=301).cache_key()) is None
+        assert cache.entry_count() == 1
+
+
+class TestCorruption:
+    def corrupt(self, cache, job, mutate):
+        path = cache.path(job.cache_key())
+        entry = json.loads(path.read_text())
+        mutate(entry, path)
+
+    def test_tampered_result_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec()
+        cache.put(job, RESULT)
+
+        def mutate(entry, path):
+            entry["result"]["cycles"] = 9999  # seal no longer matches
+            path.write_text(json.dumps(entry))
+
+        self.corrupt(cache, job, mutate)
+        assert cache.get(job.cache_key()) is None  # detected, not served
+        assert not cache.path(job.cache_key()).exists()  # evicted
+        assert cache.stats()["evictions"] == 1
+
+    def test_truncated_entry_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec()
+        cache.put(job, RESULT)
+        cache.path(job.cache_key()).write_text('{"entry_version": 1, "k')
+        assert cache.get(job.cache_key()) is None
+        assert not cache.path(job.cache_key()).exists()
+
+    def test_wrong_key_slot_evicted(self, tmp_path):
+        # An entry whose recorded key disagrees with its slot is bogus.
+        cache = ResultCache(tmp_path)
+        job = spec()
+        cache.put(job, RESULT)
+
+        def mutate(entry, path):
+            entry["key"] = "0" * 16
+            path.write_text(json.dumps(entry))
+
+        self.corrupt(cache, job, mutate)
+        assert cache.get(job.cache_key()) is None
+
+    def test_recompute_after_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec()
+        cache.put(job, RESULT)
+        cache.path(job.cache_key()).write_text("garbage")
+        assert cache.get(job.cache_key()) is None
+        cache.put(job, RESULT)  # the scheduler recomputes + re-seals
+        assert cache.get(job.cache_key()) == RESULT
