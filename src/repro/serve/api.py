@@ -51,6 +51,15 @@ _STATUS_TEXT = {
 #: is a mistake or abuse).
 MAX_BODY_BYTES = 1 << 20
 
+#: Upper bounds on request headers — without them a client sending
+#: headers forever would hold daemon memory indefinitely.
+MAX_HEADER_BYTES = 8192
+MAX_HEADER_LINES = 100
+
+#: Wall-clock budget for reading one full request; a client that opens
+#: a connection and stalls is dropped rather than parked forever.
+REQUEST_READ_TIMEOUT = 30.0
+
 #: Upper bound on a single long-poll wait.
 MAX_WAIT_S = 60.0
 
@@ -115,8 +124,10 @@ class ServeServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         try:
-            status, payload = await self._handle_request(reader)
-        except ConnectionError:
+            status, payload = await asyncio.wait_for(
+                self._handle_request(reader), REQUEST_READ_TIMEOUT)
+        except (ConnectionError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError):
             writer.close()
             return
         except Exception as error:  # never take the daemon down
@@ -153,8 +164,16 @@ class ServeServer:
             return 400, {"error": f"malformed request line "
                                   f"{request_line!r}"}
         content_length = 0
+        header_bytes = 0
+        header_lines = 0
         while True:
-            line = (await reader.readline()).decode("latin-1").strip()
+            raw_line = await reader.readline()
+            header_bytes += len(raw_line)
+            header_lines += 1
+            if (header_bytes > MAX_HEADER_BYTES
+                    or header_lines > MAX_HEADER_LINES):
+                return 400, {"error": "request headers too large"}
+            line = raw_line.decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")

@@ -22,6 +22,7 @@ with an fsync, mirroring the campaign store's sidecar discipline.
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -97,13 +98,23 @@ class ResultCache:
         }
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(canonical_json(entry))
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        # Unique temp name per writer: two processes sealing the same
+        # key (shared cache dir) must not race on one .tmp file.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f"{key}.",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(entry))
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return key
 
     def evict(self, key: str) -> bool:

@@ -29,7 +29,9 @@ analyze    workload, seed
 Execution knobs (``jobs``, ``task_timeout``, ``chunk_size``) *are*
 part of the key even though results are provably identical across
 them — a conservative choice that keeps the cache sound by
-construction rather than by argument.
+construction rather than by argument.  A campaign's ``jobs`` defaults
+to ``None``, meaning "use the daemon's ``--campaign-jobs``"; only an
+explicitly submitted value overrides it (and keys differently).
 """
 
 from typing import Dict, List, Optional
@@ -59,7 +61,9 @@ JOB_TYPE_DEFAULTS: Dict[str, Dict[str, object]] = {
         "strike_window": None,
         "config": None,
         "sampling": "uniform",
-        "jobs": 1,
+        # None = "use the daemon's --campaign-jobs"; an explicit value
+        # from the submission wins and becomes part of the cache key.
+        "jobs": None,
         "task_timeout": 0,
         "chunk_size": None,
     },
@@ -105,7 +109,8 @@ def _validate_campaign(params: Dict[str, object]) -> None:
         CampaignSpec(**fields).validate()
     except CampaignConfigError as error:
         raise JobValidationError(f"campaign: {error}") from None
-    _require(int(params["jobs"]) >= 1, "campaign: jobs must be >= 1")
+    _require(params["jobs"] is None or int(params["jobs"]) >= 1,
+             "campaign: jobs must be >= 1")
 
 
 def _validate_run(params: Dict[str, object]) -> None:

@@ -78,9 +78,11 @@ class WorkerPool:
                   if key not in ("jobs", "task_timeout", "chunk_size")}
         campaign_spec = CampaignSpec(**fields)
         out_dir = self.artifact_dir(spec)
+        jobs = (self.campaign_jobs if params["jobs"] is None
+                else int(params["jobs"]))
         engine = CampaignEngine(
             campaign_spec, out_dir,
-            jobs=int(params["jobs"]) or self.campaign_jobs,
+            jobs=jobs,
             task_timeout=int(params["task_timeout"]),
             chunk_size=params["chunk_size"])
         summary = engine.run(should_stop=cancel.is_set)

@@ -169,8 +169,12 @@ class Scheduler:
     async def drain(self) -> None:
         """Stop admissions, cancel everything, wait for clean flushes."""
         self._draining = True
-        for job in list(self._queued):
-            self._cancel_queued(job)
+        # _cancel_queued promotes a coalesced follower back onto the
+        # live queue, so a snapshot iteration would leave promoted jobs
+        # queued (or worse, dispatched with a cancel event nobody sets,
+        # deadlocking executor.shutdown below).  Drain until empty.
+        while self._queued:
+            self._cancel_queued(self._queued[0])
         waiters = []
         for job in list(self._running.values()):
             job.cancel_event.set()
@@ -263,6 +267,12 @@ class Scheduler:
                 self._finish(job, CANCELLED, error="cancelled by client")
             else:
                 job.cancel_event.set()
+                # A fresh identical submission must not coalesce onto
+                # this dying computation (it would be settled CANCELLED
+                # without its client ever cancelling): release the key
+                # so it enqueues new work instead.
+                if self._by_key.get(job.key) is job:
+                    del self._by_key[job.key]
         return job
 
     def _cancel_queued(self, job: Job) -> None:
@@ -296,6 +306,8 @@ class Scheduler:
         while True:
             await self._wake.wait()
             self._wake.clear()
+            if self._draining:
+                continue
             while self._queued and len(self._running) < self.max_running:
                 job = self._pick_next()
                 self._queued.remove(job)
@@ -367,7 +379,11 @@ class Scheduler:
                 timed_out: bool = False) -> None:
         """Finish a primary: free its slot, settle followers, rearm."""
         del self._running[job.job_id]
-        self._by_key.pop(job.key, None)
+        # Cancelling a follower-less running primary already released
+        # its key, and a fresh submission may own it now — only drop
+        # the mapping if it is still ours.
+        if self._by_key.get(job.key) is job:
+            del self._by_key[job.key]
         if job.started_at is not None:
             self._durations.append(time.time() - job.started_at)
         if timed_out:

@@ -5,6 +5,7 @@ execution, resubmission after restart is served from the disk cache,
 and /metrics counters stay consistent throughout."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -201,6 +202,46 @@ class TestAdmissionOverHTTP:
         assert late["state"] == "queued"
         for job in jobs[:2] + [late]:
             client.cancel(job["id"])
+
+
+class TestRequestLimits:
+    def test_oversized_headers_rejected(self, fake_server):
+        """A client streaming headers forever is answered 400 at the
+        cap instead of holding daemon memory without bound."""
+        handle, _, _ = fake_server
+        address = (handle.server.host, handle.server.port)
+        response = b""
+        with socket.create_connection(address, timeout=10) as sock:
+            try:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\n")
+                junk = b"X-Junk: " + b"a" * 500 + b"\r\n"
+                for _ in range(40):  # ~20KB of headers, far past the cap
+                    sock.sendall(junk)
+                sock.sendall(b"\r\n")
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # server already answered and closed
+            while True:
+                try:
+                    chunk = sock.recv(4096)
+                except ConnectionResetError:
+                    break
+                if not chunk:
+                    break
+                response += chunk
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+        assert b"headers too large" in response
+
+    def test_stalled_client_is_dropped(self, tmp_path, monkeypatch):
+        """A connection that never finishes its request is closed at
+        the read timeout and the daemon keeps serving."""
+        import repro.serve.api as api_module
+        monkeypatch.setattr(api_module, "REQUEST_READ_TIMEOUT", 0.3)
+        with BackgroundServer(workdir=str(tmp_path / "serve")) as handle:
+            address = (handle.server.host, handle.server.port)
+            with socket.create_connection(address, timeout=10) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\n")  # then stall
+                assert sock.recv(4096) == b""  # dropped, no response
+            assert ServeClient(handle.url).ping()["ok"] is True
 
 
 class TestDrain:

@@ -74,6 +74,38 @@ class TestRoundTrip:
         assert cache.entry_count() == 1
 
 
+class TestAtomicWrites:
+    def test_put_leaves_no_stray_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(spec(), RESULT)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_concurrent_writers_same_key_do_not_collide(self, tmp_path):
+        """Regression: a fixed ``<key>.tmp`` name made two writers
+        sharing a cache dir race — the loser's ``os.replace`` raised
+        FileNotFoundError and failed its job."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(25):
+                    cache.put(spec(), RESULT)
+            except Exception as error:  # recorded, asserted below
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert cache.get(spec().cache_key()) == RESULT
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
 class TestCorruption:
     def corrupt(self, cache, job, mutate):
         path = cache.path(job.cache_key())

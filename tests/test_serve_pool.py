@@ -1,0 +1,32 @@
+"""WorkerPool: execution-knob resolution onto the campaign engine."""
+
+from repro.serve.jobs import JobSpec
+from repro.serve.pool import WorkerPool
+
+CAMPAIGN = {"kinds": ["srt"], "workloads": ["gcc"],
+            "models": ["transient-result"], "injections": 4,
+            "instructions": 200, "warmup": 500}
+
+
+class TestCampaignJobsDefault:
+    def test_daemon_default_used_when_jobs_omitted(self, tmp_path):
+        """Regression: ``--campaign-jobs`` was dead code — the spec
+        default ``jobs=1`` always won, so a daemon started with
+        ``--campaign-jobs N`` silently ran campaigns single-process."""
+        spec = JobSpec.build("campaign", CAMPAIGN)
+        assert spec.params["jobs"] is None  # "let the daemon decide"
+        pool = WorkerPool(tmp_path, campaign_jobs=2)
+        result = pool.execute(spec)
+        assert result["summary"]["jobs"] == 2
+
+    def test_explicit_jobs_overrides_daemon_default(self, tmp_path):
+        spec = JobSpec.build("campaign", dict(CAMPAIGN, jobs=1))
+        pool = WorkerPool(tmp_path, campaign_jobs=2)
+        result = pool.execute(spec)
+        assert result["summary"]["jobs"] == 1
+
+    def test_explicit_jobs_keys_differently_from_omitted(self):
+        # Execution knobs stay part of the cache key when spelled out.
+        omitted = JobSpec.build("campaign", CAMPAIGN)
+        explicit = JobSpec.build("campaign", dict(CAMPAIGN, jobs=1))
+        assert omitted.cache_key() != explicit.cache_key()

@@ -255,6 +255,30 @@ class TestCancellation:
 
         run(scenario())
 
+    def test_resubmit_after_cancelling_running_primary_is_fresh(
+            self, tmp_path):
+        """Regression: an identical submission arriving while a
+        follower-less cancelled primary was still winding down used to
+        coalesce onto it and get spuriously CANCELLED."""
+        async def scenario():
+            scheduler, pool = make_scheduler(tmp_path)
+            scheduler.start()
+            doomed = scheduler.submit(spec(), client="a")
+            await wait_for(lambda: doomed.state == RUNNING)
+            scheduler.cancel(doomed.job_id)  # cooperative: winds down
+            fresh = scheduler.submit(spec(), client="b")
+            assert fresh.coalesced_with is None  # not glued to the dying job
+            await wait_for(lambda: doomed.state == CANCELLED)
+            await wait_for(lambda: fresh.state == RUNNING)
+            pool.gate(spec().cache_key()).set()
+            await wait_for(lambda: fresh.finished)
+            assert fresh.state == DONE
+            assert pool.executions == 2
+            assert scheduler.counters.consistent()
+            await scheduler.drain()
+
+        run(scenario())
+
     def test_timeout_counts_and_cancels(self, tmp_path):
         async def scenario():
             scheduler, pool = make_scheduler(tmp_path, job_timeout=0.1)
@@ -324,6 +348,28 @@ class TestDrain:
             await scheduler.drain()  # returns only once all settled
             assert runner.state == CANCELLED
             assert queued.state == CANCELLED
+            assert scheduler.counters.consistent()
+
+        run(scenario())
+
+    def test_drain_with_queued_follower_does_not_deadlock(self, tmp_path):
+        """Regression: drain iterated a snapshot of the queue, so a
+        queued primary's promoted follower landed back on the live
+        queue and either deadlocked executor.shutdown or was left
+        QUEUED forever."""
+        async def scenario():
+            scheduler, pool = make_scheduler(tmp_path)
+            scheduler.start()
+            runner = scheduler.submit(spec(0))
+            await wait_for(lambda: runner.state == RUNNING)
+            queued = scheduler.submit(spec(1), client="a")
+            follower = scheduler.submit(spec(1), client="b")
+            chained = scheduler.submit(spec(1), client="c")
+            assert follower.coalesced_with == queued.job_id
+            await asyncio.wait_for(scheduler.drain(), timeout=10)
+            for job in (runner, queued, follower, chained):
+                assert job.state == CANCELLED
+            assert scheduler.queue_stats()["depth"] == 0
             assert scheduler.counters.consistent()
 
         run(scenario())
