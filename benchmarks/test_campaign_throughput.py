@@ -13,11 +13,13 @@ run uses 200) and ``REPRO_CAMPAIGN_JOBS`` (default min(4, cpu_count)).
 
 import os
 import time
+import timeit
 from pathlib import Path
 
 import pytest
 
 from repro.campaign import CampaignEngine, CampaignSpec
+from repro.chaos import chaos_point, controller
 
 
 def env_int(name, default):
@@ -68,3 +70,36 @@ def test_parallel_campaign_speedup(tmp_path, benchmark):
     floor = max(1.15, 0.5 * effective * (0.5 if INJECTIONS < 100 else 1.0))
     assert sequential / parallel >= floor, (
         f"speedup {sequential / parallel:.2f}x below floor {floor:.2f}x")
+
+
+def test_unarmed_chaos_hook_overhead(tmp_path):
+    """Disarmed ``chaos_point`` crossings must stay noise (< 1%).
+
+    The resilience hooks are compiled into every hot path — worker
+    task dispatch, pool submission, store appends, the progress
+    sidecar — and stay there in production.  A campaign task crosses a
+    handful of them (~6); this guard holds their combined disarmed
+    cost under 1% of the cheapest real per-task campaign cost.
+    """
+    assert controller() is None, "a chaos plan leaked into the benchmark"
+
+    crossings = 200_000
+    hook_s = timeit.timeit(
+        lambda: chaos_point("campaign.worker.task", key="t0000",
+                            attempt=0),
+        number=crossings) / crossings
+
+    spec = CampaignSpec(kinds=("srt",), workloads=("compress",),
+                        models=("transient-result",), injections=40,
+                        instructions=150, warmup=20)
+    start = time.perf_counter()
+    CampaignEngine(spec, tmp_path / "ref", jobs=1).run()
+    task_s = (time.perf_counter() - start) / spec.total_tasks()
+
+    crossings_per_task = 6
+    overhead = crossings_per_task * hook_s / task_s
+    print(f"\nunarmed chaos_point: {hook_s * 1e9:.0f} ns/crossing, "
+          f"{overhead * 100:.4f}% of a {task_s * 1e3:.1f} ms task")
+    assert overhead < 0.01, (
+        f"disarmed hook overhead {overhead * 100:.3f}% breaches the "
+        f"1% budget ({hook_s * 1e9:.0f} ns/crossing)")

@@ -71,6 +71,8 @@ def cmd_list() -> int:
     print("\nrobustness:")
     print("  recovery           watchdog forensics + checkpoint-recovery "
           "demos ('recovery --help')")
+    print("  chaos              deterministic infrastructure fault "
+          "injection + resilience soak ('chaos --help')")
     print("\nserving:")
     print("  serve              async simulation-as-a-service daemon "
           "('serve --help')")
@@ -125,6 +127,10 @@ def main(argv=None) -> int:
         # Simulation-as-a-service daemon and its client verbs.
         from repro.serve.cli import main as serve_main
         return serve_main(argv)
+    if argv and argv[0] == "chaos":
+        # Deterministic infrastructure fault injection.
+        from repro.chaos.cli import main as chaos_main
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()

@@ -20,6 +20,10 @@ Rule families (see ``docs/ANALYSIS.md`` for the full catalogue):
 - **S3 campaign pickle-safety** — S301 no lambdas handed to process
   pools; S302 wire dataclasses are module-level with stable,
   deterministic field types.
+- **S4 retry hygiene** — S401 no unbounded retry loops: a
+  constant-true ``while`` whose exception handler swallows the error
+  without tracking an attempt budget spins forever once the fault
+  turns out to be permanent (see ``docs/CHAOS.md``).
 
 Suppression: append ``# simlint: disable=S101`` (comma-separate for
 several rules) to the offending line.  Every suppression is an audited
@@ -93,6 +97,10 @@ LINT_RULES: Dict[str, LintRule] = {rule.id: rule for rule in [
     LintRule("S302", "warning",
              "wire dataclass is nested or has unstable (set-typed) "
              "fields — it cannot cross the process pool safely"),
+    LintRule("S401", "warning",
+             "unbounded retry loop — a while-True except handler that "
+             "swallows the error without an attempt cap retries "
+             "forever when the fault is permanent"),
 ]}
 
 
@@ -153,6 +161,57 @@ def _is_dict_view_expr(node: ast.AST) -> bool:
             and not node.args and not node.keywords
             and isinstance(node.func, ast.Attribute)
             and node.func.attr in ("keys", "values"))
+
+
+def _is_constant_true(node: ast.AST) -> bool:
+    """Is ``node`` a test that can never become false (``while True:``)?"""
+    return isinstance(node, ast.Constant) and bool(node.value) is True
+
+
+def _is_benign_retry_call(node: ast.Call) -> bool:
+    """Sleeping or logging inside a handler doesn't bound the retry."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in ("sleep", "debug", "info", "warning",
+                             "error", "exception", "critical", "log")
+    return isinstance(func, ast.Name) and func.id == "print"
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """Does this handler retry without any visible attempt bookkeeping?
+
+    A handler that re-raises, breaks, or returns escapes the loop; one
+    that assigns anything (``attempt += 1``, ``pool = rebuild()``) is
+    presumed to be tracking a budget the loop head or a later check
+    consumes.  Only handlers whose every statement is pure wait-and-spin
+    (``pass`` / ``continue`` / ``time.sleep`` / logging) are flagged —
+    they turn a permanent fault into an infinite loop.
+    """
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, ast.Constant):  # docstring-style literal
+                continue
+            if isinstance(value, ast.Call) and _is_benign_retry_call(value):
+                continue
+        return False
+    return True
+
+
+def _tries_in_loop(body: Sequence[ast.stmt]) -> Iterable[ast.Try]:
+    """Try statements lexically inside a loop body, skipping nested
+    function/class scopes (their loops are judged on their own)."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Try):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
 
 
 def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
@@ -291,6 +350,20 @@ class _ModuleLinter(ast.NodeVisitor):
                         "formatting a dict view into a string; wrap "
                         "it in sorted() so the message is stable "
                         "under producer reordering")
+        self.generic_visit(node)
+
+    # -- S4 retry hygiene ---------------------------------------------
+    def visit_While(self, node: ast.While) -> None:
+        if _is_constant_true(node.test):
+            for try_node in _tries_in_loop(node.body):
+                for handler in try_node.handlers:
+                    if _handler_swallows(handler):
+                        self.report(
+                            "S401", handler,
+                            "except handler inside `while True` "
+                            "swallows the error and retries without "
+                            "an attempt cap; bound it (`for attempt "
+                            "in range(n)`) or count failures")
         self.generic_visit(node)
 
     # -- S3 pickle safety ---------------------------------------------

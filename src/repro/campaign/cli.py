@@ -48,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = unlimited; timed-out tasks record HUNG)")
         p.add_argument("--chunk", type=int, default=None,
                        help="tasks per worker chunk (default: auto)")
+        p.add_argument("--chaos", metavar="PLAN.json", default=None,
+                       help="arm a chaos fault-injection plan for this "
+                            "run (see `python -m repro chaos plan`)")
 
     run = sub.add_parser("run", help="start (or continue) a campaign")
     add_out(run)
@@ -281,11 +284,30 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _arm_chaos(path: str) -> int:
+    """Arm the chaos plan at ``path`` process-wide; returns exit code."""
+    from repro.chaos import ChaosPlan, ChaosPlanError, arm
+
+    try:
+        plan = ChaosPlan.load(path)
+    except (OSError, ChaosPlanError) as error:
+        print(f"error: bad chaos plan {path}: {error}", file=sys.stderr)
+        return 2
+    arm(plan)
+    print(f"chaos: armed {len(plan.rules)} rule(s) from {path} "
+          f"(seed {plan.seed})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "resume": cmd_resume,
                 "status": cmd_status, "report": cmd_report,
                 "validate-avf": cmd_validate_avf}
+    if getattr(args, "chaos", None):
+        code = _arm_chaos(args.chaos)
+        if code:
+            return code
     try:
         return handlers[args.subcommand](args)
     except CampaignConfigError as error:

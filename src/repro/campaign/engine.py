@@ -25,21 +25,78 @@ Chunking amortizes per-task IPC and lets a worker reuse its generated
 benchmark across the chunk; the shared :mod:`repro.util.chunking`
 policy keeps at least ~4 chunks in flight per worker so the pool stays
 busy near the tail.
+
+Infrastructure-fault resilience: a crashed worker process breaks the
+whole :class:`~concurrent.futures.ProcessPoolExecutor`
+(``BrokenProcessPool``), which used to abort the campaign.  The engine
+now treats a pool break as an infrastructure event: it rebuilds the
+pool, reclaims every in-flight chunk (in canonical order, so the
+artifact stays byte-identical), and re-executes only the rows that
+never landed.  Because the culprit is unknowable from the break alone,
+the suspect head chunk is split to single tasks and re-run **alone**
+(probation) so blame lands precisely; a task whose chunk breaks the
+pool :data:`QUARANTINE_AFTER` consecutive times is quarantined as a
+structured ``infra-failure`` record — visible in ``campaign report`` —
+rather than aborting everything else.
 """
 
+import logging
 import time
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.campaign.sampler import InjectionTask, enumerate_tasks
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.campaign.worker import execute_chunk
+from repro.chaos import chaos_point
 from repro.util.chunking import auto_chunk_size
+
+run_log = logging.getLogger("repro.run")
 
 ProgressFn = Callable[[int, int], None]
 StopFn = Callable[[], bool]
 
-__all__ = ["CampaignEngine", "auto_chunk_size", "run_campaign"]
+#: A task that breaks the pool this many consecutive times is recorded
+#: as an ``infra-failure`` row instead of being retried forever.
+QUARANTINE_AFTER = 3
+
+#: Outcome string of a quarantined task's structured record.
+INFRA_FAILURE_OUTCOME = "infra-failure"
+
+__all__ = ["CampaignEngine", "INFRA_FAILURE_OUTCOME", "QUARANTINE_AFTER",
+           "auto_chunk_size", "infra_failure_record", "run_campaign"]
+
+
+def infra_failure_record(task: Dict[str, object],
+                         pool_kills: int) -> Dict[str, object]:
+    """Structured row for a task quarantined after repeated pool kills.
+
+    Shaped like every other result record (same identity fields, null
+    measurement fields) so stores, reports, and resume treat it
+    uniformly; the ``infra`` payload carries the forensics.
+    """
+    record = {
+        "task_id": task["task_id"],
+        "index": task["index"],
+        "kind": task["kind"],
+        "workload": task["workload"],
+        "model": task["model"],
+        "fault": task["fault"],
+        "timed_out": False,
+        "outcome": INFRA_FAILURE_OUTCOME,
+        "struck_cycle": None,
+        "detected_cycle": None,
+        "latency": None,
+        "termination": INFRA_FAILURE_OUTCOME,
+        "infra": {
+            "pool_kills": pool_kills,
+            "reason": "worker process died executing this task "
+                      f"{pool_kills} consecutive time(s); quarantined",
+        },
+    }
+    if task.get("predicted") is not None:
+        record["predicted"] = task["predicted"]
+    return record
 
 
 def _chunks(tasks: List[InjectionTask], size: int,
@@ -58,12 +115,22 @@ class CampaignEngine:
 
     def __init__(self, spec: CampaignSpec, out_dir, jobs: int = 1,
                  task_timeout: int = 0,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 quarantine_after: int = QUARANTINE_AFTER) -> None:
         self.spec = spec.validate()
         self.store = CampaignStore(out_dir)
         self.jobs = max(1, int(jobs))
         self.task_timeout = max(0, int(task_timeout))
         self.chunk_size = chunk_size
+        self.quarantine_after = max(1, int(quarantine_after))
+        #: Infrastructure-event counters for this run (summary-only —
+        #: stripped from cached serve payloads to keep them
+        #: byte-identical across faulty and clean runs).
+        self.infra_stats: Dict[str, int] = {
+            "pool_rebuilds": 0,
+            "chunk_retries": 0,
+            "quarantined": 0,
+        }
 
     # -- planning ----------------------------------------------------------
     def plan(self, fresh: bool = False) -> List[InjectionTask]:
@@ -107,6 +174,7 @@ class CampaignEngine:
                 done_before + executed, total, started))
         if should_stop is not None and should_stop():
             cancelled = done_before + executed < total
+        flushed = self.store.flush()  # land any disk-error-deferred batches
         elapsed = time.monotonic() - started
         summary = {
             "campaign_hash": self.spec.content_hash(),
@@ -119,9 +187,21 @@ class CampaignEngine:
             "elapsed_s": round(elapsed, 3),
             "tasks_per_s": round(executed / elapsed, 3) if elapsed else None,
         }
+        if any(self.infra_stats.values()):
+            summary["infra"] = dict(self.infra_stats)
         summary["state"] = ("cancelled" if cancelled else
                             "complete" if done_before + executed >= total
                             else "partial")
+        if not flushed:
+            # Executed records never reached disk; the artifact is an
+            # honest resume point, not a complete one.
+            summary["unflushed_batches"] = self.store.pending_batches
+            if summary["state"] == "complete":
+                summary["state"] = "partial"
+            run_log.warning(
+                "campaign finished computing but %d record batch(es) "
+                "could not be persisted; re-run resume once the disk "
+                "recovers", self.store.pending_batches)
         self.store.write_progress(summary)
         return summary
 
@@ -147,47 +227,182 @@ class CampaignEngine:
             for payload in payloads:
                 if stopping():
                     return
+                chaos_point("campaign.engine.submit",
+                            key=payload["tasks"][0]["task_id"],
+                            attempt=int(payload.get("attempt") or 0))
                 yield execute_chunk(payload)
             return
+        yield from self._execute_pooled(payloads, stopping)
+
+    def _execute_pooled(self, payloads: Iterator[Dict[str, object]],
+                        stopping: StopFn
+                        ) -> Iterator[List[Dict[str, object]]]:
+        """Windowed pool dispatch that survives broken pools.
+
+        Invariants:
+
+        - records are yielded in canonical (submission) order — the
+          backlog deque holds reclaimed payloads at its head, so a
+          rebuild never reorders the artifact;
+        - after a pool break the engine runs one chunk at a time
+          (*probation*) until a chunk completes, so the next break
+          definitively blames the chunk that was alone in flight;
+        - a suspect multi-task chunk is split to single-task chunks
+          before probation, so quarantine only ever removes one task;
+        - every resubmission bumps the payload's ``attempt`` counter so
+          first-attempt chaos rules do not re-fire forever.
+        """
         # Lazy import: keep single-process campaigns importable on
         # platforms with broken multiprocessing.
         from collections import deque
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
         # Bounded submission window: enough chunks in flight to keep
-        # every worker busy, few enough that a cancellation only has to
-        # drain a small, already-running suffix.
+        # every worker busy, few enough that a cancellation or a pool
+        # rebuild only has to reclaim a small suffix.
         window = self.jobs * 4
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            pending = deque()
-            exhausted = False
+        backlog: Deque[Dict[str, object]] = deque()
+        pending: Deque[Tuple[Dict[str, object], object]] = deque()
+        kills: Dict[str, int] = {}  # task_id -> consecutive pool breaks
+        exhausted = False
+        probation = False
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
             while True:
-                while not exhausted and len(pending) < window:
-                    try:
-                        payload = next(payloads)
-                    except StopIteration:
-                        exhausted = True
+                limit = 1 if probation else window
+                broken_on_submit = False
+                while len(pending) < limit:
+                    if backlog:
+                        payload = backlog.popleft()
+                    elif not exhausted:
+                        try:
+                            payload = next(payloads)
+                        except StopIteration:
+                            exhausted = True
+                            break
+                    else:
                         break
-                    pending.append(pool.submit(execute_chunk, payload))
+                    chaos_point("campaign.engine.submit",
+                                key=payload["tasks"][0]["task_id"],
+                                attempt=int(payload.get("attempt") or 0))
+                    try:
+                        pending.append(
+                            (payload, pool.submit(execute_chunk, payload)))
+                    except BrokenExecutor:
+                        # The break raced ahead of the result we were
+                        # about to read; reclaim this payload with the
+                        # rest.
+                        backlog.appendleft(payload)
+                        broken_on_submit = True
+                        break
+                if broken_on_submit:
+                    pool = self._recover_pool(pool, None, pending, backlog)
+                    record = self._charge_backlog_head(backlog, kills)
+                    if record is not None:
+                        yield [record]
+                    probation = True
+                    continue
                 if not pending:
                     return
                 # Futures resolve in submission order (canonical task
                 # order) even though chunks complete out of order —
                 # exactly the in-order flush the byte-identical
                 # artifact needs.
-                yield pending.popleft().result()
+                head_payload, future = pending.popleft()
+                try:
+                    records = future.result()
+                except BrokenExecutor:
+                    pool = self._recover_pool(pool, head_payload, pending,
+                                              backlog)
+                    record = self._charge_backlog_head(backlog, kills)
+                    if record is not None:
+                        yield [record]
+                    probation = True
+                    continue
+                probation = False
+                for task in head_payload["tasks"]:
+                    kills.pop(task["task_id"], None)
+                yield records
                 if stopping():
                     # Drain the contiguous already-running prefix (the
                     # pool starts futures in submission order, so the
                     # cancellable ones form a suffix) and drop the rest.
                     while pending:
-                        future = pending.popleft()
+                        _, future = pending.popleft()
                         if future.cancel():
-                            for rest in pending:
+                            for _, rest in pending:
                                 rest.cancel()
                             pending.clear()
                             break
-                        yield future.result()
+                        try:
+                            yield future.result()
+                        except BrokenExecutor:
+                            # Cancelling anyway; the artifact stays a
+                            # valid canonical prefix for resume.
+                            break
                     return
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _recover_pool(self, pool, head_payload: Optional[Dict[str, object]],
+                      pending: Deque[Tuple[Dict[str, object], object]],
+                      backlog: Deque[Dict[str, object]]):
+        """Rebuild a broken pool and reclaim every in-flight payload.
+
+        Reclaimed payloads go to the *front* of the backlog in their
+        original submission order with ``attempt`` bumped, so canonical
+        record order survives the rebuild and first-attempt chaos rules
+        stay quiet on the retry.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        reclaimed = (([head_payload] if head_payload is not None else [])
+                     + [payload for payload, _ in pending])
+        pending.clear()
+        for payload in reversed(reclaimed):
+            backlog.appendleft(
+                dict(payload, attempt=int(payload.get("attempt") or 0) + 1))
+        self.infra_stats["pool_rebuilds"] += 1
+        self.infra_stats["chunk_retries"] += len(reclaimed)
+        run_log.warning(
+            "campaign pool broken (worker died); rebuilt pool and "
+            "reclaimed %d in-flight chunk(s) for re-execution",
+            len(reclaimed))
+        pool.shutdown(wait=False, cancel_futures=True)
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def _charge_backlog_head(self, backlog: Deque[Dict[str, object]],
+                             kills: Dict[str, int]
+                             ) -> Optional[Dict[str, object]]:
+        """Blame bookkeeping after a pool break.
+
+        The head of the backlog is the prime suspect (it was in flight
+        first).  A multi-task head is split into single-task payloads —
+        blame is ambiguous, nobody is charged, and the subsequent
+        probation run isolates the culprit.  A single-task head is
+        charged one kill; at :attr:`quarantine_after` consecutive kills
+        it is removed from the backlog and its structured
+        ``infra-failure`` record is returned for in-order emission.
+        """
+        if not backlog:
+            return None
+        head = backlog[0]
+        tasks = head["tasks"]
+        if len(tasks) > 1:
+            backlog.popleft()
+            for task in reversed(tasks):
+                backlog.appendleft(dict(head, tasks=[task]))
+            return None
+        task = tasks[0]
+        task_id = task["task_id"]
+        kills[task_id] = kills.get(task_id, 0) + 1
+        if kills[task_id] < self.quarantine_after:
+            return None
+        backlog.popleft()
+        self.infra_stats["quarantined"] += 1
+        run_log.warning(
+            "task %s killed the worker pool %d consecutive times; "
+            "quarantining it as an infra-failure record",
+            task_id, kills[task_id])
+        return infra_failure_record(task, kills.pop(task_id))
 
 
 def run_campaign(spec: CampaignSpec, out_dir, jobs: int = 1,

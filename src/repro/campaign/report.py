@@ -108,7 +108,14 @@ def aggregate(records: Iterable[Dict[str, object]]
 def coverage_table(strata: Dict[Tuple[str, str], StratumStats]
                    ) -> ExperimentResult:
     """Outcome breakdown + Wilson-interval coverage, one row per stratum."""
-    series = ([outcome.value for outcome in FaultOutcome]
+    # Non-simulation outcomes (e.g. "infra-failure" rows quarantined by
+    # the engine after repeated worker-pool kills) get their own column
+    # when present: they count toward n but never toward coverage — the
+    # fault was never injected, so they carry no detection evidence.
+    extra = sorted({value for stats in strata.values()
+                    for value in stats.outcomes}
+                   - {outcome.value for outcome in FaultOutcome})
+    series = ([outcome.value for outcome in FaultOutcome] + extra
               + ["n", "coverage", "ci_low", "ci_high"])
     result = ExperimentResult(
         "campaign", "Fault outcomes and detection coverage "
@@ -118,6 +125,8 @@ def coverage_table(strata: Dict[Tuple[str, str], StratumStats]
         row: Dict[str, float] = {
             outcome.value: stats.outcomes.get(outcome.value, 0)
             for outcome in FaultOutcome}
+        row.update({value: stats.outcomes.get(value, 0)
+                    for value in extra})
         row.update({"n": stats.total, "coverage": point,
                     "ci_low": low, "ci_high": high})
         result.add_row(f"{kind}/{workload}", row)

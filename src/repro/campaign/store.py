@@ -17,19 +17,40 @@ Crash safety: records are appended line-at-a-time with flush+fsync, so
 killing a campaign mid-run loses at most the chunk in flight.  A
 partial trailing line (kill mid-write) is detected on open and
 truncated away before resuming.
+
+Disk-fault resilience: an append that hits ``ENOSPC``/``EIO`` (or a
+chaos-injected torn write) is rolled back to the pre-append offset and
+retried a bounded number of times; if the disk stays broken the batch
+is *deferred* in memory — the campaign keeps computing, a warning is
+logged, and every later append (and the engine's end-of-run flush)
+retries the backlog first so canonical record order is preserved.
+The advisory progress sidecar simply degrades to a warning on write
+errors; it must never fail a run.
 """
 
+import errno
 import json
+import logging
 import os
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set
 
 from repro.campaign.spec import CampaignConfigError, CampaignSpec
+from repro.chaos import chaos_point
 from repro.util.canonical import canonical_json
+
+run_log = logging.getLogger("repro.run")
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
 PROGRESS_NAME = "progress.json"
+
+#: Bounded retry budget for one results append (simlint S401: every
+#: retry loop must have a cap).
+APPEND_ATTEMPTS = 3
+#: Linear backoff step between append retries (seconds).
+APPEND_RETRY_DELAY_S = 0.01
 
 
 def canonical_record(record: Dict[str, object]) -> str:
@@ -45,6 +66,11 @@ class CampaignStore:
         self.manifest_path = self.dir / MANIFEST_NAME
         self.results_path = self.dir / RESULTS_NAME
         self.progress_path = self.dir / PROGRESS_NAME
+        #: Serialized batches awaiting a flush after disk errors.
+        self._pending: List[str] = []
+        #: Observability counters (write_errors includes retried ones).
+        self.write_errors = 0
+        self.progress_errors = 0
 
     # -- manifest ----------------------------------------------------------
     def exists(self) -> bool:
@@ -137,15 +163,78 @@ class CampaignStore:
         leave a torn row mid-batch (a kill harder than SIGINT can still
         tear the final buffered write, which ``_repair_partial_tail``
         drops on the next load).
+
+        A write that fails with a disk error (``ENOSPC``/``EIO``, torn
+        write) is rolled back to the pre-append offset and retried up
+        to :data:`APPEND_ATTEMPTS` times; a persistently broken disk
+        defers the batch in memory (see :meth:`flush`) instead of
+        failing the campaign.
         """
         if not records:
             return
-        payload = "".join(canonical_record(record) + "\n"
-                          for record in records)
-        with open(self.results_path, "a", encoding="utf-8") as handle:
-            handle.write(payload)
+        self._pending.append("".join(canonical_record(record) + "\n"
+                                     for record in records))
+        self.flush()
+
+    def flush(self) -> bool:
+        """Try to land every deferred batch; True when nothing remains.
+
+        Deferred batches are concatenated in arrival order so a
+        recovered disk still yields the canonical record order.
+        """
+        if not self._pending:
+            return True
+        blob = "".join(self._pending)
+        base = (self.results_path.stat().st_size
+                if self.results_path.exists() else 0)
+        last_error: Optional[OSError] = None
+        for attempt in range(APPEND_ATTEMPTS):
+            try:
+                self._write_blob(blob, attempt)
+                self._pending.clear()
+                return True
+            except OSError as error:
+                last_error = error
+                self.write_errors += 1
+                self._truncate_to(base)
+                if attempt + 1 < APPEND_ATTEMPTS:
+                    time.sleep(APPEND_RETRY_DELAY_S * (attempt + 1))
+        run_log.warning(
+            "campaign store: deferring %d record batch(es) after write "
+            "error (%s); will retry on the next append",
+            len(self._pending), last_error)
+        return False
+
+    @property
+    def pending_batches(self) -> int:
+        return len(self._pending)
+
+    def _write_blob(self, blob: str, attempt: int) -> None:
+        fault = chaos_point("campaign.store.append", attempt=attempt)
+        data = blob.encode("utf-8")
+        with open(self.results_path, "ab") as handle:
+            if fault is not None and fault.fault == "torn-write":
+                handle.write(data[:fault.tear(len(data))])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise OSError(errno.EIO,
+                              f"chaos[{fault.seq}]: torn write in "
+                              f"results append")
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+
+    def _truncate_to(self, size: int) -> None:
+        """Roll a failed append back to its pre-write offset."""
+        try:
+            if not self.results_path.exists():
+                return
+            with open(self.results_path, "r+b") as handle:
+                handle.truncate(size)
+        except OSError:
+            # The next load's _repair_partial_tail drops any torn line;
+            # worst case a complete duplicate-free prefix survives.
+            pass
 
     # -- progress sidecar --------------------------------------------------
     def write_progress(self, progress: Dict[str, object]) -> None:
@@ -156,8 +245,20 @@ class CampaignStore:
         ``/metrics`` endpoint) may be reading it — write-temp-then-
         ``os.replace`` guarantees a reader sees either the old or the
         new sidecar, never a half-written hybrid.
+
+        The sidecar is advisory, so a disk error here degrades to a
+        warning: the campaign itself must never fail because progress
+        reporting could not be persisted.
         """
-        self._write_json(self.progress_path, progress)
+        try:
+            chaos_point("campaign.store.progress")
+            self._write_json(self.progress_path, progress)
+        except OSError as error:
+            self.progress_errors += 1
+            if self.progress_errors == 1:  # warn once, not per chunk
+                run_log.warning(
+                    "campaign store: progress sidecar write failed "
+                    "(%s); status will lag results.jsonl", error)
 
     def load_progress(self) -> Optional[Dict[str, object]]:
         """The progress sidecar, or None when absent *or unreadable*.
@@ -180,9 +281,16 @@ class CampaignStore:
     @staticmethod
     def _write_json(path: Path, data: Dict[str, object]) -> None:
         tmp = path.with_suffix(path.suffix + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(data, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

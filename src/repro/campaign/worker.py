@@ -20,6 +20,7 @@ import signal
 import threading
 from typing import Dict, List, Optional
 
+from repro.chaos import chaos_point
 from repro.core.config import MachineConfig
 from repro.core.faults import (ARCH_FAULT_MODELS, fault_from_dict,
                                run_arch_fault_experiment,
@@ -128,12 +129,16 @@ def execute_chunk(payload: Dict[str, object]) -> List[Dict[str, object]]:
     """Pool entry point: run a chunk of tasks, one record each.
 
     ``payload`` = ``{"tasks": [task dicts], "config": dict|None,
-    "timeout": seconds}``.  The per-process program cache means a chunk
-    that stays within one workload pays benchmark generation once.
+    "timeout": seconds}`` plus an ``"attempt"`` count the engine bumps
+    each time it resubmits the chunk after a pool break — chaos rules
+    key on it so an injected crash does not re-fire on the retry.  The
+    per-process program cache means a chunk that stays within one
+    workload pays benchmark generation once.
     """
     tasks: List[Dict[str, object]] = payload["tasks"]
     config = payload.get("config")
     timeout = int(payload.get("timeout") or 0)
+    attempt = int(payload.get("attempt") or 0)
     # SIGALRM can only be armed from the main thread; in-process
     # execution on a serve executor thread silently loses the per-task
     # timeout (the scheduler's job-level timeout still applies there).
@@ -142,6 +147,11 @@ def execute_chunk(payload: Dict[str, object]) -> List[Dict[str, object]]:
     cache: Dict[tuple, Program] = {}
     records: List[Dict[str, object]] = []
     for task in tasks:
+        # Infrastructure fault injection: a `crash` rule hard-kills
+        # this worker (the engine rebuilds the pool and re-executes the
+        # chunk), a `stall` rule simulates a slow/overloaded host.
+        chaos_point("campaign.worker.task", key=task["task_id"],
+                    attempt=attempt)
         if not use_alarm:
             records.append(execute_task(task, config, cache))
             continue

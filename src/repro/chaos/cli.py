@@ -1,0 +1,296 @@
+"""``python -m repro chaos`` — plan / run / soak verbs.
+
+Examples::
+
+    # Write (or inspect) a seeded fault plan
+    python -m repro chaos plan --preset soak --seed 7 --out plan.json
+    python -m repro chaos plan --validate plan.json
+
+    # Run a small campaign with the plan armed, report what fired
+    python -m repro chaos run --plan plan.json --out runs/chaos --jobs 4
+
+    # The acceptance soak: fault-free vs chaos-ridden runs must produce
+    # byte-identical campaign artifacts and identical serve payloads
+    python -m repro chaos soak --seed 7 --jobs 4
+
+``soak`` is the headline robustness claim, executable: it runs the
+same campaign twice — once clean, once under the full chaos schedule
+(worker crashes, torn and failed disk writes, connection resets) — and
+exits nonzero unless ``results.jsonl`` is byte-identical, a serve
+round-trip returns the identical payload, and no temp files leaked.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.chaos.controller import arm, armed, controller, disarm
+from repro.chaos.plan import (PRESETS, ChaosPlan, ChaosPlanError,
+                              soak_plan)
+
+
+def _load_or_preset(args: argparse.Namespace) -> ChaosPlan:
+    if getattr(args, "plan", None):
+        return ChaosPlan.load(args.plan)
+    return PRESETS[args.preset](args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Deterministic infrastructure fault injection "
+                    "(and proof the resilience layer survives it)")
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    plan = sub.add_parser("plan", help="write, print, or validate a "
+                                       "chaos plan")
+    plan.add_argument("--preset", choices=sorted(PRESETS),
+                      default="soak", help="rule-set preset")
+    plan.add_argument("--seed", type=int, default=0,
+                      help="plan seed (same seed = same fault schedule)")
+    plan.add_argument("--out", default=None,
+                      help="write the plan JSON here (default: stdout)")
+    plan.add_argument("--validate", metavar="FILE", default=None,
+                      help="validate an existing plan file instead")
+
+    run = sub.add_parser("run", help="run a campaign with a plan armed")
+    run.add_argument("--plan", default=None,
+                     help="plan JSON file (default: --preset)")
+    run.add_argument("--preset", choices=sorted(PRESETS), default="soak")
+    run.add_argument("--seed", type=int, default=0,
+                     help="plan seed (when using --preset)")
+    run.add_argument("--out", required=True,
+                     help="campaign artifact directory")
+    run.add_argument("--jobs", type=int, default=2)
+    run.add_argument("--injections", type=int, default=25)
+    run.add_argument("--workloads", default="compress",
+                     help="comma-separated benchmarks")
+    run.add_argument("--instructions", type=int, default=150)
+    run.add_argument("--warmup", type=int, default=20)
+    run.add_argument("--campaign-seed", type=int, default=0)
+    run.add_argument("--fresh", action="store_true")
+
+    soak = sub.add_parser(
+        "soak", help="clean vs chaos runs; fail unless byte-identical")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="chaos plan seed")
+    soak.add_argument("--jobs", type=int, default=2,
+                      help="campaign worker processes")
+    soak.add_argument("--injections", type=int, default=18,
+                      help="campaign injections")
+    soak.add_argument("--crash-p", type=float, default=0.15,
+                      help="per-task worker crash probability")
+    soak.add_argument("--no-serve", action="store_true",
+                      help="skip the serve-daemon leg")
+    soak.add_argument("--keep", metavar="DIR", default=None,
+                      help="keep artifacts here (default: temp dir)")
+    return parser
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    if args.validate:
+        try:
+            plan = ChaosPlan.load(args.validate)
+        except (OSError, ChaosPlanError) as error:
+            print(f"invalid plan {args.validate}: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"valid plan: {len(plan.rules)} rule(s), seed {plan.seed}")
+        for index, rule in enumerate(plan.rules):
+            print(f"  [{index}] {rule.site}: {rule.fault} p={rule.p}")
+        return 0
+    plan = PRESETS[args.preset](args.seed)
+    if args.out:
+        plan.save(args.out)
+        print(f"wrote {args.preset} plan ({len(plan.rules)} rules, "
+              f"seed {args.seed}) to {args.out}")
+    else:
+        print(plan.to_json())
+    return 0
+
+
+def _run_campaign_args(args: argparse.Namespace, out_dir,
+                       fresh: bool = False) -> Dict[str, object]:
+    from repro.campaign.engine import run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",")
+                      if w.strip())
+    spec = CampaignSpec(
+        kinds=("srt",), workloads=workloads,
+        models=("transient-result",), injections=args.injections,
+        seed=args.campaign_seed, instructions=args.instructions,
+        warmup=args.warmup)
+    return run_campaign(spec, out_dir, jobs=args.jobs, fresh=fresh)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        plan = _load_or_preset(args)
+    except (OSError, ChaosPlanError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    arm(plan)
+    print(f"chaos: armed {len(plan.rules)} rule(s), seed {plan.seed}")
+    try:
+        summary = _run_campaign_args(args, args.out, fresh=args.fresh)
+    finally:
+        fired = controller().summary() if controller() else {}
+        disarm()
+    print(f"campaign: {summary['state']} "
+          f"({summary['executed']} executed of "
+          f"{summary['total_tasks']})")
+    infra = summary.get("infra", {})
+    print(f"infra:    pool_rebuilds={infra.get('pool_rebuilds', 0)} "
+          f"chunk_retries={infra.get('chunk_retries', 0)} "
+          f"quarantined={infra.get('quarantined', 0)}")
+    print(f"fired (engine process): "
+          f"{json.dumps(fired.get('by_fault', {}), sort_keys=True)} "
+          f"(worker-process crashes surface as pool_rebuilds)")
+    return 0 if summary["state"] in ("complete", "partial") else 1
+
+
+# -- soak ------------------------------------------------------------------
+
+def _check(name: str, ok: bool, detail: str = "") -> bool:
+    status = "PASS" if ok else "FAIL"
+    print(f"  [{status}] {name}" + (f" — {detail}" if detail else ""))
+    return ok
+
+
+def _soak_campaign(base: Path, plan: ChaosPlan,
+                   args: argparse.Namespace) -> List[bool]:
+    from repro.campaign.engine import run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    spec = CampaignSpec(
+        kinds=("srt",), workloads=("compress",),
+        models=("transient-result",), injections=args.injections,
+        seed=0, instructions=120, warmup=10)
+    clean_dir, chaos_dir = base / "clean", base / "chaos"
+    print("campaign leg:")
+    clean = run_campaign(spec, clean_dir, jobs=args.jobs)
+    with armed(plan):
+        chaotic = run_campaign(spec, chaos_dir, jobs=args.jobs)
+    clean_bytes = (clean_dir / "results.jsonl").read_bytes()
+    chaos_bytes = (chaos_dir / "results.jsonl").read_bytes()
+    infra = chaotic.get("infra", {})
+    checks = [
+        _check("chaos campaign completed",
+               chaotic["state"] == "complete",
+               f"state={chaotic['state']}"),
+        _check("faults actually fired",
+               bool(infra.get("pool_rebuilds")),
+               f"pool_rebuilds={infra.get('pool_rebuilds', 0)}, "
+               f"chunk_retries={infra.get('chunk_retries', 0)}"),
+        _check("results.jsonl byte-identical to fault-free run",
+               clean_bytes == chaos_bytes,
+               f"{len(chaos_bytes)} bytes"),
+        _check("no quarantined tasks (all faults ridden out)",
+               not infra.get("quarantined"),
+               f"quarantined={infra.get('quarantined', 0)}"),
+    ]
+    return checks
+
+
+def _serve_payload(workdir: Path, args: argparse.Namespace,
+                   plan: Optional[ChaosPlan]) -> Dict[str, object]:
+    from repro.serve.api import BackgroundServer
+    from repro.serve.client import ServeClient, reset_breakers
+
+    params = {"kinds": ["srt"], "workloads": ["compress"],
+              "models": ["transient-result"], "injections": 8,
+              "instructions": 100, "warmup": 10, "jobs": args.jobs}
+    reset_breakers()
+    if plan is not None:
+        arm(plan)
+    try:
+        with BackgroundServer(workdir=str(workdir), max_queue=8,
+                              max_running=1) as handle:
+            client = ServeClient(handle.url)
+            client.ping()
+            job = client.submit("campaign", params)["job"]
+            final = client.wait_for(job["id"], timeout=300)
+            result = client.result(final["job"]["id"])
+            metrics = client.metrics()
+    finally:
+        if plan is not None:
+            disarm()
+        reset_breakers()
+    return {"result": result["job"]["result"],
+            "state": final["job"]["state"],
+            "metrics": metrics}
+
+
+def _soak_serve(base: Path, plan: ChaosPlan,
+                args: argparse.Namespace) -> List[bool]:
+    print("serve leg:")
+    chaotic = _serve_payload(base / "serve-chaos", args, plan)
+    clean = _serve_payload(base / "serve-clean", args, None)
+
+    def comparable(payload):
+        # artifact_dir embeds the (different) workdir path; everything
+        # else in the result must match exactly.
+        result = dict(payload["result"])
+        result.pop("artifact_dir", None)
+        return json.dumps(result, sort_keys=True)
+
+    infra_requeues = chaotic["metrics"]["queue"].get("infra_requeues", 0)
+    cache_write_errors = chaotic["metrics"]["cache"].get(
+        "write_errors", 0)
+    return [
+        _check("chaos job finished done",
+               chaotic["state"] == "done",
+               f"state={chaotic['state']}"),
+        _check("serve faults actually fired",
+               bool(infra_requeues or cache_write_errors),
+               f"infra_requeues={infra_requeues}, "
+               f"cache_write_errors={cache_write_errors}"),
+        _check("result payload identical to fault-free daemon",
+               comparable(chaotic) == comparable(clean)),
+    ]
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    plan = soak_plan(seed=args.seed, crash_p=args.crash_p,
+                     include_serve=not args.no_serve)
+    base = Path(args.keep) if args.keep else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-soak-"))
+    base.mkdir(parents=True, exist_ok=True)
+    print(f"chaos soak: seed {args.seed}, {len(plan.rules)} rule(s), "
+          f"artifacts in {base}")
+    try:
+        checks = _soak_campaign(base, plan, args)
+        if not args.no_serve:
+            checks += _soak_serve(base, plan, args)
+        leaked = sorted(str(p.relative_to(base))
+                        for p in base.rglob("*.tmp"))
+        checks.append(_check("no leaked temp files", not leaked,
+                             ", ".join(leaked) or "clean"))
+    finally:
+        disarm()
+        if not args.keep:
+            shutil.rmtree(base, ignore_errors=True)
+    ok = all(checks)
+    print(f"chaos soak: {'PASS' if ok else 'FAIL'} "
+          f"({sum(checks)}/{len(checks)} checks)")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"plan": cmd_plan, "run": cmd_run, "soak": cmd_soak}
+    try:
+        return handlers[args.subcommand](args)
+    except KeyboardInterrupt:
+        disarm()
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""Chaos plans: seeded, declarative fault schedules.
+
+A :class:`ChaosPlan` is a root seed plus an ordered list of
+:class:`ChaosRule` entries.  Whether a given hook crossing fires is a
+*pure function* of ``(plan seed, rule index, site, key, attempt)`` —
+the same spawn-seeded hash derivation as :mod:`repro.util.rng` — so
+the same plan replays the identical fault schedule in any process, on
+any host, regardless of thread or pool timing.
+
+Rule fields (JSON spellings)::
+
+    site         glob over site names, e.g. "campaign.worker.*"
+    fault        crash | stall | disk-full | io-error | conn-reset
+                 | torn-write
+    p            per-crossing fire probability (default 1.0)
+    key_pattern  regex the crossing's key must match (optional)
+    max_attempt  only fire while the crossing's attempt <= this
+                 (default 0: first attempts only, so retries succeed)
+    limit        max fires for this rule per process (None = unlimited)
+    delay_s      stall duration in seconds (stall faults, default 0.05)
+
+Fault semantics are executed by the controller: ``crash`` hard-exits
+the process (a worker kill), ``stall`` sleeps, ``disk-full`` and
+``io-error`` raise ``OSError`` (ENOSPC / EIO), ``conn-reset`` raises
+``ConnectionResetError``, and ``torn-write`` is returned to the site
+so it can write a deterministic partial buffer before erroring.
+"""
+
+import errno
+import fnmatch
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import DeterministicRng, spawn_seed
+
+#: Fault kinds and the errno (if any) their injected OSError carries.
+FAULT_KINDS: Dict[str, Optional[int]] = {
+    "crash": None,
+    "stall": None,
+    "disk-full": errno.ENOSPC,
+    "io-error": errno.EIO,
+    "conn-reset": errno.ECONNRESET,
+    "torn-write": None,
+}
+
+PLAN_FORMAT_VERSION = 1
+
+
+class ChaosPlanError(ValueError):
+    """A plan file or rule dict is malformed."""
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One (site pattern, trigger, fault) injection rule."""
+
+    site: str
+    fault: str
+    p: float = 1.0
+    key_pattern: Optional[str] = None
+    max_attempt: int = 0
+    limit: Optional[int] = None
+    delay_s: float = 0.05
+
+    def validate(self) -> "ChaosRule":
+        if not self.site:
+            raise ChaosPlanError("rule: site pattern must be non-empty")
+        if self.fault not in FAULT_KINDS:
+            raise ChaosPlanError(
+                f"rule: unknown fault {self.fault!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}")
+        if not 0.0 <= float(self.p) <= 1.0:
+            raise ChaosPlanError(f"rule: p must be in [0, 1], got {self.p}")
+        if self.key_pattern is not None:
+            try:
+                re.compile(self.key_pattern)
+            except re.error as error:
+                raise ChaosPlanError(
+                    f"rule: bad key_pattern {self.key_pattern!r}: "
+                    f"{error}") from None
+        if int(self.max_attempt) < 0:
+            raise ChaosPlanError("rule: max_attempt must be >= 0")
+        if self.limit is not None and int(self.limit) < 1:
+            raise ChaosPlanError("rule: limit must be >= 1 (or null)")
+        if float(self.delay_s) < 0:
+            raise ChaosPlanError("rule: delay_s must be >= 0")
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"site": self.site, "fault": self.fault,
+                                   "p": self.p}
+        if self.key_pattern is not None:
+            data["key_pattern"] = self.key_pattern
+        if self.max_attempt:
+            data["max_attempt"] = self.max_attempt
+        if self.limit is not None:
+            data["limit"] = self.limit
+        if self.fault == "stall":
+            data["delay_s"] = self.delay_s
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosRule":
+        if not isinstance(data, dict):
+            raise ChaosPlanError(f"rule must be an object, got {data!r}")
+        known = {"site", "fault", "p", "key_pattern", "max_attempt",
+                 "limit", "delay_s"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ChaosPlanError(
+                f"rule: unknown field(s) {unknown}; expected a subset "
+                f"of {sorted(known)}")
+        return cls(
+            site=str(data.get("site", "")),
+            fault=str(data.get("fault", "")),
+            p=float(data.get("p", 1.0)),
+            key_pattern=data.get("key_pattern"),
+            max_attempt=int(data.get("max_attempt", 0)),
+            limit=(None if data.get("limit") is None
+                   else int(data["limit"])),
+            delay_s=float(data.get("delay_s", 0.05)),
+        ).validate()
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, ordered fault schedule over instrumented sites."""
+
+    seed: int = 0
+    rules: Tuple[ChaosRule, ...] = field(default_factory=tuple)
+
+    def validate(self) -> "ChaosPlan":
+        for rule in self.rules:
+            rule.validate()
+        return self
+
+    # -- decisions ---------------------------------------------------------
+    def decides(self, rule_index: int, site: str, key: str,
+                attempt: int) -> bool:
+        """Does rule ``rule_index`` fire at this crossing?  Pure."""
+        rule = self.rules[rule_index]
+        if rule.p >= 1.0:
+            return True
+        if rule.p <= 0.0:
+            return False
+        return self._draw(rule_index, site, key, attempt) < rule.p
+
+    def fraction(self, rule_index: int, site: str, key: str,
+                 attempt: int) -> float:
+        """Deterministic tear fraction in (0, 1) for torn-write faults."""
+        draw = self._draw(rule_index, "torn", site, key, attempt)
+        return min(0.95, max(0.05, draw))
+
+    def _draw(self, *parts: object) -> float:
+        return DeterministicRng.from_seed(
+            spawn_seed(self.seed, "chaos", *parts)).random()
+
+    # -- wire format -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format_version": PLAN_FORMAT_VERSION,
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosPlan":
+        if not isinstance(data, dict):
+            raise ChaosPlanError(f"plan must be an object, got {data!r}")
+        version = data.get("format_version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise ChaosPlanError(
+                f"plan format_version {version!r} is not "
+                f"{PLAN_FORMAT_VERSION}")
+        rules = data.get("rules", [])
+        if not isinstance(rules, list):
+            raise ChaosPlanError("plan: rules must be a list")
+        return cls(seed=int(data.get("seed", 0)),
+                   rules=tuple(ChaosRule.from_dict(rule)
+                               for rule in rules)).validate()
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ChaosPlanError(f"plan is not valid JSON: {error}") \
+                from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "ChaosPlan":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def matching_rules(self, site: str) -> List[int]:
+        """Indices of rules whose site pattern covers ``site``."""
+        return [index for index, rule in enumerate(self.rules)
+                if fnmatch.fnmatchcase(site, rule.site)]
+
+
+# -- presets ---------------------------------------------------------------
+
+def soak_plan(seed: int = 0, crash_p: float = 0.15,
+              include_serve: bool = True) -> ChaosPlan:
+    """The acceptance soak schedule: every fault family, survivably.
+
+    Rules are tuned so the resilience layer converges: crashes and disk
+    errors fire only on first attempts (retries run clean), stalls stay
+    under any plausible task timeout, and connection faults only hit
+    idempotent GETs (which the client retries).  A campaign or serve
+    round-trip under this plan must therefore produce byte-identical
+    results to the fault-free run.
+    """
+    rules = [
+        ChaosRule("campaign.worker.task", "crash", p=crash_p),
+        ChaosRule("campaign.worker.task", "stall", p=0.1, delay_s=0.02,
+                  max_attempt=3),
+        ChaosRule("campaign.store.append", "torn-write", p=0.25),
+        ChaosRule("campaign.store.append", "disk-full", p=0.15),
+        ChaosRule("campaign.store.progress", "disk-full", p=0.3,
+                  max_attempt=9),
+    ]
+    if include_serve:
+        rules += [
+            ChaosRule("serve.cache.put", "torn-write", p=1.0, limit=1),
+            ChaosRule("serve.cache.get", "io-error", p=1.0, limit=1),
+            ChaosRule("serve.scheduler.dispatch", "io-error", p=1.0,
+                      limit=1),
+            ChaosRule("serve.api.request", "conn-reset", p=0.2,
+                      key_pattern=r"^GET /v1/jobs/", limit=2),
+            ChaosRule("serve.api.response", "torn-write", p=0.2,
+                      key_pattern=r"^GET /v1/jobs/", limit=2),
+            ChaosRule("serve.client.request", "conn-reset", p=0.2,
+                      key_pattern=r"^GET ", limit=2),
+        ]
+    return ChaosPlan(seed=seed, rules=tuple(rules)).validate()
+
+
+PRESETS = {
+    "soak": lambda seed: soak_plan(seed),
+    "crash": lambda seed: ChaosPlan(seed=seed, rules=(
+        ChaosRule("campaign.worker.task", "crash", p=0.25),)),
+    "disk": lambda seed: ChaosPlan(seed=seed, rules=(
+        ChaosRule("campaign.store.append", "torn-write", p=0.4),
+        ChaosRule("campaign.store.append", "disk-full", p=0.2),
+        ChaosRule("campaign.store.progress", "disk-full", p=0.5,
+                  max_attempt=9),
+        ChaosRule("serve.cache.put", "disk-full", p=0.5, max_attempt=9),
+    )),
+    "net": lambda seed: ChaosPlan(seed=seed, rules=(
+        ChaosRule("serve.client.request", "conn-reset", p=0.3,
+                  key_pattern=r"^GET "),
+        ChaosRule("serve.api.request", "conn-reset", p=0.2,
+                  key_pattern=r"^GET "),
+        ChaosRule("serve.api.response", "torn-write", p=0.2,
+                  key_pattern=r"^GET "),
+    )),
+}

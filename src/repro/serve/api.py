@@ -35,6 +35,7 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.report import SCHEMA_VERSION, envelope
+from repro.chaos import chaos_point
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpec, JobValidationError
 from repro.serve.pool import WorkerPool
@@ -123,11 +124,14 @@ class ServeServer:
     # -- HTTP plumbing -----------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        request_desc = "?"
         try:
-            status, payload = await asyncio.wait_for(
+            status, payload, request_desc = await asyncio.wait_for(
                 self._handle_request(reader), REQUEST_READ_TIMEOUT)
         except (ConnectionError, asyncio.TimeoutError,
                 asyncio.IncompleteReadError):
+            # Includes an injected serve.api.request conn-reset: the
+            # connection just dies, exactly like a yanked cable.
             writer.close()
             return
         except Exception as error:  # never take the daemon down
@@ -144,8 +148,14 @@ class ServeServer:
             payload, dict) else None
         if status == 429 and retry_after is not None:
             headers.append(f"Retry-After: {retry_after}")
-        writer.write(("\r\n".join(headers) + "\r\n\r\n" + body)
-                     .encode("utf-8"))
+        data = ("\r\n".join(headers) + "\r\n\r\n" + body).encode("utf-8")
+        fault = chaos_point("serve.api.response", key=request_desc)
+        if fault is not None and fault.fault == "torn-write":
+            # Send a truncated response and slam the connection shut:
+            # the client sees an IncompleteRead and (for idempotent
+            # requests) retries.
+            data = data[:fault.tear(len(data))]
+        writer.write(data)
         try:
             await writer.drain()
             writer.close()
@@ -154,7 +164,12 @@ class ServeServer:
             pass
 
     async def _handle_request(self, reader: asyncio.StreamReader
-                              ) -> Tuple[int, Dict[str, object]]:
+                              ) -> Tuple[int, Dict[str, object], str]:
+        """Read, parse, route.  Returns (status, payload, request desc).
+
+        The request description (``"GET /v1/jobs/j000001"``) keys the
+        chaos hooks so fault rules can target specific routes.
+        """
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise ConnectionError("empty request")
@@ -162,7 +177,10 @@ class ServeServer:
             method, target, _ = request_line.split(" ", 2)
         except ValueError:
             return 400, {"error": f"malformed request line "
-                                  f"{request_line!r}"}
+                                  f"{request_line!r}"}, request_line
+        method = method.upper()
+        split = urlsplit(target)
+        request_desc = f"{method} {split.path}"
         content_length = 0
         header_bytes = 0
         header_lines = 0
@@ -172,7 +190,8 @@ class ServeServer:
             header_lines += 1
             if (header_bytes > MAX_HEADER_BYTES
                     or header_lines > MAX_HEADER_LINES):
-                return 400, {"error": "request headers too large"}
+                return (400, {"error": "request headers too large"},
+                        request_desc)
             line = raw_line.decode("latin-1").strip()
             if not line:
                 break
@@ -181,15 +200,20 @@ class ServeServer:
                 try:
                     content_length = int(value.strip())
                 except ValueError:
-                    return 400, {"error": "bad Content-Length"}
+                    return (400, {"error": "bad Content-Length"},
+                            request_desc)
         if content_length > MAX_BODY_BYTES:
-            return 400, {"error": "request body too large"}
+            return (400, {"error": "request body too large"},
+                    request_desc)
         raw = (await reader.readexactly(content_length)
                if content_length else b"")
-        split = urlsplit(target)
         query = {key: values[-1]
                  for key, values in parse_qs(split.query).items()}
-        return await self._route(method.upper(), split.path, query, raw)
+        # An injected conn-reset here models the socket dying between
+        # the read and the reply; the connection handler drops it.
+        chaos_point("serve.api.request", key=request_desc)
+        status, payload = await self._route(method, split.path, query, raw)
+        return status, payload, request_desc
 
     # -- routing -----------------------------------------------------------
     async def _route(self, method: str, path: str,

@@ -18,16 +18,26 @@ write from a pre-atomic crash, bit rot, manual tampering) is **evicted
 and reported as a miss** — the caller recomputes, never serves a
 corrupt payload.  Writes are write-temp-then-``os.replace`` atomic
 with an fsync, mirroring the campaign store's sidecar discipline.
+
+The cache is an accelerator, never a dependency: a write that hits a
+disk fault (``ENOSPC``/``EIO``, chaos torn write) is logged and
+counted but the job still succeeds — the result simply is not cached —
+and a read error degrades to a miss so the scheduler recomputes.
 """
 
+import errno
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.chaos import chaos_point
 from repro.serve.jobs import JobSpec
 from repro.util.canonical import canonical_json, payload_digest
+
+run_log = logging.getLogger("repro.run")
 
 ENTRY_VERSION = 1
 
@@ -40,6 +50,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.write_errors = 0
 
     def path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -56,10 +67,16 @@ class ResultCache:
             self.misses += 1
             return None
         try:
+            chaos_point("serve.cache.get", key=key)
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (json.JSONDecodeError, OSError):
+        except json.JSONDecodeError:
             self._evict_corrupt(path)
+            return None
+        except OSError:
+            # Transient read fault: degrade to a miss (recompute) but
+            # keep the entry — the bytes on disk may be fine.
+            self.misses += 1
             return None
         if not self._entry_valid(key, entry):
             self._evict_corrupt(path)
@@ -87,8 +104,27 @@ class ResultCache:
 
     # -- write -------------------------------------------------------------
     def put(self, spec: JobSpec, result: Dict[str, object]) -> str:
-        """Seal and store ``result`` under ``spec``'s key; returns it."""
+        """Seal and store ``result`` under ``spec``'s key; returns it.
+
+        The cache is best-effort: a disk fault during the write is
+        swallowed (counted in ``write_errors``, logged once per
+        incident) so the job that computed ``result`` still succeeds.
+        A chaos torn write leaves a partial entry at the *final* path —
+        deliberately, to exercise the seal check — which the next
+        ``get`` detects and evicts.
+        """
         key = spec.cache_key()
+        try:
+            self._put_sealed(key, spec, result)
+        except OSError as error:
+            self.write_errors += 1
+            run_log.warning(
+                "result cache: write for %s failed (%s); serving "
+                "uncached", key[:12], error)
+        return key
+
+    def _put_sealed(self, key: str, spec: JobSpec,
+                    result: Dict[str, object]) -> None:
         entry = {
             "entry_version": ENTRY_VERSION,
             "key": key,
@@ -98,6 +134,14 @@ class ResultCache:
         }
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        fault = chaos_point("serve.cache.put", key=key)
+        if fault is not None and fault.fault == "torn-write":
+            # Simulate a pre-atomic-rename crash: a torn entry lands at
+            # the final path, for the seal check to catch on read.
+            data = (canonical_json(entry) + "\n").encode("utf-8")
+            path.write_bytes(data[:fault.tear(len(data))])
+            raise OSError(
+                errno.EIO, f"chaos[{fault.seq}]: torn cache entry write")
         # Unique temp name per writer: two processes sealing the same
         # key (shared cache dir) must not race on one .tmp file.
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f"{key}.",
@@ -115,7 +159,6 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        return key
 
     def evict(self, key: str) -> bool:
         """Drop ``key`` if present (admin/endpoint use); True if it was."""
@@ -138,4 +181,5 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "write_errors": self.write_errors,
         }

@@ -82,6 +82,9 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--campaign-jobs", type=int, default=1,
                         help="default worker processes per campaign "
                              "job (a job's own `jobs` param wins)")
+    parser.add_argument("--chaos", metavar="PLAN.json", default=None,
+                        help="arm a chaos fault-injection plan in the "
+                             "daemon (see `python -m repro chaos plan`)")
     return parser
 
 
@@ -89,6 +92,17 @@ def cmd_serve(argv: List[str]) -> int:
     from repro.serve.api import run_server
 
     args = _build_serve_parser().parse_args(argv)
+    if args.chaos:
+        from repro.chaos import ChaosPlan, ChaosPlanError, arm
+        try:
+            plan = ChaosPlan.load(args.chaos)
+        except (OSError, ChaosPlanError) as error:
+            print(f"error: bad chaos plan {args.chaos}: {error}",
+                  file=sys.stderr)
+            return 2
+        arm(plan)
+        print(f"chaos: armed {len(plan.rules)} rule(s) from "
+              f"{args.chaos} (seed {plan.seed})", flush=True)
     try:
         asyncio.run(run_server(
             host=args.host, port=args.port, workdir=args.workdir,

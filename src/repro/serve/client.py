@@ -5,18 +5,72 @@ tests, and examples.  Every method returns the server's parsed JSON;
 non-2xx responses raise :class:`ServeError` carrying the HTTP status
 and the server's error payload (including ``retry_after`` on 429, so a
 polite caller can back off exactly as long as the server asked).
+
+Transport resilience (the network is not reliable):
+
+- **bounded retries with full-jitter exponential backoff** — transport
+  failures (connection reset, refused, torn response body, timeout)
+  and 5xx responses are retried up to ``retries`` times, but **only
+  for idempotent methods** (GET/HEAD/DELETE): a POST that died mid-
+  flight may already have been applied, and blind resubmission would
+  duplicate it.  Jitter draws come from :mod:`repro.util.rng`, so a
+  seeded test can predict every delay;
+- **429 admission pushback** — the server refused *before* doing any
+  work, so waiting out ``Retry-After`` (capped, bounded attempts) and
+  resubmitting is safe for every method, POST included;
+- **per-host circuit breaker** — after ``BREAKER_THRESHOLD``
+  consecutive transport failures the breaker *opens* and requests to
+  that host fail fast with :class:`CircuitOpenError` (no connect
+  attempt, no backoff sleep) until a cooldown elapses; then one
+  *half-open* probe either closes it (success) or re-opens it.
+  Breakers are process-global per netloc — every client talking to a
+  dead daemon shares the verdict.
+
+``ping`` bypasses all of this: it *is* the retry loop (startup races),
+and its probes must not trip or consult the breaker.
 """
 
+import http.client
 import json
+import logging
+import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Dict, Optional
+
+from repro.chaos import chaos_point
+from repro.util.rng import DeterministicRng, seed_from
+
+run_log = logging.getLogger("repro.run")
 
 DEFAULT_URL = "http://127.0.0.1:8765"
 
 #: Cap on one blocking status long-poll (mirrors the server's cap).
 WAIT_SLICE_S = 30
+
+#: Default transport retry budget (attempts = retries + 1); bounded so
+#: no call loops forever (simlint S401).
+DEFAULT_RETRIES = 3
+#: Full-jitter backoff: sleep ~ U(0, min(cap, base * 2**attempt)).
+BACKOFF_BASE_S = 0.1
+BACKOFF_CAP_S = 2.0
+#: Never honor a Retry-After longer than this (a confused server must
+#: not park the client for an hour).
+RETRY_AFTER_CAP_S = 30.0
+
+#: Consecutive transport failures that open a host's breaker.
+BREAKER_THRESHOLD = 5
+#: Seconds an open breaker rejects instantly before one half-open probe.
+BREAKER_COOLDOWN_S = 5.0
+
+#: Methods safe to resubmit after an ambiguous transport failure.
+IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "DELETE"})
+
+#: Ambiguous transport failures: reset, refused, timeout, torn body.
+#: (URLError and socket.timeout are OSError subclasses.)
+TRANSPORT_ERRORS = (OSError, http.client.HTTPException)
 
 
 class ServeError(Exception):
@@ -35,18 +89,87 @@ class ServeError(Exception):
         return int(value) if value is not None else None
 
 
+class CircuitOpenError(ConnectionError):
+    """Fast-fail: the host's circuit breaker is open (cooling down)."""
+
+
+class _CircuitBreaker:
+    """Classic closed → open → half-open breaker, one per host."""
+
+    def __init__(self, threshold: int = BREAKER_THRESHOLD,
+                 cooldown_s: float = BREAKER_COOLDOWN_S) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self.state != "open":
+                return True
+            if time.monotonic() - self.opened_at >= self.cooldown_s:
+                self.state = "half-open"  # let one probe through
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = "closed"
+            self.failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            if self.state == "half-open" or self.failures >= self.threshold:
+                self.state = "open"
+                self.opened_at = time.monotonic()
+
+
+_BREAKERS: Dict[str, _CircuitBreaker] = {}
+_BREAKERS_LOCK = threading.Lock()
+
+
+def breaker_for(netloc: str) -> _CircuitBreaker:
+    """The process-global breaker guarding ``netloc``."""
+    with _BREAKERS_LOCK:
+        if netloc not in _BREAKERS:
+            _BREAKERS[netloc] = _CircuitBreaker()
+        return _BREAKERS[netloc]
+
+
+def reset_breakers() -> None:
+    """Forget all breaker state (tests, or an operator-forced reset)."""
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()
+
+
 class ServeClient:
-    """Thin blocking wrapper over the daemon's JSON API."""
+    """Blocking wrapper over the daemon's JSON API, with retries."""
 
     def __init__(self, base_url: str = DEFAULT_URL,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0,
+                 retries: int = DEFAULT_RETRIES) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.netloc = urllib.parse.urlsplit(self.base_url).netloc
+        # Seeded jitter: delays are deterministic per (client, call
+        # sequence), so tests can assert the exact backoff schedule.
+        self._rng = DeterministicRng.from_seed(
+            seed_from("serve-client-backoff", self.base_url))
 
     # -- plumbing ----------------------------------------------------------
-    def request(self, method: str, path: str,
-                body: Optional[Dict[str, object]] = None,
-                timeout: Optional[float] = None) -> Dict[str, object]:
+    def backoff_delay(self, attempt: int) -> float:
+        """Full-jitter delay before retry number ``attempt + 1``."""
+        cap = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2 ** attempt))
+        return cap * self._rng.random()
+
+    def _send(self, method: str, path: str,
+              body: Optional[Dict[str, object]],
+              timeout: Optional[float]) -> Dict[str, object]:
+        """One wire round-trip; no retries, no breaker."""
         data = (json.dumps(body).encode("utf-8")
                 if body is not None else None)
         request = urllib.request.Request(
@@ -63,6 +186,73 @@ class ServeClient:
             except json.JSONDecodeError:
                 payload = {"error": raw}
             raise ServeError(error.code, payload) from None
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, object]] = None,
+                timeout: Optional[float] = None) -> Dict[str, object]:
+        """Send a request, riding out transient infrastructure faults.
+
+        Retry policy (each retry consumes one unit of the shared,
+        bounded ``retries`` budget):
+
+        - transport failure or 5xx → backoff and retry, idempotent
+          methods only;
+        - 429 → wait the server's (capped) ``retry_after`` and retry,
+          any method — admission was refused before any work happened;
+        - other 4xx → raise immediately (the request is wrong, not the
+          infrastructure).
+        """
+        method = method.upper()
+        breaker = breaker_for(self.netloc)
+        idempotent = method in IDEMPOTENT_METHODS
+        attempt = 0
+        while True:
+            if not breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit breaker open for {self.netloc} "
+                    f"(cooling down after repeated failures)")
+            chaos_point("serve.client.request",
+                        key=f"{method} {path}", attempt=attempt)
+            try:
+                result = self._send(method, path, body, timeout)
+            except ServeError as error:
+                if error.status == 429:
+                    # The daemon is alive and refused admission before
+                    # doing any work: close the breaker, honor its
+                    # Retry-After, and resubmit (safe for any method).
+                    breaker.record_success()
+                    if attempt >= self.retries:
+                        raise
+                    delay = (float(error.retry_after)
+                             if error.retry_after is not None
+                             else self.backoff_delay(attempt))
+                    time.sleep(min(RETRY_AFTER_CAP_S, max(0.0, delay)))
+                    attempt += 1
+                    continue
+                if error.status >= 500:
+                    breaker.record_failure()
+                    if idempotent and attempt < self.retries:
+                        self._backoff(method, path, attempt)
+                        attempt += 1
+                        continue
+                else:
+                    breaker.record_success()  # host healthy, caller wrong
+                raise
+            except TRANSPORT_ERRORS as error:
+                breaker.record_failure()
+                if idempotent and attempt < self.retries:
+                    run_log.debug(
+                        "serve client: %s %s attempt %d failed (%s); "
+                        "retrying", method, path, attempt + 1, error)
+                    self._backoff(method, path, attempt)
+                    attempt += 1
+                    continue
+                raise
+            breaker.record_success()
+            return result
+
+    def _backoff(self, method: str, path: str, attempt: int) -> None:
+        time.sleep(self.backoff_delay(attempt))
 
     # -- verbs -------------------------------------------------------------
     def submit(self, job_type: str,
@@ -115,12 +305,17 @@ class ServeClient:
 
     def ping(self, attempts: int = 50,
              interval: float = 0.1) -> Dict[str, object]:
-        """Poll ``/healthz`` until the daemon answers (startup races)."""
+        """Poll ``/healthz`` until the daemon answers (startup races).
+
+        Probes go straight to the wire — no client retries (this *is*
+        the retry loop) and no breaker (refusals during startup are
+        expected and must not open the circuit or be blocked by one).
+        """
         last_error: Optional[Exception] = None
         for _ in range(attempts):
             try:
-                return self.healthz()
-            except (ServeError, urllib.error.URLError, OSError) as error:
+                return self._send("GET", "/healthz", None, None)
+            except (ServeError,) + TRANSPORT_ERRORS as error:
                 last_error = error
                 time.sleep(interval)
         raise ConnectionError(

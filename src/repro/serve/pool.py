@@ -25,10 +25,12 @@ from typing import Dict, Optional
 
 from repro.serve.jobs import JobSpec
 
-#: Keys of an engine summary that are wall-clock measurements; they are
-#: stripped from cached campaign payloads so identical work produces
-#: identical (cacheable, byte-comparable) results.
-_TIMING_KEYS = ("elapsed_s", "tasks_per_s")
+#: Keys of an engine summary that are wall-clock measurements or
+#: infrastructure-event counters; they are stripped from cached
+#: campaign payloads so identical work produces identical (cacheable,
+#: byte-comparable) results whether or not chaos faults were ridden
+#: out along the way.
+_TIMING_KEYS = ("elapsed_s", "tasks_per_s", "infra", "unflushed_batches")
 
 
 class JobCancelled(Exception):

@@ -41,15 +41,20 @@ returns only when every in-flight chunk has been flushed.
 """
 
 import asyncio
+import logging
 import threading
 import time
 from collections import deque
+from concurrent.futures import BrokenExecutor
 from typing import Deque, Dict, List, Optional
 
+from repro.chaos import chaos_point
 from repro.core.metrics import ServiceCounters
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpec
 from repro.serve.pool import JobCancelled
+
+run_log = logging.getLogger("repro.run")
 
 # Job states.
 QUEUED = "queued"
@@ -63,6 +68,15 @@ DEFAULT_RETRY_AFTER = 2
 
 #: Observed-duration window for the Retry-After estimate.
 _DURATION_WINDOW = 32
+
+#: Per-job infrastructure retry budget: a job whose execution dies on
+#: an infrastructure error (disk fault, broken executor) is requeued
+#: this many times before settling FAILED with its failure chain.
+DEFAULT_INFRA_RETRIES = 2
+
+#: Exception families that indicate the infrastructure (not the job
+#: spec) failed, and so are worth a bounded requeue.
+INFRA_ERRORS = (OSError, BrokenExecutor)
 
 
 class QueueFull(Exception):
@@ -99,6 +113,9 @@ class Job:
         self.finished_at: Optional[float] = None
         self.cancel_event = threading.Event()
         self.done_event = asyncio.Event()
+        #: Infrastructure retries consumed, and what each one survived.
+        self.infra_retries = 0
+        self.failure_chain: List[str] = []
         #: Jobs coalesced onto this one (primary only).
         self.followers: List["Job"] = []
         #: Set when a cancelled primary hands its computation to a
@@ -127,6 +144,9 @@ class Job:
             "finished_at": (round(self.finished_at, 3)
                             if self.finished_at else None),
         }
+        if self.failure_chain:
+            payload["infra_retries"] = self.infra_retries
+            payload["failure_chain"] = list(self.failure_chain)
         if include_result:
             payload["result"] = self.result
         return payload
@@ -136,12 +156,15 @@ class Scheduler:
     """Owns the queue, the running set, the counters, and the cache."""
 
     def __init__(self, pool, cache: ResultCache, max_queue: int = 16,
-                 max_running: int = 2, job_timeout: float = 0.0) -> None:
+                 max_running: int = 2, job_timeout: float = 0.0,
+                 infra_retries: int = DEFAULT_INFRA_RETRIES) -> None:
         self.pool = pool
         self.cache = cache
         self.max_queue = max(1, int(max_queue))
         self.max_running = max(1, int(max_running))
         self.job_timeout = max(0.0, float(job_timeout))
+        self.infra_retry_budget = max(0, int(infra_retries))
+        self.infra_requeues = 0  # total across all jobs, for /metrics
         self.counters = ServiceCounters()
         self.jobs: Dict[str, Job] = {}
         self._queued: List[Job] = []
@@ -329,11 +352,14 @@ class Scheduler:
             follower.state = RUNNING
             follower.started_at = job.started_at
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(self._executor, self.pool.execute,
-                                      job.spec, job.cancel_event)
         timeout = self.job_timeout or None
         timed_out = False
         try:
+            chaos_point("serve.scheduler.dispatch", key=job.key,
+                        attempt=job.infra_retries)
+            future = loop.run_in_executor(self._executor,
+                                          self.pool.execute,
+                                          job.spec, job.cancel_event)
             if timeout:
                 try:
                     result = await asyncio.wait_for(
@@ -352,6 +378,28 @@ class Scheduler:
                                 else str(error) or "cancelled"),
                          timed_out=timed_out)
             return
+        except INFRA_ERRORS as error:
+            # The infrastructure (disk, executor) failed, not the job:
+            # requeue within a bounded budget, then settle FAILED
+            # carrying the whole failure chain for the postmortem.
+            owner = self._owner(job)
+            owner.failure_chain.append(f"{type(error).__name__}: {error}")
+            if (owner.infra_retries < self.infra_retry_budget
+                    and not owner.cancel_event.is_set()
+                    and not self._draining):
+                owner.infra_retries += 1
+                self.infra_requeues += 1
+                run_log.warning(
+                    "job %s hit an infrastructure error (%s); requeue "
+                    "%d/%d", owner.job_id, error, owner.infra_retries,
+                    self.infra_retry_budget)
+                self._requeue(owner)
+                return
+            self._settle(owner, FAILED, error=(
+                f"infrastructure failure after {owner.infra_retries} "
+                f"retr{'y' if owner.infra_retries == 1 else 'ies'}: "
+                f"{owner.failure_chain[-1]}"))
+            return
         except Exception as error:  # surface, never crash the loop
             self._settle(self._owner(job), FAILED,
                          error=f"{type(error).__name__}: {error}")
@@ -360,6 +408,21 @@ class Scheduler:
         # yields a whole result — seal and serve it.
         self.cache.put(job.spec, result)
         self._settle(self._owner(job), DONE, result=result)
+
+    def _requeue(self, job: Job) -> None:
+        """Put a job that survived an infra failure back on the queue.
+
+        The job keeps its key ownership (followers stay attached and
+        fresh identical submissions keep coalescing onto it); it
+        re-enters the fair-share pick with its original priority and
+        arrival order.
+        """
+        del self._running[job.job_id]
+        job.state = QUEUED
+        for follower in job.followers:
+            follower.state = QUEUED
+        self._queued.append(job)
+        self._wake.set()
 
     @staticmethod
     def _owner(job: Job) -> Job:
@@ -421,4 +484,5 @@ class Scheduler:
             "limit": self.max_queue,
             "running": len(self._running),
             "slots": self.max_running,
+            "infra_requeues": self.infra_requeues,
         }

@@ -169,6 +169,90 @@ class TestS3PickleSafety:
         assert lint(source, rel="campaign/store.py") != []
 
 
+class TestS4RetryHygiene:
+    def test_s401_sleep_and_spin(self):
+        findings = lint("""
+            import time
+            while True:
+                try:
+                    step()
+                except OSError:
+                    time.sleep(1.0)
+        """, rel="campaign/engine.py")
+        assert rules_of(findings) == ["S401"]
+
+    def test_s401_bare_pass_handler(self):
+        findings = lint("""
+            while True:
+                try:
+                    step()
+                except Exception:
+                    continue
+        """, rel="serve/client.py")
+        assert rules_of(findings) == ["S401"]
+
+    def test_s401_attempt_bookkeeping_is_clean(self):
+        assert lint("""
+            attempt = 0
+            while True:
+                try:
+                    step()
+                    break
+                except OSError:
+                    attempt += 1
+                    if attempt > 3:
+                        raise
+        """, rel="campaign/engine.py") == []
+
+    def test_s401_reraise_is_clean(self):
+        assert lint("""
+            while True:
+                try:
+                    step()
+                except OSError:
+                    raise
+        """, rel="serve/client.py") == []
+
+    def test_s401_conditioned_loop_is_clean(self):
+        assert lint("""
+            while not done:
+                try:
+                    step()
+                except OSError:
+                    pass
+        """, rel="serve/client.py") == []
+
+    def test_s401_bounded_for_loop_is_clean(self):
+        assert lint("""
+            for attempt in range(3):
+                try:
+                    step()
+                    break
+                except OSError:
+                    pass
+        """, rel="campaign/store.py") == []
+
+    def test_s401_nested_function_scope_skipped(self):
+        assert lint("""
+            while True:
+                def helper():
+                    try:
+                        step()
+                    except OSError:
+                        pass
+                helper()
+                break
+        """, rel="serve/scheduler.py") == []
+
+    def test_s401_suppression(self):
+        src = ("while True:\n"
+               "    try:\n"
+               "        step()\n"
+               "    except OSError:  # simlint: disable=S401\n"
+               "        pass\n")
+        assert lint(src, rel="campaign/engine.py") == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         src = "import random  # simlint: disable=S101\n"
@@ -186,7 +270,7 @@ class TestSuppression:
 class TestRegistryAndSelfCheck:
     def test_registry_complete(self):
         assert sorted(LINT_RULES) == ["S101", "S102", "S103", "S104", "S201",
-                                      "S202", "S301", "S302"]
+                                      "S202", "S301", "S302", "S401"]
         for rule in LINT_RULES.values():
             assert rule.severity in ("error", "warning")
             assert rule.summary

@@ -1,0 +1,210 @@
+"""ServeClient resilience: deterministic backoff, 429 Retry-After,
+idempotent-only transport retries, and the per-host circuit breaker —
+all against a stubbed ``_send`` (no sockets)."""
+
+import time
+import types
+
+import pytest
+
+from repro.serve import client as client_mod
+from repro.serve.client import (BACKOFF_BASE_S, BACKOFF_CAP_S,
+                                BREAKER_THRESHOLD, CircuitOpenError,
+                                ServeClient, ServeError, breaker_for,
+                                reset_breakers)
+
+
+@pytest.fixture(autouse=True)
+def clean_breakers():
+    reset_breakers()
+    yield
+    reset_breakers()
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    """Replace the client module's clock: record sleeps, keep monotonic."""
+    recorded = []
+    fake = types.SimpleNamespace(sleep=recorded.append,
+                                 monotonic=time.monotonic)
+    monkeypatch.setattr(client_mod, "time", fake)
+    return recorded
+
+
+def scripted(client, outcomes):
+    """Stub ``_send`` with a list of exceptions / return payloads."""
+    calls = []
+
+    def _send(method, path, body, timeout):
+        calls.append((method, path))
+        outcome = outcomes.pop(0) if outcomes else {"ok": True}
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    client._send = _send
+    return calls
+
+
+class TestBackoff:
+    def test_schedule_is_deterministic_per_url(self):
+        a = ServeClient("http://127.0.0.1:9999")
+        b = ServeClient("http://127.0.0.1:9999")
+        assert [a.backoff_delay(i) for i in range(6)] == \
+            [b.backoff_delay(i) for i in range(6)]
+
+    def test_full_jitter_bounds(self):
+        client = ServeClient("http://127.0.0.1:9999")
+        for attempt in range(8):
+            cap = min(BACKOFF_CAP_S, BACKOFF_BASE_S * 2 ** attempt)
+            for _ in range(5):
+                assert 0.0 <= client.backoff_delay(attempt) <= cap
+
+
+class Test429:
+    def test_retry_after_honored_for_post(self, sleeps):
+        client = ServeClient("http://x:1")
+        refused = ServeError(429, {"error": "queue full",
+                                   "retry_after": 3})
+        calls = scripted(client, [refused, {"job": "accepted"}])
+        assert client.request("POST", "/v1/jobs", body={}) == \
+            {"job": "accepted"}
+        assert len(calls) == 2
+        assert sleeps == [3.0]  # exactly what the server asked
+
+    def test_retry_after_capped(self, sleeps):
+        client = ServeClient("http://x:1")
+        refused = ServeError(429, {"error": "full",
+                                   "retry_after": 86400})
+        scripted(client, [refused, {"ok": True}])
+        client.request("POST", "/v1/jobs", body={})
+        assert sleeps == [client_mod.RETRY_AFTER_CAP_S]
+
+    def test_429_budget_bounded(self, sleeps):
+        client = ServeClient("http://x:1", retries=2)
+        scripted(client, [ServeError(429, {"error": "full",
+                                           "retry_after": 0})] * 10)
+        with pytest.raises(ServeError) as err:
+            client.request("POST", "/v1/jobs", body={})
+        assert err.value.status == 429
+        assert len(sleeps) == 2  # retries, not forever
+
+    def test_429_does_not_trip_breaker(self, sleeps):
+        client = ServeClient("http://x:1", retries=0)
+        scripted(client, [ServeError(429, {"error": "full"})] * 10)
+        for _ in range(BREAKER_THRESHOLD + 2):
+            with pytest.raises(ServeError):
+                client.request("POST", "/v1/jobs", body={})
+        assert breaker_for(client.netloc).state == "closed"
+
+
+class TestTransportRetries:
+    def test_get_retried_after_reset(self, sleeps):
+        client = ServeClient("http://x:1")
+        calls = scripted(client, [ConnectionResetError("reset"),
+                                  {"job": {"state": "done"}}])
+        assert client.request("GET", "/v1/jobs/j1")["job"]["state"] == \
+            "done"
+        assert len(calls) == 2 and len(sleeps) == 1
+
+    def test_post_not_retried_after_reset(self, sleeps):
+        client = ServeClient("http://x:1")
+        calls = scripted(client, [ConnectionResetError("reset"),
+                                  {"never": "reached"}])
+        with pytest.raises(ConnectionResetError):
+            client.request("POST", "/v1/jobs", body={})
+        assert len(calls) == 1  # ambiguous POST is never resubmitted
+
+    def test_5xx_retried_idempotent_only(self, sleeps):
+        boom = ServeError(503, {"error": "draining"})
+        client = ServeClient("http://x:1")
+        calls = scripted(client, [ServeError(503, {"error": "x"}),
+                                  {"ok": True}])
+        assert client.request("GET", "/metrics") == {"ok": True}
+        assert len(calls) == 2
+
+        client2 = ServeClient("http://x:1")
+        calls2 = scripted(client2, [boom])
+        with pytest.raises(ServeError):
+            client2.request("POST", "/v1/jobs", body={})
+        assert len(calls2) == 1
+
+    def test_4xx_raises_immediately(self, sleeps):
+        client = ServeClient("http://x:1")
+        calls = scripted(client, [ServeError(404, {"error": "no job"})])
+        with pytest.raises(ServeError) as err:
+            client.request("GET", "/v1/jobs/nope")
+        assert err.value.status == 404
+        assert len(calls) == 1 and sleeps == []
+        assert breaker_for(client.netloc).state == "closed"
+
+    def test_retry_budget_exhausted_raises_transport_error(self, sleeps):
+        client = ServeClient("http://x:1", retries=3)
+        calls = scripted(client, [OSError("refused")] * 10)
+        with pytest.raises(OSError):
+            client.request("GET", "/metrics")
+        assert len(calls) == 4  # 1 + retries
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_then_fast_fails(self, sleeps):
+        client = ServeClient("http://dead:1", retries=0)
+        calls = scripted(client, [OSError("down")] * 100)
+        for _ in range(BREAKER_THRESHOLD):
+            with pytest.raises(OSError):
+                client.request("GET", "/metrics")
+        assert breaker_for(client.netloc).state == "open"
+        with pytest.raises(CircuitOpenError):
+            client.request("GET", "/metrics")
+        assert len(calls) == BREAKER_THRESHOLD  # no connect while open
+
+    def test_half_open_probe_closes_on_success(self, sleeps):
+        client = ServeClient("http://dead:1", retries=0)
+        scripted(client, [OSError("down")] * BREAKER_THRESHOLD +
+                 [{"ok": True}])
+        for _ in range(BREAKER_THRESHOLD):
+            with pytest.raises(OSError):
+                client.request("GET", "/metrics")
+        breaker = breaker_for(client.netloc)
+        breaker.opened_at -= breaker.cooldown_s  # cooldown elapses
+        assert client.request("GET", "/metrics") == {"ok": True}
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_reopens_on_failure(self, sleeps):
+        client = ServeClient("http://dead:1", retries=0)
+        scripted(client, [OSError("down")] * 100)
+        for _ in range(BREAKER_THRESHOLD):
+            with pytest.raises(OSError):
+                client.request("GET", "/metrics")
+        breaker = breaker_for(client.netloc)
+        breaker.opened_at -= breaker.cooldown_s
+        with pytest.raises(OSError):
+            client.request("GET", "/metrics")  # the one probe
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            client.request("GET", "/metrics")
+
+    def test_breaker_shared_across_clients_per_netloc(self, sleeps):
+        first = ServeClient("http://dead:1", retries=0)
+        scripted(first, [OSError("down")] * 100)
+        for _ in range(BREAKER_THRESHOLD):
+            with pytest.raises(OSError):
+                first.request("GET", "/metrics")
+        second = ServeClient("http://dead:1")
+        scripted(second, [{"never": "reached"}])
+        with pytest.raises(CircuitOpenError):
+            second.request("GET", "/metrics")
+        # A different host is unaffected.
+        other = ServeClient("http://alive:2")
+        scripted(other, [{"ok": True}])
+        assert other.request("GET", "/metrics") == {"ok": True}
+
+    def test_reset_breakers_forgets_state(self, sleeps):
+        client = ServeClient("http://dead:1", retries=0)
+        scripted(client, [OSError("down")] * BREAKER_THRESHOLD +
+                 [{"ok": True}])
+        for _ in range(BREAKER_THRESHOLD):
+            with pytest.raises(OSError):
+                client.request("GET", "/metrics")
+        reset_breakers()
+        assert client.request("GET", "/metrics") == {"ok": True}

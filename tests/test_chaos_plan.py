@@ -1,0 +1,195 @@
+"""Chaos plans: decision determinism, wire round-trips, validation,
+and the controller's rule gating (everything short of killing the
+test process)."""
+
+import errno
+
+import pytest
+
+from repro.chaos import (FAULT_KINDS, ChaosController, ChaosPlan,
+                         ChaosPlanError, ChaosRule, armed, chaos_point,
+                         controller, soak_plan)
+from repro.chaos.plan import PRESETS
+
+
+def crossings():
+    """A spread of (site, key, attempt) hook crossings."""
+    return [("campaign.worker.task", f"srt/compress/t{i:04d}", a)
+            for i in range(40) for a in (0, 1)]
+
+
+class TestDecisions:
+    def test_same_seed_same_schedule(self):
+        a = ChaosPlan(seed=11, rules=(
+            ChaosRule("campaign.worker.*", "crash", p=0.3),))
+        b = ChaosPlan(seed=11, rules=(
+            ChaosRule("campaign.worker.*", "crash", p=0.3),))
+        for site, key, attempt in crossings():
+            assert a.decides(0, site, key, attempt) == \
+                b.decides(0, site, key, attempt)
+
+    def test_different_seed_different_schedule(self):
+        a = ChaosPlan(seed=11, rules=(
+            ChaosRule("campaign.worker.*", "crash", p=0.3),))
+        b = ChaosPlan(seed=12, rules=(
+            ChaosRule("campaign.worker.*", "crash", p=0.3),))
+        decisions_a = [a.decides(0, s, k, at) for s, k, at in crossings()]
+        decisions_b = [b.decides(0, s, k, at) for s, k, at in crossings()]
+        assert decisions_a != decisions_b
+
+    def test_decision_is_pure_not_stateful(self):
+        plan = ChaosPlan(seed=5, rules=(
+            ChaosRule("x", "io-error", p=0.5),))
+        first = [plan.decides(0, "x", "k", 0) for _ in range(10)]
+        assert len(set(first)) == 1  # same inputs, same answer, always
+
+    def test_p_extremes(self):
+        plan = ChaosPlan(seed=0, rules=(
+            ChaosRule("x", "io-error", p=1.0),
+            ChaosRule("x", "io-error", p=0.0)))
+        assert plan.decides(0, "x", "k", 0)
+        assert not plan.decides(1, "x", "k", 0)
+
+    def test_fraction_clamped(self):
+        plan = ChaosPlan(seed=3, rules=(
+            ChaosRule("x", "torn-write"),))
+        for i in range(50):
+            fraction = plan.fraction(0, "x", f"k{i}", 0)
+            assert 0.05 <= fraction <= 0.95
+
+    def test_matching_rules_glob(self):
+        plan = ChaosPlan(rules=(
+            ChaosRule("campaign.worker.*", "crash"),
+            ChaosRule("serve.*", "conn-reset"),
+            ChaosRule("*", "stall")))
+        assert plan.matching_rules("campaign.worker.task") == [0, 2]
+        assert plan.matching_rules("serve.cache.put") == [1, 2]
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        plan = soak_plan(seed=42)
+        assert ChaosPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = soak_plan(seed=7, crash_p=0.25)
+        plan.save(path)
+        assert ChaosPlan.load(path) == plan
+
+    def test_bad_json(self):
+        with pytest.raises(ChaosPlanError, match="not valid JSON"):
+            ChaosPlan.from_json("{nope")
+
+    def test_bad_format_version(self):
+        with pytest.raises(ChaosPlanError, match="format_version"):
+            ChaosPlan.from_dict({"format_version": 99, "rules": []})
+
+    @pytest.mark.parametrize("rule,match", [
+        ({"site": "", "fault": "crash"}, "site"),
+        ({"site": "x", "fault": "meteor"}, "unknown fault"),
+        ({"site": "x", "fault": "crash", "p": 1.5}, "p must be"),
+        ({"site": "x", "fault": "crash", "key_pattern": "("},
+         "key_pattern"),
+        ({"site": "x", "fault": "crash", "max_attempt": -1},
+         "max_attempt"),
+        ({"site": "x", "fault": "crash", "limit": 0}, "limit"),
+        ({"site": "x", "fault": "crash", "bogus": 1}, "unknown field"),
+    ])
+    def test_rule_validation(self, rule, match):
+        with pytest.raises(ChaosPlanError, match=match):
+            ChaosRule.from_dict(rule)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_validate(self, name):
+        plan = PRESETS[name](seed=1)
+        assert plan.validate() is plan
+        assert plan.rules
+
+    def test_soak_plan_serve_toggle(self):
+        with_serve = soak_plan(seed=0, include_serve=True)
+        without = soak_plan(seed=0, include_serve=False)
+        assert any(r.site.startswith("serve.") for r in with_serve.rules)
+        assert not any(r.site.startswith("serve.")
+                       for r in without.rules)
+
+
+class TestControllerGating:
+    def test_unarmed_is_noop(self):
+        assert controller() is None
+        assert chaos_point("campaign.worker.task", key="t0") is None
+
+    def test_max_attempt_gate(self):
+        ctl = ChaosController(ChaosPlan(rules=(
+            ChaosRule("x", "io-error", max_attempt=0),)))
+        with pytest.raises(OSError):
+            ctl.fire("x", "k", attempt=0)
+        assert ctl.fire("x", "k", attempt=1) is None  # retries clean
+
+    def test_key_pattern_gate(self):
+        ctl = ChaosController(ChaosPlan(rules=(
+            ChaosRule("x", "io-error", key_pattern=r"^victim$"),)))
+        assert ctl.fire("x", "bystander", 0) is None
+        assert ctl.fire("x", None, 0) is None
+        with pytest.raises(OSError):
+            ctl.fire("x", "victim", 0)
+
+    def test_limit_gate(self):
+        ctl = ChaosController(ChaosPlan(rules=(
+            ChaosRule("x", "io-error", limit=2),)))
+        for key in ("a", "b"):
+            with pytest.raises(OSError):
+                ctl.fire("x", key, 0)
+        assert ctl.fire("x", "c", 0) is None  # budget spent
+
+    def test_errno_mapping(self):
+        ctl = ChaosController(ChaosPlan(rules=(
+            ChaosRule("full", "disk-full"),
+            ChaosRule("eio", "io-error"),
+            ChaosRule("net", "conn-reset"))))
+        with pytest.raises(OSError) as err:
+            ctl.fire("full", "k", 0)
+        assert err.value.errno == errno.ENOSPC
+        with pytest.raises(OSError) as err:
+            ctl.fire("eio", "k", 0)
+        assert err.value.errno == errno.EIO
+        with pytest.raises(ConnectionResetError):
+            ctl.fire("net", "k", 0)
+
+    def test_torn_write_returned_not_raised(self):
+        ctl = ChaosController(ChaosPlan(rules=(
+            ChaosRule("x", "torn-write"),)))
+        event = ctl.fire("x", "k", 0)
+        assert event is not None and event.fault == "torn-write"
+        assert 1 <= event.tear(100) <= 99
+        assert event.tear(1) == 1  # degenerate buffers not torn to 0
+
+    def test_armed_context_fires_and_disarms(self):
+        plan = ChaosPlan(rules=(ChaosRule("site.a", "io-error"),))
+        with armed(plan) as ctl:
+            with pytest.raises(OSError):
+                chaos_point("site.a", key="k")
+            assert ctl.summary()["by_fault"] == {"io-error": 1}
+        assert controller() is None
+        assert chaos_point("site.a", key="k") is None
+
+    def test_identical_fault_log_across_arms(self):
+        """Same plan, same crossings → byte-identical event log."""
+        plan = ChaosPlan(seed=9, rules=(
+            ChaosRule("x", "torn-write", p=0.4),))
+        logs = []
+        for _ in range(2):
+            with armed(plan) as ctl:
+                for site, key, attempt in crossings():
+                    chaos_point("x", key=key, attempt=attempt)
+                logs.append([(e.site, e.key, e.attempt, e.fault,
+                              e.fraction) for e in ctl.log])
+        assert logs[0] == logs[1]
+        assert logs[0]  # and something actually fired
+
+
+def test_fault_kinds_cover_controller():
+    assert set(FAULT_KINDS) == {"crash", "stall", "disk-full",
+                                "io-error", "conn-reset", "torn-write"}

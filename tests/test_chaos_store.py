@@ -1,0 +1,122 @@
+"""Store resilience under chaos: the torn-tail property (a kill at
+*every* byte offset leaves a recoverable canonical prefix), disk-full
+deferral, and torn-write retry without duplicate rows."""
+
+import pytest
+
+from repro.campaign.store import (APPEND_ATTEMPTS, CampaignStore,
+                                  canonical_record)
+from repro.chaos import ChaosPlan, ChaosRule, armed
+
+
+def make_records(n):
+    return [{"task_id": f"t{i:03d}", "outcome": "detected", "cycle": i}
+            for i in range(n)]
+
+
+RECORDS = make_records(4)
+LINES = [canonical_record(r) + "\n" for r in RECORDS]
+FULL = "".join(LINES).encode("utf-8")
+
+
+def store_at(tmp_path, name="camp"):
+    out = tmp_path / name
+    out.mkdir(parents=True, exist_ok=True)
+    return CampaignStore(out)
+
+
+class TestTornTailProperty:
+    def test_kill_at_every_byte_offset_recovers_canonical_prefix(
+            self, tmp_path):
+        """Satellite acceptance: for every prefix length of the results
+        file — i.e. a writer killed at every possible byte — the store
+        recovers exactly the longest whole-record prefix, and appending
+        the missing records converges on the canonical full file."""
+        for cut in range(len(FULL) + 1):
+            out = tmp_path / f"cut{cut:04d}"
+            out.mkdir()
+            store = CampaignStore(out)
+            store.results_path.write_bytes(FULL[:cut])
+
+            recovered = store.records()
+            # Never a torn or reordered row: always records[:n].
+            whole = FULL[:cut].rfind(b"\n") + 1
+            expected = FULL[:whole].decode().count("\n")
+            assert recovered == RECORDS[:expected], f"cut at {cut}"
+
+            # Resume: append only the missing records (what the engine
+            # does after completed_ids()), and the bytes converge.
+            missing = RECORDS[len(recovered):]
+            store.append(missing)
+            assert store.results_path.read_bytes() == FULL, \
+                f"cut at {cut} did not converge"
+
+    def test_repair_is_idempotent(self, tmp_path):
+        store = store_at(tmp_path)
+        store.results_path.write_bytes(FULL + b'{"torn": ')
+        assert store.records() == RECORDS
+        assert store.records() == RECORDS
+        assert store.results_path.read_bytes() == FULL
+
+
+class TestDiskFaults:
+    def test_disk_full_defers_batch_then_flushes(self, tmp_path):
+        store = store_at(tmp_path)
+        store.append(RECORDS[:2])
+        plan = ChaosPlan(rules=(
+            ChaosRule("campaign.store.append", "disk-full",
+                      max_attempt=APPEND_ATTEMPTS),))
+        with armed(plan):
+            store.append(RECORDS[2:])  # every attempt fails: defer
+        assert store.pending_batches == 1
+        assert store.write_errors == APPEND_ATTEMPTS
+        assert store.records() == RECORDS[:2]  # no partial rows
+        # Disk recovers: the deferred batch lands, in canonical order.
+        assert store.flush() is True
+        assert store.pending_batches == 0
+        assert store.results_path.read_bytes() == FULL
+
+    def test_torn_write_retries_without_duplicates(self, tmp_path):
+        store = store_at(tmp_path)
+        plan = ChaosPlan(seed=2, rules=(
+            ChaosRule("campaign.store.append", "torn-write",
+                      max_attempt=0),))  # first attempt only
+        with armed(plan):
+            store.append(RECORDS)  # tears, rolls back, retry lands
+        assert store.write_errors == 1
+        assert store.pending_batches == 0
+        assert store.results_path.read_bytes() == FULL
+
+    def test_deferred_batches_preserve_arrival_order(self, tmp_path):
+        store = store_at(tmp_path)
+        plan = ChaosPlan(rules=(
+            ChaosRule("campaign.store.append", "disk-full",
+                      max_attempt=APPEND_ATTEMPTS),))
+        with armed(plan):
+            store.append(RECORDS[:1])
+            store.append(RECORDS[1:3])
+        assert store.pending_batches == 2
+        store.append(RECORDS[3:])  # disk is back; drains everything
+        assert store.results_path.read_bytes() == FULL
+
+    def test_progress_write_degrades_to_warning(self, tmp_path):
+        store = store_at(tmp_path)
+        plan = ChaosPlan(rules=(
+            ChaosRule("campaign.store.progress", "disk-full",
+                      max_attempt=99),))
+        with armed(plan):
+            store.write_progress({"done": 1})  # must not raise
+            store.write_progress({"done": 2})
+        assert store.progress_errors == 2
+        assert store.load_progress() is None
+        store.write_progress({"done": 3})
+        assert store.load_progress() == {"done": 3}
+
+    def test_no_tmp_files_leak_on_progress_fault(self, tmp_path):
+        store = store_at(tmp_path)
+        plan = ChaosPlan(rules=(
+            ChaosRule("campaign.store.progress", "io-error",
+                      max_attempt=99),))
+        with armed(plan):
+            store.write_progress({"done": 1})
+        assert list(store.dir.glob("*.tmp")) == []

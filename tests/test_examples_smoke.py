@@ -76,3 +76,9 @@ class TestExamples:
         assert "one execution, two answers" in out
         assert "cache_hit=True" in out
         assert "drained cleanly" in out
+
+    def test_chaos_demo(self, capsys):
+        run_example("chaos_demo.py", ["6", "2"])
+        out = capsys.readouterr().out
+        assert "byte-identical to clean run: True" in out
+        assert "outcome 'infra-failure'" in out

@@ -54,7 +54,7 @@ class TestRoundTrip:
         hit = cache.get(job.cache_key())
         assert hit == RESULT
         assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1,
-                                 "evictions": 0}
+                                 "evictions": 0, "write_errors": 0}
 
     def test_hit_is_byte_identical(self, tmp_path):
         cache = ResultCache(tmp_path)
