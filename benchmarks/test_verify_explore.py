@@ -1,0 +1,83 @@
+"""Model-checker throughput: states/sec and state-space size for the
+default SRT protocol configuration, with and without sleep-set
+partial-order reduction.
+
+Shape assertions keep the state space from silently exploding (a model
+edit that multiplies reachable states shows up here before it turns a
+200ms CI verify run into a 2-hour one) and pin the POR contract: the
+reduction prunes *transitions* (sleep_skips > 0), never states, and
+always agrees with full BFS on the verdict.
+"""
+
+import time
+
+from repro.verify.explore import explore_bfs, explore_por
+from repro.verify.protocol import (ProtocolSystem, demo_configuration,
+                                   shipped_configurations)
+
+
+def default_srt_system():
+    [config] = [c for c in shipped_configurations()
+                if c.name == "srt-default"]
+    return ProtocolSystem(config)
+
+
+#: Reachable states of the default SRT configuration.  A model change
+#: is allowed to move this, but a blowup past the bound needs a look.
+STATE_BLOWUP_BOUND = 5_000
+
+
+def test_full_bfs_throughput(benchmark):
+    result = benchmark.pedantic(
+        lambda: explore_bfs(default_srt_system()),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.ok
+    assert result.states < STATE_BLOWUP_BOUND
+
+    start = time.perf_counter()
+    explore_bfs(default_srt_system())
+    elapsed = time.perf_counter() - start
+    print()
+    print(f"  full BFS: {result.states} states, "
+          f"{result.transitions} transitions, "
+          f"{result.states / elapsed:,.0f} states/sec")
+
+
+def test_por_throughput_and_parity(benchmark):
+    por = benchmark.pedantic(
+        lambda: explore_por(default_srt_system()),
+        rounds=3, iterations=1, warmup_rounds=1)
+    full = explore_bfs(default_srt_system())
+
+    start = time.perf_counter()
+    explore_por(default_srt_system())
+    elapsed = time.perf_counter() - start
+    print()
+    print(f"  POR DFS:  {por.states} states, "
+          f"{por.transitions} transitions fired, "
+          f"{por.sleep_skips} sleep-set skips, "
+          f"{por.states / elapsed:,.0f} states/sec")
+    print(f"  parity:   BFS {full.states} states / "
+          f"{full.transitions} transitions")
+
+    assert por.ok == full.ok
+    assert por.states == full.states  # sleep sets never prune states
+    assert por.sleep_skips > 0        # ...but they do prune transitions
+
+
+def test_whole_shipped_sweep_stays_cheap(benchmark):
+    """The CI gate explores every shipped configuration; the whole
+    sweep must stay interactive (it is a test-time gate, not a batch
+    job)."""
+    configs = shipped_configurations()
+
+    def sweep():
+        return [explore_por(ProtocolSystem(c)) for c in configs]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    total_states = sum(r.states for r in results)
+    assert all(r.ok for r in results)
+    print()
+    print(f"  {len(configs)} configurations, "
+          f"{total_states} total states")
+    assert total_states < len(configs) * STATE_BLOWUP_BOUND

@@ -10,6 +10,7 @@ Usage::
     python -m repro analyze program.asm --strict
     python -m repro analyze --generated all-profiles --seeds 3
     python -m repro lint --strict
+    python -m repro verify all --strict
 """
 
 import argparse
@@ -85,6 +86,8 @@ def cmd_list() -> int:
           "the simulator ('lint --help', '--rules')")
     print("  avf                static ACE/AVF vulnerability analyzer "
           "('avf --help'; cross-check with 'campaign validate-avf')")
+    print("  verify             concurrency verifier: SRT/CRT queue-"
+          "protocol model checker + lockset analysis ('verify --help')")
     return 0
 
 
@@ -118,6 +121,10 @@ def main(argv=None) -> int:
         # Simulator-invariant linter (determinism / layering / pickle).
         from repro.analysis.cli import cmd_lint
         return cmd_lint(argv[1:])
+    if argv and argv[0] == "verify":
+        # Concurrency verifier: protocol model checker + lockset pass.
+        from repro.verify.cli import cmd_verify
+        return cmd_verify(argv[1:])
     if argv and argv[0] == "avf":
         # Static ACE/AVF vulnerability analyzer.
         from repro.avf.cli import cmd_avf

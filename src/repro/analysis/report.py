@@ -116,7 +116,9 @@ def render_lint_rules() -> str:
         lines.append(f"  {rule.id:<6s} [{rule.severity:<7s}] {rule.summary}")
     lines.append("")
     lines.append("suppress a line with: "
-                 "'# simlint: disable=<RULE>[,<RULE>...]'")
+                 "'# simlint: disable=<RULE>[,<RULE>...]'; "
+                 "a whole module with: "
+                 "'# simlint: disable-file=<RULE>[,<RULE>...]'")
     return "\n".join(lines)
 
 

@@ -25,9 +25,17 @@ Rule families (see ``docs/ANALYSIS.md`` for the full catalogue):
   without tracking an attempt budget spins forever once the fault
   turns out to be permanent (see ``docs/CHAOS.md``).
 
+- **S5 lock discipline** — S501/S502/S503 live in
+  :mod:`repro.verify.lockset` (the static lockset analyzer, PR 8) but
+  register here so severity lookup, the rule catalogue, and the
+  suppression machinery are shared across both tools.
+
 Suppression: append ``# simlint: disable=S101`` (comma-separate for
-several rules) to the offending line.  Every suppression is an audited
-exception, greppable by rule id.
+several rules) to the offending line, or put
+``# simlint: disable-file=S501`` on a line of its own anywhere in the
+module to waive rules file-wide (module-level waivers beat a pragma on
+every line).  Every suppression is an audited exception, greppable by
+rule id.
 
 Only the stdlib :mod:`ast` is used; no third-party linter frameworks.
 """
@@ -63,6 +71,8 @@ _CLOCK_ATTRS = {"time", "time_ns", "perf_counter", "perf_counter_ns",
                 "monotonic", "monotonic_ns", "process_time"}
 
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*simlint:\s*disable-file=([A-Za-z0-9,\s]+)")
 
 
 @dataclass(frozen=True)
@@ -101,6 +111,19 @@ LINT_RULES: Dict[str, LintRule] = {rule.id: rule for rule in [
              "unbounded retry loop — a while-True except handler that "
              "swallows the error without an attempt cap retries "
              "forever when the fault is permanent"),
+    # S5 lock discipline: emitted by repro.verify.lockset, registered
+    # here so severities and the catalogue stay in one place.
+    LintRule("S501", "error",
+             "shared mutable attribute accessed outside its guarding "
+             "lock — declare the guard in the class docstring "
+             "('Concurrency:' block) or take the lock"),
+    LintRule("S502", "error",
+             "lock acquisition-order cycle — two code paths take the "
+             "same locks in opposite orders and can deadlock"),
+    LintRule("S503", "warning",
+             "blocking call while holding a lock — waits, joins, "
+             "sleeps, and socket/queue reads under a lock stall every "
+             "other thread contending for it"),
 ]}
 
 
@@ -123,15 +146,45 @@ class LintFinding:
                f"[{self.severity}] {self.message}"
 
 
+def _parse_rules(group: str) -> Set[str]:
+    return {part.strip() for part in group.split(",") if part.strip()}
+
+
+@dataclass
+class SuppressionTable:
+    """Per-line and file-wide ``# simlint:`` pragmas of one module.
+
+    Shared by the simulator linter and the lockset analyzer
+    (:mod:`repro.verify.lockset`) so both tools honour the same audited
+    exceptions.
+    """
+
+    lines: Dict[int, Set[str]]
+    file_wide: Set[str]
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionTable":
+        lines: Dict[int, Set[str]] = {}
+        file_wide: Set[str] = set()
+        for line_no, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_FILE_RE.search(line)
+            if match:
+                file_wide |= _parse_rules(match.group(1))
+                continue  # disable-file= is not also a line pragma
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                lines[line_no] = _parse_rules(match.group(1))
+        return cls(lines=lines, file_wide=file_wide)
+
+    def active(self, rule: str, line: int) -> bool:
+        """Is ``rule`` suppressed at ``line``?"""
+        return rule in self.file_wide or rule in self.lines.get(line, ())
+
+
 def _suppressions(source: str) -> Dict[int, Set[str]]:
-    table: Dict[int, Set[str]] = {}
-    for line_no, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match:
-            rules = {part.strip() for part in match.group(1).split(",")
-                     if part.strip()}
-            table[line_no] = rules
-    return table
+    """Line-pragma table only (historical helper; the full machinery
+    including file-wide waivers is :class:`SuppressionTable`)."""
+    return SuppressionTable.from_source(source).lines
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -246,7 +299,7 @@ class _ModuleLinter(ast.NodeVisitor):
     def __init__(self, rel_path: str, source: str) -> None:
         self.rel = rel_path  # e.g. "pipeline/core.py"
         self.layer = rel_path.split("/", 1)[0] if "/" in rel_path else ""
-        self.suppress = _suppressions(source)
+        self.suppress = SuppressionTable.from_source(source)
         self.findings: List[LintFinding] = []
         self.is_wire = any(p.search(rel_path) for p in WIRE_MODULE_PATTERNS)
         self._tree = ast.parse(source, filename=rel_path)
@@ -259,7 +312,7 @@ class _ModuleLinter(ast.NodeVisitor):
 
     def report(self, rule: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)
-        if rule in self.suppress.get(line, ()):  # audited exception
+        if self.suppress.active(rule, line):  # audited exception
             return
         self.findings.append(LintFinding(rule, self.rel, line, message))
 

@@ -30,6 +30,7 @@ import json
 import logging
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -43,10 +44,21 @@ ENTRY_VERSION = 1
 
 
 class ResultCache:
-    """On-disk content-addressed store for finished job payloads."""
+    """On-disk content-addressed store for finished job payloads.
+
+    Called from executor worker threads (scheduler hit-probes and
+    post-run seals) concurrently with loop-side ``stats()`` reads, so
+    the counters share one lock; entry files themselves need none —
+    writes are single-``os.replace`` atomic and reads reseal-verify.
+
+    Concurrency:
+        guarded-by _lock: hits, misses, evictions, write_errors
+        unguarded-ok: root
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -64,7 +76,8 @@ class ResultCache:
         """
         path = self.path(key)
         if not path.exists():
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         try:
             chaos_point("serve.cache.get", key=key)
@@ -76,12 +89,14 @@ class ResultCache:
         except OSError:
             # Transient read fault: degrade to a miss (recompute) but
             # keep the entry — the bytes on disk may be fine.
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         if not self._entry_valid(key, entry):
             self._evict_corrupt(path)
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return entry["result"]
 
     @staticmethod
@@ -95,8 +110,9 @@ class ResultCache:
         return entry.get("sha256") == payload_digest(entry["result"])
 
     def _evict_corrupt(self, path: Path) -> None:
-        self.misses += 1
-        self.evictions += 1
+        with self._lock:
+            self.misses += 1
+            self.evictions += 1
         try:
             path.unlink()
         except OSError:
@@ -117,7 +133,8 @@ class ResultCache:
         try:
             self._put_sealed(key, spec, result)
         except OSError as error:
-            self.write_errors += 1
+            with self._lock:
+                self.write_errors += 1
             run_log.warning(
                 "result cache: write for %s failed (%s); serving "
                 "uncached", key[:12], error)
@@ -165,7 +182,8 @@ class ResultCache:
         path = self.path(key)
         if not path.exists():
             return False
-        self.evictions += 1
+        with self._lock:
+            self.evictions += 1
         path.unlink()
         return True
 
@@ -176,10 +194,12 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "entries": self.entry_count(),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "write_errors": self.write_errors,
-        }
+        entries = self.entry_count()
+        with self._lock:
+            return {
+                "entries": entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "write_errors": self.write_errors,
+            }

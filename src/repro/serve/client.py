@@ -28,6 +28,9 @@ Transport resilience (the network is not reliable):
 
 ``ping`` bypasses all of this: it *is* the retry loop (startup races),
 and its probes must not trip or consult the breaker.
+
+Concurrency:
+    guarded-by _BREAKERS_LOCK: _BREAKERS
 """
 
 import http.client
@@ -94,7 +97,16 @@ class CircuitOpenError(ConnectionError):
 
 
 class _CircuitBreaker:
-    """Classic closed → open → half-open breaker, one per host."""
+    """Classic closed → open → half-open breaker, one per host.
+
+    Process-global and consulted from every thread that talks HTTP, so
+    the whole state machine sits under one lock; threshold/cooldown
+    are immutable after construction.
+
+    Concurrency:
+        guarded-by _lock: state, failures, opened_at
+        unguarded-ok: threshold, cooldown_s
+    """
 
     def __init__(self, threshold: int = BREAKER_THRESHOLD,
                  cooldown_s: float = BREAKER_COOLDOWN_S) -> None:

@@ -93,7 +93,23 @@ class Draining(Exception):
 
 
 class Job:
-    """One submission's full lifecycle record."""
+    """One submission's full lifecycle record.
+
+    Every lifecycle field is written by the scheduler on the event
+    loop; the one deliberate exception is ``cancel_event``, a
+    ``threading.Event`` whose *set* side stays on the loop while the
+    executor thread polls ``is_set()`` between chunk boundaries —
+    Event is internally locked, so it needs no guard here.
+    ``done_event`` is an ``asyncio.Event``: strictly loop-side.
+
+    Concurrency:
+        loop-confined: state, cache_hit, coalesced_with, result, error
+        loop-confined: started_at, finished_at, infra_retries
+        loop-confined: failure_chain, followers, superseded_by
+        loop-confined: done_event
+        unguarded-ok: job_id, spec, key, client, priority, seq
+        unguarded-ok: submitted_at, cancel_event
+    """
 
     def __init__(self, job_id: str, spec: JobSpec, client: str,
                  priority: int, seq: int) -> None:
@@ -153,7 +169,24 @@ class Job:
 
 
 class Scheduler:
-    """Owns the queue, the running set, the counters, and the cache."""
+    """Owns the queue, the running set, the counters, and the cache.
+
+    Lock-free by construction: all mutable scheduler state is
+    loop-confined — touched only from coroutines and callbacks running
+    on the event loop.  The only work that leaves the loop is
+    ``self.pool.execute`` (handed to the thread-pool executor), which
+    receives the job's spec and cancel event but never this object.
+    The result cache is thread-safe internally (it is called from
+    worker threads in other deployments) and the remaining references
+    are immutable after ``__init__``.
+
+    Concurrency:
+        loop-confined: jobs, _queued, _running, _by_key, _served
+        loop-confined: _durations, _seq, _wake, _draining
+        loop-confined: _dispatcher, _executor, counters, infra_requeues
+        unguarded-ok: pool, cache, max_queue, max_running
+        unguarded-ok: job_timeout, infra_retry_budget
+    """
 
     def __init__(self, pool, cache: ResultCache, max_queue: int = 16,
                  max_running: int = 2, job_timeout: float = 0.0,

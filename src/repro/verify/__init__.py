@@ -1,0 +1,32 @@
+"""repro.verify — the concurrency verifier (see ``docs/VERIFY.md``).
+
+Two engines, one CLI (``python -m repro verify <protocol|lockset|all>``):
+
+- **Engine A** (:mod:`repro.verify.protocol` +
+  :mod:`repro.verify.explore`): the SRT/CRT leading/trailing queue
+  protocol — slack-gated fetch through the LPQ, LVQ input replication,
+  store-comparator output verification, checkpoint ring — extracted
+  into an explicit-state transition system and exhaustively explored
+  over every interleaving (sleep-set partial-order reduction optional),
+  proving deadlock-freedom, bounded slack, replication integrity, and
+  in-order verified store commit; a seeded protocol mutation yields a
+  minimal counterexample schedule instead.
+- **Engine B** (:mod:`repro.verify.lockset`): a flow-sensitive static
+  lockset pass over the threaded serve/campaign/chaos stack, checking
+  the per-class ``Concurrency:`` docstring contracts (rules S501–S503,
+  suppressible through the simlint pragma machinery).
+"""
+
+from repro.verify.explore import (Counterexample, ExploreResult,
+                                  StateExplosion, explore)
+from repro.verify.lockset import LOCKSET_TARGETS, analyze_lockset
+from repro.verify.protocol import (MUTATIONS, ProtocolConfig,
+                                   ProtocolSystem, demo_configuration,
+                                   shipped_configurations, verify_protocol)
+
+__all__ = [
+    "Counterexample", "ExploreResult", "StateExplosion", "explore",
+    "LOCKSET_TARGETS", "analyze_lockset",
+    "MUTATIONS", "ProtocolConfig", "ProtocolSystem",
+    "demo_configuration", "shipped_configurations", "verify_protocol",
+]

@@ -1,0 +1,137 @@
+"""CLI verb for the concurrency verifier.
+
+``python -m repro verify <protocol|lockset|all>`` — run Engine A (the
+SRT/CRT queue-protocol model checker), Engine B (the static lockset
+analyzer), or both, with the unified JSON envelope the other analysis
+verbs emit.
+
+Exit codes follow the analysis convention: 0 clean, 1 findings at the
+gating severity (protocol violations and S5xx errors always gate;
+warnings too with ``--strict``), 2 usage error.
+
+``--mutation NAME`` verifies the demo configuration with one of the
+seeded protocol mutations applied — used by CI to prove the checker
+actually rejects broken protocols (exit must be nonzero and the
+counterexample schedule must match the golden fixture).
+"""
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import report as rpt
+from repro.analysis.simlint import LintFinding
+from repro.verify.explore import ExploreResult, StateExplosion
+from repro.verify.lockset import analyze_lockset
+from repro.verify.protocol import (MUTATIONS, demo_configuration,
+                                   shipped_configurations, verify_protocol)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description="Concurrency verifier: exhaustive model checking "
+                    "of the SRT/CRT queue protocols + static lockset "
+                    "analysis of the threaded serve/campaign stack")
+    parser.add_argument("engine", nargs="?", default="all",
+                        choices=("protocol", "lockset", "all"),
+                        help="which engine to run (default: all)")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings also fail the run")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    parser.add_argument("--config", default=None,
+                        help="verify only the named protocol "
+                             "configuration (default: all shipped)")
+    parser.add_argument("--mutation", choices=sorted(MUTATIONS),
+                        default=None,
+                        help="apply a seeded protocol mutation to the "
+                             "demo configuration (CI negative test)")
+    parser.add_argument("--no-por", action="store_true",
+                        help="plain BFS without sleep-set reduction")
+    parser.add_argument("--max-states", type=int, default=None,
+                        help="state-budget override per configuration")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the S5xx rule catalogue and exit")
+    return parser
+
+
+def _protocol_results(args: argparse.Namespace) -> List[ExploreResult]:
+    if args.mutation is not None:
+        configs = [demo_configuration()]
+    else:
+        configs = shipped_configurations()
+    if args.config is not None:
+        configs = [c for c in configs if c.name == args.config]
+        if not configs:
+            raise KeyError(
+                f"unknown protocol configuration {args.config!r}")
+    kwargs: Dict[str, object] = {"por": not args.no_por}
+    if args.max_states is not None:
+        kwargs["max_states"] = args.max_states
+    return [verify_protocol(config, mutation=args.mutation, **kwargs)
+            for config in configs]
+
+
+def _render_protocol(results: Sequence[ExploreResult]) -> str:
+    lines = []
+    for result in results:
+        status = "ok" if result.ok else "VIOLATION"
+        lines.append(
+            f"{result.system:<44s} {status:<10s} "
+            f"states={result.states:<6d} "
+            f"transitions={result.transitions}")
+        if result.counterexample is not None:
+            for line in result.counterexample.render().splitlines():
+                lines.append(f"    {line}")
+    clean = sum(1 for r in results if r.ok)
+    lines.append(f"\nprotocol: {clean}/{len(results)} "
+                 f"configuration(s) verified")
+    return "\n".join(lines)
+
+
+def cmd_verify(argv: Sequence[str]) -> int:
+    args = _build_parser().parse_args(list(argv))
+    if args.rules:
+        print(rpt.render_lint_rules())
+        return 0
+    if args.mutation is not None and args.engine == "lockset":
+        print("error: --mutation applies to the protocol engine",
+              file=sys.stderr)
+        return 2
+
+    protocol_results: List[ExploreResult] = []
+    findings: List[LintFinding] = []
+    try:
+        if args.engine in ("protocol", "all"):
+            protocol_results = _protocol_results(args)
+        if args.engine in ("lockset", "all") and args.mutation is None:
+            findings = analyze_lockset()
+    except (KeyError, StateExplosion) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    protocol_bad = sum(1 for r in protocol_results if not r.ok)
+    errors = sum(1 for f in findings if f.severity == "error")
+    gating = protocol_bad + (len(findings) if args.strict else errors)
+
+    if args.format == "json":
+        detail = rpt.lint_to_dict(findings)
+        payload = rpt.envelope(
+            "verify", not gating, detail.pop("findings"),
+            strict=args.strict,
+            engine=args.engine,
+            mutation=args.mutation,
+            protocol=[r.to_dict() for r in protocol_results],
+            protocol_violations=protocol_bad,
+            **detail)
+        print(rpt.to_json(payload))
+    else:
+        sections = []
+        if protocol_results:
+            sections.append(_render_protocol(protocol_results))
+        if args.engine in ("lockset", "all") and args.mutation is None:
+            sections.append(rpt.render_lint(findings))
+        print("\n\n".join(sections))
+    return 1 if gating else 0

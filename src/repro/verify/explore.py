@@ -1,0 +1,306 @@
+"""Explicit-state exploration: exhaustive BFS and sleep-set POR DFS.
+
+The explorer is generic over a :class:`TransitionSystem`: hashable
+states, a deterministic ``enabled(state)`` successor function, a
+``check(state)`` invariant predicate, and a ``footprint(label)`` map
+feeding the independence relation.  Two strategies share it:
+
+- :func:`explore_bfs` — plain breadth-first search over the full
+  interleaving graph.  Every reachable state is visited exactly once;
+  because the frontier expands in schedule-length order, the first
+  violation found is reached by a **minimal** (shortest, and among
+  shortest the enumeration-order-first) schedule.  This is the engine
+  behind golden counterexample traces.
+- :func:`explore_por` — depth-first search with **sleep sets**
+  (Godefroid).  After firing transition ``t`` from a state, every
+  sibling explored *before* ``t`` that is independent of ``t`` goes to
+  sleep in the successor: the interleaving that fires it there is a
+  commutation of one already explored.  Sleep sets prune redundant
+  *transitions*, never states — combined with the superset rule at
+  re-visits (a state reached again with a sleep set that is not a
+  superset of the stored one is re-expanded with the intersection),
+  every reachable state is still visited, so invariant checks and
+  deadlock detection remain sound (the argument is spelled out in
+  ``docs/VERIFY.md``).
+
+Determinism: both strategies iterate ``enabled`` in the order the
+system produces it and use no hashing-order-sensitive structure for
+scheduling, so states visited, transition counts, and counterexample
+schedules are bit-stable run to run.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+State = Hashable
+
+#: Default guard against state-space blowup (a mis-built model, not a
+#: legitimate configuration: the shipped protocol configs stay far
+#: below this).
+DEFAULT_MAX_STATES = 2_000_000
+
+
+class StateExplosion(RuntimeError):
+    """The exploration exceeded its state budget."""
+
+
+class TransitionSystem:
+    """Duck-typed base: concrete systems override all four hooks."""
+
+    name = "abstract"
+
+    def initial(self) -> State:
+        raise NotImplementedError
+
+    def enabled(self, state: State) -> List[Tuple[str, State]]:
+        """Deterministically ordered (label, successor) pairs."""
+        raise NotImplementedError
+
+    def is_final(self, state: State) -> bool:
+        """True for states where quiescence is legitimate (run done)."""
+        raise NotImplementedError
+
+    def check(self, state: State) -> Optional[str]:
+        """An invariant-violation message, or None."""
+        return None
+
+    def footprint(self, label: str) -> FrozenSet[str]:
+        """Components the transition reads or writes.  Two transitions
+        with disjoint footprints commute and cannot enable or disable
+        each other — the (conservative) independence relation."""
+        return frozenset(("*",))  # default: everything conflicts
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    kind: str                     # "deadlock" | "invariant"
+    reason: str
+    schedule: Tuple[str, ...]     # transition labels from the initial state
+    minimal: bool                 # produced by BFS (shortest schedule)
+
+    def render(self) -> str:
+        lines = [f"{self.kind}: {self.reason}"]
+        if self.schedule:
+            lines.append(f"  schedule ({len(self.schedule)} steps):")
+            for step, label in enumerate(self.schedule):
+                lines.append(f"    {step + 1:>3d}. {label}")
+        else:
+            lines.append("  schedule: <empty — the initial state violates>")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExploreResult:
+    system: str
+    ok: bool
+    states: int                   # distinct states visited
+    transitions: int              # transitions fired (successors computed)
+    por: bool
+    sleep_skips: int = 0          # transitions pruned by sleep sets
+    counterexample: Optional[Counterexample] = None
+    final_states: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "system": self.system,
+            "ok": self.ok,
+            "states": self.states,
+            "transitions": self.transitions,
+            "por": self.por,
+            "sleep_skips": self.sleep_skips,
+            "final_states": self.final_states,
+        }
+        if self.counterexample is not None:
+            payload["counterexample"] = {
+                "kind": self.counterexample.kind,
+                "reason": self.counterexample.reason,
+                "schedule": list(self.counterexample.schedule),
+                "minimal": self.counterexample.minimal,
+            }
+        return payload
+
+
+@dataclass
+class _Independence:
+    """Footprint-disjointness independence with per-pair memoization."""
+
+    system: TransitionSystem
+    _foot: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def footprint(self, label: str) -> FrozenSet[str]:
+        cached = self._foot.get(label)
+        if cached is None:
+            cached = self.system.footprint(label)
+            self._foot[label] = cached
+        return cached
+
+    def independent(self, a: str, b: str) -> bool:
+        fa, fb = self.footprint(a), self.footprint(b)
+        if "*" in fa or "*" in fb:
+            return False
+        return not (fa & fb)
+
+
+def _violation(system: TransitionSystem, state: State,
+               schedule: Tuple[str, ...],
+               minimal: bool) -> Optional[Counterexample]:
+    reason = system.check(state)
+    if reason is not None:
+        return Counterexample("invariant", reason, schedule, minimal)
+    return None
+
+
+def _deadlock(system: TransitionSystem, state: State, n_enabled: int,
+              schedule: Tuple[str, ...],
+              minimal: bool) -> Optional[Counterexample]:
+    if n_enabled == 0 and not system.is_final(state):
+        return Counterexample(
+            "deadlock",
+            "non-final state with no enabled transition", schedule, minimal)
+    return None
+
+
+def explore_bfs(system: TransitionSystem,
+                max_states: int = DEFAULT_MAX_STATES) -> ExploreResult:
+    """Exhaustive breadth-first search; minimal counterexamples."""
+    initial = system.initial()
+    parent: Dict[State, Optional[Tuple[State, str]]] = {initial: None}
+    queue: deque = deque([initial])
+    transitions = 0
+    finals = 0
+
+    def schedule_to(state: State) -> Tuple[str, ...]:
+        labels: List[str] = []
+        cursor: Optional[State] = state
+        while parent[cursor] is not None:
+            cursor, label = parent[cursor]  # type: ignore[misc]
+            labels.append(label)
+        return tuple(reversed(labels))
+
+    while queue:
+        state = queue.popleft()
+        bad = _violation(system, state, schedule_to(state), minimal=True)
+        if bad is not None:
+            return ExploreResult(system.name, False, len(parent),
+                                 transitions, por=False, counterexample=bad)
+        successors = system.enabled(state)
+        transitions += len(successors)
+        dead = _deadlock(system, state, len(successors),
+                         schedule_to(state), minimal=True)
+        if dead is not None:
+            return ExploreResult(system.name, False, len(parent),
+                                 transitions, por=False, counterexample=dead)
+        if not successors:
+            finals += 1
+        for label, successor in successors:
+            if successor not in parent:
+                if len(parent) >= max_states:
+                    raise StateExplosion(
+                        f"{system.name}: more than {max_states} states")
+                parent[successor] = (state, label)
+                queue.append(successor)
+    return ExploreResult(system.name, True, len(parent), transitions,
+                         por=False, final_states=finals)
+
+
+def explore_por(system: TransitionSystem,
+                max_states: int = DEFAULT_MAX_STATES) -> ExploreResult:
+    """DFS with sleep sets.  Same verdict as :func:`explore_bfs`; the
+    counterexample schedule (if any) is valid but not necessarily
+    minimal — callers wanting the golden minimal trace re-run BFS."""
+    indep = _Independence(system)
+    initial = system.initial()
+    #: state -> sleep set it was last expanded with (superset rule).
+    expanded: Dict[State, FrozenSet[str]] = {}
+    transitions = 0
+    sleep_skips = 0
+    finals = 0
+    stack: List[Tuple[State, FrozenSet[str], Tuple[str, ...]]] = [
+        (initial, frozenset(), ())]
+
+    while stack:
+        state, sleep, schedule = stack.pop()
+        stored = expanded.get(state)
+        if stored is not None:
+            if sleep >= stored:
+                continue  # already expanded at least this permissively
+            sleep = sleep & stored
+        expanded[state] = sleep
+        if stored is None and len(expanded) > max_states:
+            raise StateExplosion(
+                f"{system.name}: more than {max_states} states")
+
+        bad = _violation(system, state, schedule, minimal=False)
+        if bad is not None:
+            return ExploreResult(system.name, False, len(expanded),
+                                 transitions, por=True,
+                                 sleep_skips=sleep_skips, counterexample=bad)
+        successors = system.enabled(state)
+        dead = _deadlock(system, state, len(successors), schedule,
+                         minimal=False)
+        if dead is not None:
+            return ExploreResult(system.name, False, len(expanded),
+                                 transitions, por=True,
+                                 sleep_skips=sleep_skips, counterexample=dead)
+        if not successors:
+            finals += 1
+        explored_here: List[str] = []
+        for label, successor in successors:
+            if label in sleep:
+                sleep_skips += 1
+                continue
+            transitions += 1
+            successor_sleep = frozenset(
+                t for t in (sleep | frozenset(explored_here))
+                if indep.independent(t, label))
+            stack.append((successor, successor_sleep, schedule + (label,)))
+            explored_here.append(label)
+    return ExploreResult(system.name, True, len(expanded), transitions,
+                         por=True, sleep_skips=sleep_skips,
+                         final_states=finals)
+
+
+def explore(system: TransitionSystem, por: bool = True,
+            max_states: int = DEFAULT_MAX_STATES) -> ExploreResult:
+    """Verify ``system``; on violation, always report a minimal trace.
+
+    POR proves the clean case fast; reduced search does not preserve
+    shortest paths, so a violation found under POR triggers one
+    unreduced BFS to reconstruct the minimal schedule (the mutated
+    systems that need this are tiny — the expensive exhaustive runs
+    are exactly the clean ones POR accelerates).
+    """
+    if not por:
+        return explore_bfs(system, max_states=max_states)
+    result = explore_por(system, max_states=max_states)
+    if result.ok:
+        return result
+    minimal = explore_bfs(system, max_states=max_states)
+    # Keep the POR accounting (it did the discovery) but serve the
+    # minimal counterexample.
+    result.counterexample = minimal.counterexample
+    return result
+
+
+def replay(system: TransitionSystem,
+           schedule: Sequence[str]) -> Tuple[State, Optional[str]]:
+    """Run ``schedule`` from the initial state; (final state, violation).
+
+    Raises ValueError if a label is not enabled where the schedule
+    demands it — a golden trace that stopped replaying exposes a model
+    change that must re-bless the fixture.
+    """
+    state = system.initial()
+    for position, label in enumerate(schedule):
+        for candidate, successor in system.enabled(state):
+            if candidate == label:
+                state = successor
+                break
+        else:
+            enabled_now = ", ".join(
+                label for label, _ in system.enabled(state)) or "<none>"
+            raise ValueError(
+                f"schedule step {position + 1} ({label!r}) not enabled; "
+                f"enabled: {enabled_now}")
+    return state, system.check(state)

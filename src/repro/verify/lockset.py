@@ -1,0 +1,609 @@
+"""Static lockset analysis for the threaded serve/campaign/chaos stack.
+
+The serve layer mixes three concurrency domains: the asyncio event loop
+(scheduler state is *loop-confined* — touched only from loop
+callbacks), worker threads (the simulation executor, the result-cache
+callers, the circuit breakers), and cross-domain hand-off objects
+(``threading.Event`` flags crossed into executor threads).  The lock
+discipline separating them was, before this pass, enforced only by
+convention.
+
+Engine B makes the convention checkable.  Each class (or module)
+declares its discipline in a ``Concurrency:`` docstring block::
+
+    Concurrency:
+        guarded-by _lock: hits, misses, evictions
+        loop-confined: jobs, _queued, _running
+        unguarded-ok: cancel_event
+
+and a flow-sensitive stdlib-``ast`` pass checks the code against it:
+
+- **S501** — a ``guarded-by`` field accessed outside a ``with`` region
+  holding its lock (``__init__`` excepted: the object is not yet
+  shared).  A ``loop-confined`` field accessed from a method that runs
+  off-loop (handed to ``run_in_executor``/``Executor.submit`` or a
+  ``Thread(target=...)``) is the same defect.  When a class declares a
+  contract, any field *written* outside ``__init__`` must appear in it
+  — silent growth of undeclared shared state is flagged too.  Classes
+  that own locks but declare nothing are checked in inference mode: a
+  field written both under a lock and outside any lock is flagged.
+- **S502** — lock acquisition-order cycles.  Acquiring lock B while
+  holding lock A adds edge A→B (including one call level deep through
+  ``self.method()`` and ``self.attr.method()`` receivers); any cycle
+  in the resulting graph across every analyzed module is a potential
+  deadlock.
+- **S503** — blocking calls made while holding a lock: ``.wait()`` on
+  anything but the held condition itself, thread/process ``.join()``,
+  ``time.sleep``, socket reads, and ``Queue.get/.put``.
+
+A method docstring containing ``Caller must hold <lock>.`` is trusted
+as a precondition: the body is analyzed with that lock held (the claim
+itself is the caller's obligation — the documented, greppable kind).
+
+Findings reuse the simlint machinery (:class:`LintFinding`,
+``# simlint: disable=`` / ``disable-file=`` pragmas, severity registry)
+so ``repro verify lockset`` and ``repro lint`` speak one language.
+"""
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.simlint import (LintFinding, SuppressionTable,
+                                    package_root)
+
+#: Modules under the repro package root the shipped-tree analysis
+#: covers: everything that owns a lock or runs threaded today.
+LOCKSET_TARGETS = (
+    "serve/scheduler.py",
+    "serve/cache.py",
+    "serve/api.py",
+    "serve/client.py",
+    "serve/pool.py",
+    "campaign/store.py",
+    "campaign/engine.py",
+    "chaos/controller.py",
+)
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                   "BoundedSemaphore"}
+_BLOCKING_ATTRS = {"wait", "recv", "recv_into", "accept", "urlopen",
+                   "getresponse", "select"}
+_CONTRACT_RE = re.compile(
+    r"^\s*(?:(guarded-by)\s+(\w+)|(loop-confined)|(unguarded-ok))\s*:"
+    r"\s*(.*)$")
+_PRECONDITION_RE = re.compile(r"Caller must hold\s+`?(\w+)`?")
+
+
+def _is_lock_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return (isinstance(func, ast.Attribute)
+            and func.attr in _LOCK_FACTORIES)
+
+
+def _is_queue_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else "")
+    return name in {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue"}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` → ``"X"``, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+@dataclass
+class Contract:
+    """One class's declared concurrency discipline."""
+
+    guards: Dict[str, str] = field(default_factory=dict)  # field -> lock
+    loop_confined: Set[str] = field(default_factory=set)
+    unguarded_ok: Set[str] = field(default_factory=set)
+    declared: bool = False
+
+    def mentions(self, name: str) -> bool:
+        return (name in self.guards or name in self.loop_confined
+                or name in self.unguarded_ok)
+
+    @classmethod
+    def from_docstring(cls, doc: Optional[str]) -> "Contract":
+        contract = cls()
+        if not doc:
+            return contract
+        in_block = False
+        for raw in doc.splitlines():
+            line = raw.strip()
+            if line == "Concurrency:":
+                in_block = True
+                contract.declared = True
+                continue
+            if not in_block:
+                continue
+            match = _CONTRACT_RE.match(raw)
+            if match is None:
+                if line:  # a non-entry line ends the block
+                    in_block = False
+                continue
+            fields = {part.strip() for part in match.group(5).split(",")
+                      if part.strip()}
+            if match.group(1):          # guarded-by <lock>:
+                for name in fields:
+                    contract.guards[name] = match.group(2)
+            elif match.group(3):        # loop-confined:
+                contract.loop_confined |= fields
+            else:                       # unguarded-ok:
+                contract.unguarded_ok |= fields
+        return contract
+
+
+@dataclass
+class _ClassModel:
+    name: str
+    node: ast.ClassDef
+    contract: Contract
+    locks: Set[str] = field(default_factory=set)       # self.<lock> attrs
+    queues: Set[str] = field(default_factory=set)      # Queue-typed attrs
+    members: Dict[str, str] = field(default_factory=dict)  # attr -> class
+    off_loop: Set[str] = field(default_factory=set)    # methods run off-loop
+    #: method name -> lock nodes it acquires directly (for S502 edges
+    #: one call level deep).
+    acquired_by_method: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def lock_node(self, lockattr: str) -> str:
+        return f"{self.name}.{lockattr}"
+
+
+class _ModuleAnalysis:
+    """Per-module pass; cross-module state (the lock-order graph) is
+    accumulated by :class:`LocksetAnalyzer`."""
+
+    def __init__(self, rel_path: str, source: str) -> None:
+        self.rel = rel_path
+        self.suppress = SuppressionTable.from_source(source)
+        self.tree = ast.parse(source, filename=rel_path)
+        self.findings: List[LintFinding] = []
+        self.classes: Dict[str, _ClassModel] = {}
+        self.module_locks: Set[str] = set()   # module-level lock globals
+        self.module_contract = Contract.from_docstring(
+            ast.get_docstring(self.tree))
+        #: (holder, acquired, line) lock-order edges discovered here.
+        self.edges: List[Tuple[str, str, int]] = []
+        self._collect()
+        #: Class registry for call-through edge resolution; widened to
+        #: the whole analysis universe by :func:`analyze_modules` so
+        #: holding a lock while calling into another module's class
+        #: still contributes acquisition-order edges.
+        self.all_classes: Dict[str, _ClassModel] = self.classes
+
+    # -- pass 1: structure --------------------------------------------------
+    def _collect(self) -> None:
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.Assign) and _is_lock_ctor(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_locks.add(target.id)
+            if isinstance(stmt, ast.ClassDef):
+                model = _ClassModel(
+                    name=stmt.name, node=stmt,
+                    contract=Contract.from_docstring(
+                        ast.get_docstring(stmt)))
+                self._collect_init(model)
+                self._collect_off_loop(model)
+                self._collect_acquisitions(model)
+                self.classes[stmt.name] = model
+
+    def _collect_init(self, model: _ClassModel) -> None:
+        for item in model.node.body:
+            if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "__init__"):
+                # Parameter type annotations resolve member classes for
+                # the dependency-injection idiom (self.cache = cache
+                # where __init__ takes cache: ResultCache).
+                params: Dict[str, str] = {}
+                for arg in item.args.args + item.args.kwonlyargs:
+                    note = arg.annotation
+                    if isinstance(note, ast.Name):
+                        params[arg.arg] = note.id
+                    elif (isinstance(note, ast.Constant)
+                          and isinstance(note.value, str)):
+                        params[arg.arg] = note.value.strip('"\'')
+                for node in ast.walk(item):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is None:
+                            continue
+                        if _is_lock_ctor(node.value):
+                            model.locks.add(attr)
+                        elif _is_queue_ctor(node.value):
+                            model.queues.add(attr)
+                        elif (isinstance(node.value, ast.Call)
+                              and isinstance(node.value.func, ast.Name)):
+                            model.members[attr] = node.value.func.id
+                        elif (isinstance(node.value, ast.Name)
+                              and node.value.id in params):
+                            model.members[attr] = params[node.value.id]
+
+    def _collect_off_loop(self, model: _ClassModel) -> None:
+        """Methods handed to executors or threads anywhere in the
+        module run outside the event loop."""
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "")
+            candidates: List[ast.AST] = []
+            if callee in ("run_in_executor", "submit"):
+                candidates.extend(node.args)
+            if callee == "Thread":
+                candidates.extend(kw.value for kw in node.keywords
+                                  if kw.arg == "target")
+            for arg in candidates:
+                attr = _self_attr(arg)
+                if attr is not None:
+                    model.off_loop.add(attr)
+
+    def _collect_acquisitions(self, model: _ClassModel) -> None:
+        for item in model.node.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            acquired: Set[str] = set()
+            for node in ast.walk(item):
+                if isinstance(node, ast.With):
+                    for lock in self._locks_of_with(node, model):
+                        acquired.add(lock)
+            model.acquired_by_method[item.name] = acquired
+
+    def _locks_of_with(self, node: ast.With,
+                       model: Optional[_ClassModel]) -> List[str]:
+        """Lock nodes a ``with`` statement acquires, in item order."""
+        out: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            attr = _self_attr(expr)
+            if (attr is not None and model is not None
+                    and attr in model.locks):
+                out.append(model.lock_node(attr))
+            elif (isinstance(expr, ast.Name)
+                  and expr.id in self.module_locks):
+                out.append(f"{self.rel}::{expr.id}")
+        return out
+
+    # -- pass 2: flow-sensitive checks --------------------------------------
+    def run(self) -> None:
+        for model in self.classes.values():
+            inference = bool(model.locks) and not model.contract.declared
+            writes_locked: Dict[str, int] = {}
+            writes_unlocked: Dict[str, int] = {}
+            for item in model.node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                held: Tuple[str, ...] = ()
+                doc = ast.get_docstring(item)
+                if doc:
+                    for lockattr in _PRECONDITION_RE.findall(doc):
+                        if lockattr in model.locks:
+                            held = held + (model.lock_node(lockattr),)
+                self._walk(item.body, model, item, held,
+                           writes_locked, writes_unlocked)
+            if inference:
+                for name in sorted(set(writes_locked) &
+                                   set(writes_unlocked)):
+                    self._report(
+                        "S501", writes_unlocked[name],
+                        f"{model.name}.{name} is written under a lock "
+                        f"at line {writes_locked[name]} but without "
+                        f"one here; guard both or declare the field "
+                        f"in a 'Concurrency:' docstring block")
+        self._walk_module_scope()
+
+    def _walk_module_scope(self) -> None:
+        """Module-level functions against module-level locks/globals."""
+        for item in self.tree.body:
+            if not isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            self._walk_stmts_module(item.body, ())
+
+    def _walk_stmts_module(self, body: Sequence[ast.stmt],
+                           held: Tuple[str, ...]) -> None:
+        guards = self.module_contract.guards
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                acquired = self._locks_of_with(stmt, None)
+                for lock in acquired:
+                    for holder in held:
+                        if holder != lock:
+                            self.edges.append((holder, lock, stmt.lineno))
+                self._walk_stmts_module(stmt.body,
+                                        held + tuple(acquired))
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for node in self._expr_nodes(stmt, header_only=False):
+                if isinstance(node, ast.Name) and node.id in guards:
+                    lock = f"{self.rel}::{guards[node.id]}"
+                    if lock not in held:
+                        self._report(
+                            "S501", node.lineno,
+                            f"global {node.id} is declared guarded-by "
+                            f"{guards[node.id]} but accessed without it")
+                if isinstance(node, ast.Call) and held:
+                    self._check_blocking(node, held, None)
+            for child_body in self._compound_bodies(stmt):
+                self._walk_stmts_module(child_body, held)
+
+    def _walk(self, body: Sequence[ast.stmt], model: _ClassModel,
+              method: ast.AST, held: Tuple[str, ...],
+              writes_locked: Dict[str, int],
+              writes_unlocked: Dict[str, int],
+              in_closure: bool = False) -> None:
+        method_name = getattr(method, "name", "<lambda>")
+        in_init = method_name == "__init__"
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                acquired = self._locks_of_with(stmt, model)
+                for lock in acquired:
+                    for holder in held:
+                        if holder != lock:
+                            self.edges.append((holder, lock, stmt.lineno))
+                self._scan_exprs(stmt, model, method_name, held,
+                                 writes_locked, writes_unlocked,
+                                 in_init, header_only=True)
+                self._walk(stmt.body, model, method, held + tuple(acquired),
+                           writes_locked, writes_unlocked, in_closure)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A closure's body runs later, possibly on another
+                # thread: analyze it with an empty lockset.
+                self._walk(stmt.body, model, stmt, (),
+                           writes_locked, writes_unlocked, in_closure=True)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                continue
+            self._scan_exprs(stmt, model, method_name, held,
+                             writes_locked, writes_unlocked, in_init)
+            for child_body in self._compound_bodies(stmt):
+                self._walk(child_body, model, method, held,
+                           writes_locked, writes_unlocked, in_closure)
+
+    @staticmethod
+    def _compound_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        bodies = []
+        for name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, name, None)
+            if isinstance(block, list) and block and \
+                    isinstance(block[0], ast.stmt):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    def _scan_exprs(self, stmt: ast.stmt, model: _ClassModel,
+                    method_name: str, held: Tuple[str, ...],
+                    writes_locked: Dict[str, int],
+                    writes_unlocked: Dict[str, int],
+                    in_init: bool, header_only: bool = False) -> None:
+        """S501 field accesses, S502 call-through edges, S503 blocking
+        calls in the expressions of one statement (not child blocks)."""
+        for node in self._expr_nodes(stmt, header_only):
+            attr = _self_attr(node)
+            if attr is not None and isinstance(node, ast.Attribute):
+                is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+                self._check_field(node, attr, model, method_name, held,
+                                  is_write, in_init)
+                if is_write and not in_init:
+                    target = (writes_locked if held else writes_unlocked)
+                    target.setdefault(attr, node.lineno)
+            if isinstance(node, ast.Call):
+                if held:
+                    self._check_blocking(node, held, model)
+                self._call_through_edges(node, model, held)
+
+    def _expr_nodes(self, stmt: ast.stmt,
+                    header_only: bool) -> List[ast.AST]:
+        """Expression-level nodes of ``stmt`` excluding nested
+        statement blocks (walked separately with their own locksets)."""
+        out: List[ast.AST] = []
+        stack: List[ast.AST] = []
+        if header_only:
+            # With headers: only the context expressions.
+            stack.extend(item.context_expr
+                         for item in getattr(stmt, "items", []))
+        else:
+            for field_name, value in ast.iter_fields(stmt):
+                if isinstance(value, ast.expr):
+                    stack.append(value)
+                elif isinstance(value, list):
+                    stack.extend(v for v in value
+                                 if isinstance(v, ast.expr))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Lambda,)):
+                continue  # deferred execution; no lock context
+            out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def _check_field(self, node: ast.Attribute, attr: str,
+                     model: _ClassModel, method_name: str,
+                     held: Tuple[str, ...], is_write: bool,
+                     in_init: bool) -> None:
+        contract = model.contract
+        if not contract.declared or in_init:
+            return
+        if attr in model.locks or attr in contract.unguarded_ok:
+            return
+        if attr in contract.guards:
+            lock = model.lock_node(contract.guards[attr])
+            if lock not in held:
+                self._report(
+                    "S501", node.lineno,
+                    f"{model.name}.{attr} is declared guarded-by "
+                    f"{contract.guards[attr]} but accessed without "
+                    f"holding it (in {method_name})")
+            return
+        if attr in contract.loop_confined:
+            if method_name in model.off_loop:
+                self._report(
+                    "S501", node.lineno,
+                    f"{model.name}.{attr} is declared loop-confined "
+                    f"but {method_name} runs off-loop (handed to an "
+                    f"executor or thread)")
+            return
+        if is_write and not contract.mentions(attr):
+            self._report(
+                "S501", node.lineno,
+                f"{model.name}.{attr} is written outside __init__ but "
+                f"missing from the class 'Concurrency:' contract; "
+                f"declare its guard (or loop-confined / unguarded-ok)")
+
+    def _check_blocking(self, node: ast.Call, held: Tuple[str, ...],
+                        model: Optional[_ClassModel]) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        blocking = None
+        if attr in _BLOCKING_ATTRS:
+            receiver = _self_attr(func.value)
+            if (receiver is not None and model is not None
+                    and model.lock_node(receiver) in held):
+                return  # Condition.wait on the held condition itself
+            blocking = f".{attr}()"
+        elif attr == "join" and not node.args:
+            blocking = ".join()"
+        elif (attr == "sleep" and isinstance(func.value, ast.Name)
+                and func.value.id == "time"):
+            blocking = "time.sleep()"
+        elif attr in ("get", "put"):
+            receiver = _self_attr(func.value)
+            if (receiver is not None and model is not None
+                    and receiver in model.queues):
+                blocking = f"Queue.{attr}()"
+        if blocking is not None:
+            locks = ", ".join(sorted(held))
+            self._report(
+                "S503", node.lineno,
+                f"blocking call {blocking} while holding {locks}; "
+                f"release the lock first or use a timeout-and-retry "
+                f"outside the critical section")
+
+    def _call_through_edges(self, node: ast.Call,
+                            model: Optional[_ClassModel],
+                            held: Tuple[str, ...]) -> None:
+        """One-level interprocedural S502 edges: self.m() and
+        self.member.m() receivers whose methods acquire locks."""
+        if not held or model is None:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver_attr = _self_attr(func.value)
+        callee_locks: Set[str] = set()
+        if receiver_attr is None:
+            # self.m(...) — same class, one level deep.
+            if _self_attr(func) is not None:
+                callee_locks = model.acquired_by_method.get(func.attr,
+                                                            set())
+        else:
+            member_class = model.members.get(receiver_attr)
+            target = self.all_classes.get(member_class or "")
+            if target is not None:
+                callee_locks = target.acquired_by_method.get(func.attr,
+                                                             set())
+        for lock in callee_locks:
+            for holder in held:
+                if holder != lock:
+                    self.edges.append((holder, lock, node.lineno))
+
+    def _report(self, rule: str, line: int, message: str) -> None:
+        if self.suppress.active(rule, line):
+            return
+        self.findings.append(LintFinding(rule, self.rel, line, message))
+
+
+def _find_cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Elementary cycles in the lock-order graph (DFS, deduplicated by
+    rotation so each cycle reports once)."""
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+    for start in sorted(edges):
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(edges.get(node, ())):
+                if succ == start:
+                    rotation = min(
+                        tuple(path[i:] + path[:i])
+                        for i in range(len(path)))
+                    if rotation not in seen:
+                        seen.add(rotation)
+                        cycles.append(path + [start])
+                elif succ not in path and len(path) < 8:
+                    stack.append((succ, path + [succ]))
+    return cycles
+
+
+def analyze_modules(modules: Sequence[Tuple[str, str]]) -> List[LintFinding]:
+    """Analyze (rel_path, source) pairs as one lock-order universe."""
+    analyses = [_ModuleAnalysis(rel, source) for rel, source in modules]
+    universe: Dict[str, _ClassModel] = {}
+    for analysis in analyses:
+        universe.update(analysis.classes)
+    findings: List[LintFinding] = []
+    graph: Dict[str, Set[str]] = {}
+    edge_site: Dict[Tuple[str, str], Tuple["_ModuleAnalysis", int]] = {}
+    for analysis in analyses:
+        analysis.all_classes = universe
+        analysis.run()
+        findings.extend(analysis.findings)
+        for holder, acquired, line in analysis.edges:
+            graph.setdefault(holder, set()).add(acquired)
+            edge_site.setdefault((holder, acquired), (analysis, line))
+    for cycle in _find_cycles(graph):
+        analysis, line = edge_site[(cycle[0], cycle[1])]
+        message = (f"lock acquisition-order cycle: "
+                   f"{' -> '.join(cycle)}; impose a global order or "
+                   f"merge the locks")
+        if not analysis.suppress.active("S502", line):
+            findings.append(
+                LintFinding("S502", analysis.rel, line, message))
+    findings.sort(key=LintFinding.sort_key)
+    return findings
+
+
+def analyze_source(source: str, rel_path: str) -> List[LintFinding]:
+    """Single-module entry point (tests and tooling)."""
+    return analyze_modules([(rel_path, source)])
+
+
+def analyze_lockset(root: Optional[Path] = None,
+                    targets: Sequence[str] = LOCKSET_TARGETS,
+                    ) -> List[LintFinding]:
+    """Analyze the shipped target modules under the package root."""
+    base = root or package_root()
+    modules: List[Tuple[str, str]] = []
+    for rel in targets:
+        path = base / rel
+        if path.exists():  # targets may trail the tree during refactors
+            modules.append((rel, path.read_text(encoding="utf-8")))
+    return analyze_modules(modules)

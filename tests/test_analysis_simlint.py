@@ -266,11 +266,43 @@ class TestSuppression:
         src = "import random  # simlint: disable=S103,S101\n"
         assert lint(src) == []
 
+    def test_file_suppression(self):
+        src = ("# simlint: disable-file=S101\n"
+               "import random\n"
+               "import random\n")
+        assert lint(src) == []
+
+    def test_file_suppression_is_rule_specific(self):
+        src = ("# simlint: disable-file=S103\n"
+               "import random\n")
+        assert rules_of(lint(src)) == ["S101"]
+
+    def test_file_suppression_multi_rule(self):
+        src = ("# simlint: disable-file=S101, S103\n"
+               "import random\n"
+               "for x in {1, 2}:\n"
+               "    pass\n")
+        assert lint(src) == []
+
+    def test_file_suppression_anywhere_in_module(self):
+        # The pragma need not precede the violation it waives.
+        src = ("import random\n"
+               "# simlint: disable-file=S101\n")
+        assert lint(src) == []
+
+    def test_file_pragma_is_not_a_line_pragma(self):
+        # disable-file on a violating line still waives file-wide, but
+        # a plain disable= on another line must not go file-wide.
+        src = ("import random  # simlint: disable=S101\n"
+               "import random\n")
+        assert rules_of(lint(src)) == ["S101"]
+
 
 class TestRegistryAndSelfCheck:
     def test_registry_complete(self):
         assert sorted(LINT_RULES) == ["S101", "S102", "S103", "S104", "S201",
-                                      "S202", "S301", "S302", "S401"]
+                                      "S202", "S301", "S302", "S401",
+                                      "S501", "S502", "S503"]
         for rule in LINT_RULES.values():
             assert rule.severity in ("error", "warning")
             assert rule.summary

@@ -106,6 +106,44 @@ class TestAtomicWrites:
         assert not list(tmp_path.rglob("*.tmp"))
 
 
+class TestCounterLockDiscipline:
+    def test_concurrent_counter_updates_are_exact(self, tmp_path):
+        """Regression (found by `repro verify lockset`, S501): the
+        hit/miss/eviction counters were bare ``+=`` from executor
+        worker threads, so concurrent updates could drop increments.
+        They now share ``_lock``; under contention the totals must be
+        exact, not approximate."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        n_threads, n_ops = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def misser():
+            barrier.wait()
+            for _ in range(n_ops):
+                cache.get("ff" + "0" * 14)  # always a miss
+
+        threads = [threading.Thread(target=misser)
+                   for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.stats()["misses"] == n_threads * n_ops
+
+    def test_stats_snapshot_is_consistent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = spec()
+        cache.put(job, RESULT)
+        cache.get(job.cache_key())
+        cache.get("00" + "1" * 14)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+
 class TestCorruption:
     def corrupt(self, cache, job, mutate):
         path = cache.path(job.cache_key())

@@ -1,0 +1,105 @@
+"""The `repro verify` CLI: exit codes, JSON envelope shape, mutation
+negative tests, and the acceptance run on the shipped tree."""
+
+import json
+
+from repro.analysis.report import SCHEMA_VERSION
+from repro.verify.cli import cmd_verify
+from tests.test_verify_protocol import GOLDEN_SCHEDULES
+
+
+class TestAcceptance:
+    def test_verify_all_strict_is_clean(self, capsys):
+        """`python -m repro verify all --strict` exits 0 (ISSUE 8)."""
+        assert cmd_verify(["all", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "configuration(s) verified" in out
+        assert "clean" in out
+
+    def test_protocol_only(self, capsys):
+        assert cmd_verify(["protocol"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol/srt-default" in out
+        assert "simlint" not in out
+
+    def test_lockset_only(self, capsys):
+        assert cmd_verify(["lockset"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol/" not in out
+
+    def test_no_por_agrees(self, capsys):
+        assert cmd_verify(["protocol", "--no-por"]) == 0
+
+
+class TestMutations:
+    def test_every_mutation_fails_nonzero(self, capsys):
+        for mutation in sorted(GOLDEN_SCHEDULES):
+            assert cmd_verify(["protocol", "--mutation", mutation]) == 1
+            out = capsys.readouterr().out
+            assert "VIOLATION" in out
+
+    def test_mutation_json_carries_golden_schedule(self, capsys):
+        assert cmd_verify(["protocol", "--mutation", "lvq-unchecked",
+                           "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        [result] = payload["protocol"]
+        ce = result["counterexample"]
+        assert ce["minimal"] is True
+        assert tuple(ce["schedule"]) == GOLDEN_SCHEDULES["lvq-unchecked"]
+
+    def test_mutation_with_lockset_engine_is_usage_error(self, capsys):
+        assert cmd_verify(["lockset", "--mutation", "boq-zero"]) == 2
+
+
+class TestJsonEnvelope:
+    def test_envelope_shape(self, capsys):
+        assert cmd_verify(["all", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == SCHEMA_VERSION
+        assert payload["tool"] == "verify"
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+        assert payload["protocol_violations"] == 0
+        assert len(payload["protocol"]) >= 30
+        for result in payload["protocol"]:
+            assert result["ok"] is True
+            assert result["states"] > 0
+
+    def test_single_config_selection(self, capsys):
+        assert cmd_verify(["protocol", "--config", "srt-default",
+                           "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["protocol"]) == 1
+        assert payload["protocol"][0]["system"] == "protocol/srt-default"
+
+    def test_unknown_config_is_usage_error(self, capsys):
+        assert cmd_verify(["protocol", "--config", "nope"]) == 2
+
+    def test_max_states_budget_is_usage_error_when_exceeded(self, capsys):
+        assert cmd_verify(["protocol", "--config", "srt-default",
+                           "--max-states", "10"]) == 2
+
+
+class TestRules:
+    def test_rules_catalogue_lists_s5(self, capsys):
+        assert cmd_verify(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("S501", "S502", "S503"):
+            assert rule in out
+        assert "disable-file" in out
+
+
+class TestMainDispatch:
+    def test_module_entry_point(self, capsys):
+        from repro.__main__ import main
+        assert main(["verify", "protocol", "--config",
+                     "srt-default"]) == 0
+        assert main(["verify", "protocol", "--mutation",
+                     "commit-before-verify"]) == 1
+        capsys.readouterr()
+
+    def test_listed_in_cmd_list(self, capsys):
+        from repro.__main__ import main
+        assert main(["list"]) == 0
+        assert "verify" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""The generic explorer: BFS minimality, sleep-set POR soundness
+(same states, same verdict), replay, and budget enforcement — on small
+hand-built transition systems where the full state space is known."""
+
+from typing import FrozenSet, List, Optional, Tuple
+
+import pytest
+
+from repro.verify.explore import (Counterexample, StateExplosion,
+                                  TransitionSystem, explore, explore_bfs,
+                                  explore_por, replay)
+
+
+class TwoCounters(TransitionSystem):
+    """Two independent counters 0..limit; truly commuting transitions.
+
+    The full graph is the (limit+1)^2 grid; every interleaving of
+    ``a``/``b`` steps commutes, so sleep sets should prune transitions
+    while still visiting every grid point.
+    """
+
+    name = "two-counters"
+
+    def __init__(self, limit: int = 3,
+                 poison: Optional[Tuple[int, int]] = None) -> None:
+        self.limit = limit
+        self.poison = poison
+
+    def initial(self):
+        return (0, 0)
+
+    def enabled(self, state):
+        a, b = state
+        out = []
+        if a < self.limit:
+            out.append(("a", (a + 1, b)))
+        if b < self.limit:
+            out.append(("b", (a, b + 1)))
+        return out
+
+    def is_final(self, state):
+        return state == (self.limit, self.limit)
+
+    def check(self, state):
+        if self.poison is not None and state == self.poison:
+            return f"poisoned state {state}"
+        return None
+
+    def footprint(self, label: str) -> FrozenSet[str]:
+        return frozenset((label,))
+
+
+class Wedge(TransitionSystem):
+    """Deadlocks after the schedule x, y (and only there)."""
+
+    name = "wedge"
+
+    def initial(self):
+        return 0
+
+    def enabled(self, state):
+        if state == 0:
+            return [("x", 1), ("z", 3)]
+        if state == 1:
+            return [("y", 2)]
+        if state == 3:
+            return [("w", 4)]
+        return []  # 2 deadlocks, 4 is final
+
+    def is_final(self, state):
+        return state == 4
+
+    def footprint(self, label):
+        return frozenset(("*",))
+
+
+class TestBfs:
+    def test_explores_full_grid(self):
+        result = explore_bfs(TwoCounters(3))
+        assert result.ok
+        assert result.states == 16  # (3+1)^2
+        assert result.transitions == 2 * 3 * 4  # edges of the grid
+        assert result.final_states == 1
+
+    def test_minimal_counterexample(self):
+        result = explore_bfs(TwoCounters(3, poison=(2, 1)))
+        assert not result.ok
+        ce = result.counterexample
+        assert ce.kind == "invariant"
+        assert ce.minimal
+        assert len(ce.schedule) == 3  # Manhattan distance to (2, 1)
+        # BFS tie-breaks by enumeration order: 'a' steps first.
+        assert ce.schedule == ("a", "a", "b")
+
+    def test_deadlock_detection(self):
+        result = explore_bfs(Wedge())
+        assert not result.ok
+        assert result.counterexample.kind == "deadlock"
+        assert result.counterexample.schedule == ("x", "y")
+
+    def test_state_budget(self):
+        with pytest.raises(StateExplosion):
+            explore_bfs(TwoCounters(100), max_states=50)
+
+
+class TestPor:
+    def test_same_states_same_verdict(self):
+        full = explore_bfs(TwoCounters(4))
+        por = explore_por(TwoCounters(4))
+        assert por.ok and full.ok
+        assert por.states == full.states  # sleep sets prune transitions,
+        assert por.sleep_skips > 0        # never states
+
+    def test_violation_still_found(self):
+        por = explore_por(TwoCounters(4, poison=(3, 3)))
+        assert not por.ok
+        assert por.counterexample.kind == "invariant"
+
+    def test_deadlock_still_found(self):
+        por = explore_por(Wedge())
+        assert not por.ok
+        assert por.counterexample.kind == "deadlock"
+
+    def test_por_schedule_is_valid_even_if_not_minimal(self):
+        system = TwoCounters(4, poison=(2, 2))
+        por = explore_por(system)
+        _, violation = replay(system, por.counterexample.schedule)
+        assert violation is not None
+
+
+class TestExploreWrapper:
+    def test_por_violation_gets_minimal_trace(self):
+        system = TwoCounters(4, poison=(2, 2))
+        result = explore(system, por=True)
+        assert result.por
+        assert not result.ok
+        assert result.counterexample.minimal
+        assert len(result.counterexample.schedule) == 4
+
+    def test_no_por_passthrough(self):
+        result = explore(TwoCounters(2), por=False)
+        assert result.ok and not result.por
+
+
+class TestReplay:
+    def test_replays_to_violation(self):
+        system = TwoCounters(3, poison=(1, 1))
+        state, violation = replay(system, ("a", "b"))
+        assert state == (1, 1)
+        assert "poisoned" in violation
+
+    def test_rejects_disabled_label(self):
+        system = TwoCounters(1)
+        with pytest.raises(ValueError, match="not enabled"):
+            replay(system, ("a", "a"))  # second 'a' beyond the limit
+
+    def test_to_dict_shape(self):
+        result = explore(TwoCounters(2, poison=(1, 0)))
+        payload = result.to_dict()
+        assert payload["ok"] is False
+        assert payload["counterexample"]["schedule"] == ["a"]
+        assert payload["counterexample"]["minimal"] is True
