@@ -1,0 +1,55 @@
+"""Flow-engine throughput: the interprocedural pass must stay cheap
+enough to sit in the default lint gate.
+
+Budget shape: parse + call-graph + both summary fixpoints (blocking
+and resource) over the whole shipped tree, single-threaded, in well
+under the CI lint-job budget.  The wall-clock ceiling is generous
+(CI boxes vary ~4x); the printed functions/sec figure is the number
+to watch drift across PRs.
+
+Scale knob: ``REPRO_FLOW_ROUNDS`` (default 3) — analysis rounds timed
+after a warm-up round.
+"""
+
+import ast
+import os
+import time
+
+from repro.analysis.flow.callgraph import build_callgraph
+from repro.analysis.flow.rules import analyze_modules
+from repro.analysis.simlint import iter_package_files, package_root
+
+ROUNDS = int(os.environ.get("REPRO_FLOW_ROUNDS", 3))
+
+#: Whole-tree budget, seconds per analysis round.  The shipped tree is
+#: ~10k LoC; a round takes ~0.5s on a dev box.
+BUDGET_S = 8.0
+
+
+def load_tree():
+    return [(rel, ast.parse(path.read_text()))
+            for path, rel in iter_package_files(package_root())]
+
+
+def test_flow_analysis_throughput():
+    modules = load_tree()
+    graph = build_callgraph(modules)
+    n_functions = len(graph.functions)
+    assert n_functions > 100, "tree unexpectedly small"
+
+    analyze_modules(modules)  # warm-up (caches, imports)
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        findings = analyze_modules(modules)
+    elapsed = (time.perf_counter() - start) / ROUNDS
+
+    assert findings == [], "shipped tree regressed mid-benchmark"
+    assert elapsed < BUDGET_S, (
+        f"flow analysis round took {elapsed:.2f}s "
+        f"(budget {BUDGET_S:.1f}s) over {n_functions} functions")
+
+    print()
+    print(f"flow analysis: {len(modules)} modules, {n_functions} "
+          f"functions, {elapsed * 1000:.0f} ms/round "
+          f"({n_functions / elapsed:.0f} functions/sec)")

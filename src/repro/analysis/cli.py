@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis import report as rpt
 from repro.analysis.checks import AnalysisReport, verify_program
-from repro.analysis.simlint import lint_package
+from repro.analysis.simlint import ENGINE_PREFIXES, lint_package
 from repro.isa.profiles import SPEC95_NAMES
 
 
@@ -145,10 +145,23 @@ def _build_lint_parser() -> argparse.ArgumentParser:
                         default="text")
     parser.add_argument("--select", default=None,
                         help="comma-separated rule-id prefixes "
-                             "(e.g. S1,S201)")
+                             "(e.g. S1,S201); a post-filter — every "
+                             "engine still runs")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated rule families to run "
+                             "(e.g. S6,S7); engines owning none of "
+                             "them are skipped entirely")
     parser.add_argument("--rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
+
+
+def _engines_for(only: Sequence[str]) -> List[str]:
+    """Engines owning any requested family (``S6`` or ``S601`` both
+    select the flow engine)."""
+    return [engine for engine, prefixes in ENGINE_PREFIXES.items()
+            if any(ep.startswith(p) or p.startswith(ep)
+                   for p in only for ep in prefixes)]
 
 
 def cmd_lint(argv: Sequence[str]) -> int:
@@ -159,13 +172,29 @@ def cmd_lint(argv: Sequence[str]) -> int:
     select: Optional[List[str]] = (
         [part.strip() for part in args.select.split(",")]
         if args.select else None)
+    only: Optional[List[str]] = (
+        [part.strip() for part in args.only.split(",")]
+        if args.only else None)
+    engines: Optional[List[str]] = None
+    if only is not None:
+        engines = _engines_for(only)
+        if not engines:
+            print(f"error: --only {args.only!r} names no known rule "
+                  f"family (expected prefixes of "
+                  f"{', '.join(sorted(p for ps in ENGINE_PREFIXES.values() for p in ps))})",
+                  file=sys.stderr)
+            return 2
     roots = [Path(p) for p in args.paths] or [None]
     findings = []
     for root in roots:
         if root is not None and not root.exists():
             print(f"error: no such path {root}", file=sys.stderr)
             return 2
-        findings.extend(lint_package(root, select=select))
+        findings.extend(lint_package(root, select=select,
+                                     engines=engines))
+    if only is not None:
+        findings = [f for f in findings
+                    if any(f.rule.startswith(p) for p in only)]
 
     errors = sum(1 for f in findings if f.severity == "error")
     gating = len(findings) if args.strict else errors

@@ -1,0 +1,30 @@
+"""repro.analysis.flow — interprocedural call-graph/dataflow engine.
+
+The intraprocedural passes (simlint S1–S4, lockset S501–S503) judge
+one function or one class at a time; the defects that actually take
+the serve daemon down cross function boundaries — a ``time.sleep``
+three calls below an ``async def``, a temp file whose cleanup lives in
+a caller that never runs on the exception path.  This package follows
+the flow:
+
+- :mod:`repro.analysis.flow.ir` — per-function control-flow graphs
+  lowered from :mod:`ast`, with try/finally/with exception edges, plus
+  the shared AST helpers (dotted names, function iteration) the other
+  analyzers build on.
+- :mod:`repro.analysis.flow.callgraph` — module-granular call-graph
+  construction (imports, ``self`` methods, ctor-assigned members),
+  Tarjan SCC condensation, and a generic bottom-up summary fixpoint.
+- :mod:`repro.analysis.flow.rules` — the S6xx async-safety and S7xx
+  resource-safety rule families, computed as function summaries
+  propagated over the call graph.
+
+Entry point: :func:`repro.analysis.flow.rules.analyze_modules`, wired
+into ``repro lint`` next to the simlint pass.
+"""
+
+from repro.analysis.flow.callgraph import CallGraph, build_callgraph
+from repro.analysis.flow.ir import CFG, build_cfg, dotted_name
+from repro.analysis.flow.rules import analyze_modules
+
+__all__ = ["CFG", "CallGraph", "analyze_modules", "build_callgraph",
+           "build_cfg", "dotted_name"]

@@ -9,7 +9,7 @@ import json
 from typing import Dict, Iterable, List, Sequence
 
 from repro.analysis.checks import (AnalysisReport, PROGRAM_RULES, Severity)
-from repro.analysis.simlint import LINT_RULES, LintFinding
+from repro.analysis.registry import LINT_RULES, LintFinding
 
 #: Version of the shared JSON envelope emitted by every analysis tool
 #: (``analyze``, ``lint``, ``avf``).  Bumped when the envelope shape
@@ -113,7 +113,8 @@ def render_lint(findings: Sequence[LintFinding]) -> str:
 def render_lint_rules() -> str:
     lines = ["simulator-invariant rules:"]
     for rule in LINT_RULES.values():
-        lines.append(f"  {rule.id:<6s} [{rule.severity:<7s}] {rule.summary}")
+        lines.append(f"  {rule.id:<6s} [{rule.severity:<7s}] "
+                     f"({rule.engine}) {rule.summary}")
     lines.append("")
     lines.append("suppress a line with: "
                  "'# simlint: disable=<RULE>[,<RULE>...]'; "

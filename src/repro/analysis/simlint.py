@@ -25,26 +25,49 @@ Rule families (see ``docs/ANALYSIS.md`` for the full catalogue):
   without tracking an attempt budget spins forever once the fault
   turns out to be permanent (see ``docs/CHAOS.md``).
 
-- **S5 lock discipline** — S501/S502/S503 live in
-  :mod:`repro.verify.lockset` (the static lockset analyzer, PR 8) but
-  register here so severity lookup, the rule catalogue, and the
-  suppression machinery are shared across both tools.
+This module is also the orchestrator: :func:`lint_package` parses each
+module once, runs the intraprocedural rules here, hands the same trees
+and suppression tables to the interprocedural flow engine
+(:mod:`repro.analysis.flow`, families S6–S7), and finally audits the
+pragmas themselves (U001, a ``disable=`` that suppressed nothing).
+The rule catalogue, finding type, and suppression grammar live in
+:mod:`repro.analysis.registry`, shared with the lockset analyzer
+(S501–S503 in :mod:`repro.verify.lockset`); the names re-exported here
+(``LintRule``, ``LINT_RULES``, ``LintFinding``, ``SuppressionTable``)
+are aliases of the registry's.
 
 Suppression: append ``# simlint: disable=S101`` (comma-separate for
 several rules) to the offending line, or put
 ``# simlint: disable-file=S501`` on a line of its own anywhere in the
 module to waive rules file-wide (module-level waivers beat a pragma on
 every line).  Every suppression is an audited exception, greppable by
-rule id.
+rule id — and audited mechanically: one that stops matching any
+finding is reported as U001 until it is deleted.
 
 Only the stdlib :mod:`ast` is used; no third-party linter frameworks.
 """
 
 import ast
 import re
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.registry import (LINT_RULES, LintFinding, LintRule,
+                                     SuppressionTable,
+                                     unused_suppressions)
+
+__all__ = [
+    "LINT_RULES", "LintFinding", "LintRule", "SuppressionTable",
+    "lint_package", "lint_source", "package_root", "iter_package_files",
+]
+
+#: Engine name -> rule-id prefixes it evaluates (used both to prune a
+#: run with ``--only`` and to scope the U001 staleness audit).
+ENGINE_PREFIXES: Dict[str, Tuple[str, ...]] = {
+    "simlint": ("S1", "S2", "S3", "S4"),
+    "flow": ("S6", "S7"),
+    "usage": ("U0",),
+}
 
 #: Layers that execute inside the simulated machine's cycle loop; these
 #: may never observe wall-clock time or host RNG state.
@@ -69,117 +92,6 @@ _POOL_METHODS = {"submit", "map", "imap", "imap_unordered", "apply",
                  "apply_async", "starmap", "starmap_async"}
 _CLOCK_ATTRS = {"time", "time_ns", "perf_counter", "perf_counter_ns",
                 "monotonic", "monotonic_ns", "process_time"}
-
-_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9,\s]+)")
-_SUPPRESS_FILE_RE = re.compile(
-    r"#\s*simlint:\s*disable-file=([A-Za-z0-9,\s]+)")
-
-
-@dataclass(frozen=True)
-class LintRule:
-    id: str
-    severity: str  # "error" | "warning"
-    summary: str
-
-
-LINT_RULES: Dict[str, LintRule] = {rule.id: rule for rule in [
-    LintRule("S101", "error",
-             "host 'random' used outside repro.util.rng — every "
-             "stochastic choice must flow through DeterministicRng"),
-    LintRule("S102", "error",
-             "wall-clock source in a cycle-path layer — simulated time "
-             "must be a pure function of the configuration"),
-    LintRule("S103", "warning",
-             "unsorted set consumed in an order-sensitive position — "
-             "wrap in sorted() so output is byte-deterministic"),
-    LintRule("S104", "warning",
-             "dict view (.keys()/.values()) formatted into a message "
-             "without sorted() — insertion order leaks construction "
-             "history into output"),
-    LintRule("S201", "error",
-             "sphere-layering violation: layers inside the sphere of "
-             "replication must not import repro.core"),
-    LintRule("S202", "error",
-             "repro.util must be a leaf package (no repro.* imports)"),
-    LintRule("S301", "warning",
-             "lambda handed to a process pool — workers must receive "
-             "module-level callables to unpickle"),
-    LintRule("S302", "warning",
-             "wire dataclass is nested or has unstable (set-typed) "
-             "fields — it cannot cross the process pool safely"),
-    LintRule("S401", "warning",
-             "unbounded retry loop — a while-True except handler that "
-             "swallows the error without an attempt cap retries "
-             "forever when the fault is permanent"),
-    # S5 lock discipline: emitted by repro.verify.lockset, registered
-    # here so severities and the catalogue stay in one place.
-    LintRule("S501", "error",
-             "shared mutable attribute accessed outside its guarding "
-             "lock — declare the guard in the class docstring "
-             "('Concurrency:' block) or take the lock"),
-    LintRule("S502", "error",
-             "lock acquisition-order cycle — two code paths take the "
-             "same locks in opposite orders and can deadlock"),
-    LintRule("S503", "warning",
-             "blocking call while holding a lock — waits, joins, "
-             "sleeps, and socket/queue reads under a lock stall every "
-             "other thread contending for it"),
-]}
-
-
-@dataclass(frozen=True)
-class LintFinding:
-    rule: str
-    path: str  # repro-package-relative, posix separators
-    line: int
-    message: str
-
-    @property
-    def severity(self) -> str:
-        return LINT_RULES[self.rule].severity
-
-    def sort_key(self) -> Tuple[str, int, str]:
-        return (self.path, self.line, self.rule)
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} " \
-               f"[{self.severity}] {self.message}"
-
-
-def _parse_rules(group: str) -> Set[str]:
-    return {part.strip() for part in group.split(",") if part.strip()}
-
-
-@dataclass
-class SuppressionTable:
-    """Per-line and file-wide ``# simlint:`` pragmas of one module.
-
-    Shared by the simulator linter and the lockset analyzer
-    (:mod:`repro.verify.lockset`) so both tools honour the same audited
-    exceptions.
-    """
-
-    lines: Dict[int, Set[str]]
-    file_wide: Set[str]
-
-    @classmethod
-    def from_source(cls, source: str) -> "SuppressionTable":
-        lines: Dict[int, Set[str]] = {}
-        file_wide: Set[str] = set()
-        for line_no, line in enumerate(source.splitlines(), start=1):
-            match = _SUPPRESS_FILE_RE.search(line)
-            if match:
-                file_wide |= _parse_rules(match.group(1))
-                continue  # disable-file= is not also a line pragma
-            match = _SUPPRESS_RE.search(line)
-            if match:
-                lines[line_no] = _parse_rules(match.group(1))
-        return cls(lines=lines, file_wide=file_wide)
-
-    def active(self, rule: str, line: int) -> bool:
-        """Is ``rule`` suppressed at ``line``?"""
-        return rule in self.file_wide or rule in self.lines.get(line, ())
-
 
 def _suppressions(source: str) -> Dict[int, Set[str]]:
     """Line-pragma table only (historical helper; the full machinery
@@ -296,13 +208,19 @@ def _annotation_mentions_set(node: Optional[ast.AST]) -> bool:
 class _ModuleLinter(ast.NodeVisitor):
     """Runs every applicable rule over one module's AST."""
 
-    def __init__(self, rel_path: str, source: str) -> None:
+    def __init__(self, rel_path: str, source: str,
+                 tree: Optional[ast.Module] = None,
+                 table: Optional[SuppressionTable] = None) -> None:
         self.rel = rel_path  # e.g. "pipeline/core.py"
         self.layer = rel_path.split("/", 1)[0] if "/" in rel_path else ""
-        self.suppress = SuppressionTable.from_source(source)
+        # A caller orchestrating several engines shares one parse and
+        # one suppression table (usage tracking feeds U001) per module.
+        self.suppress = table if table is not None \
+            else SuppressionTable.from_source(source)
         self.findings: List[LintFinding] = []
         self.is_wire = any(p.search(rel_path) for p in WIRE_MODULE_PATTERNS)
-        self._tree = ast.parse(source, filename=rel_path)
+        self._tree = tree if tree is not None \
+            else ast.parse(source, filename=rel_path)
 
     # -- plumbing ----------------------------------------------------
     def run(self) -> List[LintFinding]:
@@ -497,14 +415,47 @@ def iter_package_files(root: Optional[Path] = None) -> Iterable[
 
 
 def lint_package(root: Optional[Path] = None,
-                 select: Optional[Sequence[str]] = None) -> List[LintFinding]:
+                 select: Optional[Sequence[str]] = None,
+                 engines: Optional[Sequence[str]] = None
+                 ) -> List[LintFinding]:
     """Lint every module of the repro package (or another tree).
 
-    ``select`` filters by rule-id prefix (``["S1"]`` keeps S101..S103).
+    Each module is parsed once; the tree and the (usage-tracked)
+    suppression table are shared between the intraprocedural rules
+    here and the interprocedural flow engine, and the tables are
+    audited for stale pragmas (U001) at the end.
+
+    ``engines`` names which passes run (subset of ``"simlint"``,
+    ``"flow"``, ``"usage"``; default all — this is ``--only`` in the
+    CLI, and it also scopes U001: a pragma for a family no executed
+    engine evaluates is not judged).  ``select`` is a post-filter by
+    rule-id prefix (``["S1"]`` keeps S101..S104).
     """
+    from repro.analysis.flow import analyze_modules
+
+    active = set(engines) if engines is not None else \
+        set(ENGINE_PREFIXES)
+    base = root or package_root()
+    parsed: List[Tuple[str, ast.Module]] = []
+    tables: Dict[str, SuppressionTable] = {}
     findings: List[LintFinding] = []
-    for path, rel in iter_package_files(root):
-        findings.extend(lint_source(path.read_text(encoding="utf-8"), rel))
+    for path, rel in iter_package_files(base):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=rel)
+        parsed.append((rel, tree))
+        tables[rel] = SuppressionTable.from_source(source)
+        if "simlint" in active:
+            findings.extend(_ModuleLinter(rel, source, tree=tree,
+                                          table=tables[rel]).run())
+    if "flow" in active:
+        findings.extend(analyze_modules(parsed, tables=tables,
+                                        package=base.name))
+    if "usage" in active:
+        evaluated = [prefix for engine in active - {"usage"}
+                     for prefix in ENGINE_PREFIXES[engine]]
+        for rel, _ in parsed:
+            findings.extend(unused_suppressions(rel, tables[rel],
+                                                evaluated))
     if select is not None:
         findings = [f for f in findings
                     if any(f.rule.startswith(p) for p in select)]

@@ -16,12 +16,13 @@ With no plan armed, :func:`chaos_point` is a two-instruction no-op.
 """
 
 from repro.chaos.controller import (ChaosController, ChaosEvent, armed,
-                                    arm, chaos_point, controller, disarm)
+                                    arm, chaos_point, chaos_point_async,
+                                    controller, disarm)
 from repro.chaos.plan import (FAULT_KINDS, ChaosPlan, ChaosPlanError,
                               ChaosRule, soak_plan)
 
 __all__ = [
     "FAULT_KINDS", "ChaosController", "ChaosEvent", "ChaosPlan",
     "ChaosPlanError", "ChaosRule", "arm", "armed", "chaos_point",
-    "controller", "disarm", "soak_plan",
+    "chaos_point_async", "controller", "disarm", "soak_plan",
 ]

@@ -11,7 +11,10 @@ in place:
 ========== ==============================================================
 crash      ``os._exit(87)`` — an abrupt worker kill (no atexit, no
            flush), exactly what a SIGKILL'd pool process looks like
-stall      ``time.sleep(delay_s)``
+stall      *deferred* to the crossing wrapper: :func:`chaos_point`
+           sleeps with ``time.sleep``, :func:`chaos_point_async` with
+           ``asyncio.sleep`` — so a stall injected on the serve path
+           slows one request instead of freezing the event loop
 disk-full  raises ``OSError(ENOSPC)``
 io-error   raises ``OSError(EIO)``
 conn-reset raises ``ConnectionResetError``
@@ -25,6 +28,7 @@ the pool forks (module state is copied armed) or spawns (the child
 lazily re-arms from the environment on its first crossing).
 """
 
+import asyncio
 import os
 import re
 import time
@@ -53,6 +57,7 @@ class ChaosEvent:
     fault: str
     rule_index: int
     fraction: float = 0.5  # torn-write tear point, deterministic
+    delay_s: float = 0.0   # stall duration the crossing wrapper sleeps
 
     def tear(self, size: int) -> int:
         """Bytes of a ``size``-byte buffer to write before failing."""
@@ -91,7 +96,8 @@ class ChaosController:
                 seq=len(self.log), site=site, key=key, attempt=attempt,
                 fault=rule.fault, rule_index=index,
                 fraction=self.plan.fraction(index, site, str(draw_key),
-                                            attempt))
+                                            attempt),
+                delay_s=(rule.delay_s if rule.fault == "stall" else 0.0))
             self.log.append(event)
             return self._execute(rule, event)
         return None
@@ -105,8 +111,7 @@ class ChaosController:
         if rule.fault == "crash":
             os._exit(CRASH_EXIT_CODE)
         if rule.fault == "stall":
-            time.sleep(rule.delay_s)
-            return None
+            return event  # the crossing wrapper performs the sleep
         if rule.fault == "torn-write":
             return event  # the site tears its own buffer
         message = (f"chaos[{event.seq}]: {rule.fault} at {event.site}"
@@ -136,22 +141,48 @@ _CONTROLLER: Optional[ChaosController] = None
 _ENV_PENDING = ENV_PLAN in os.environ
 
 
+def _active_controller() -> Optional[ChaosController]:
+    controller = _CONTROLLER
+    if controller is None and _ENV_PENDING:
+        controller = _arm_from_env()
+    return controller
+
+
 def chaos_point(site: str, key: Optional[str] = None,
                 attempt: int = 0) -> Optional[ChaosEvent]:
     """Cross an instrumented site; a no-op unless a plan is armed.
 
     Returns a :class:`ChaosEvent` only for torn-write faults (the site
-    performs the tear); error faults raise, stalls sleep, crashes never
-    return.
+    performs the tear); error faults raise, stalls sleep here with
+    ``time.sleep``, crashes never return.  Event-loop code must use
+    :func:`chaos_point_async` instead, which awaits its stalls.
     """
-    controller = _CONTROLLER
+    controller = _active_controller()
     if controller is None:
-        if not _ENV_PENDING:
-            return None
-        controller = _arm_from_env()
-        if controller is None:
-            return None
-    return controller.fire(site, key, attempt)
+        return None
+    event = controller.fire(site, key, attempt)
+    if event is not None and event.fault == "stall":
+        time.sleep(event.delay_s)
+        return None
+    return event
+
+
+async def chaos_point_async(site: str, key: Optional[str] = None,
+                            attempt: int = 0) -> Optional[ChaosEvent]:
+    """:func:`chaos_point` for coroutines: stalls yield to the loop.
+
+    A ``stall`` fault injected on the serve path should model one slow
+    request, not a frozen daemon — ``asyncio.sleep`` keeps every other
+    connection breathing while this crossing is held.
+    """
+    controller = _active_controller()
+    if controller is None:
+        return None
+    event = controller.fire(site, key, attempt)
+    if event is not None and event.fault == "stall":
+        await asyncio.sleep(event.delay_s)
+        return None
+    return event
 
 
 def controller() -> Optional[ChaosController]:

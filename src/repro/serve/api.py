@@ -35,7 +35,7 @@ from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.report import SCHEMA_VERSION, envelope
-from repro.chaos import chaos_point
+from repro.chaos import chaos_point_async
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpec, JobValidationError
 from repro.serve.pool import WorkerPool
@@ -149,7 +149,8 @@ class ServeServer:
         if status == 429 and retry_after is not None:
             headers.append(f"Retry-After: {retry_after}")
         data = ("\r\n".join(headers) + "\r\n\r\n" + body).encode("utf-8")
-        fault = chaos_point("serve.api.response", key=request_desc)
+        fault = await chaos_point_async("serve.api.response",
+                                        key=request_desc)
         if fault is not None and fault.fault == "torn-write":
             # Send a truncated response and slam the connection shut:
             # the client sees an IncompleteRead and (for idempotent
@@ -211,7 +212,7 @@ class ServeServer:
                  for key, values in parse_qs(split.query).items()}
         # An injected conn-reset here models the socket dying between
         # the read and the reply; the connection handler drops it.
-        chaos_point("serve.api.request", key=request_desc)
+        await chaos_point_async("serve.api.request", key=request_desc)
         status, payload = await self._route(method, split.path, query, raw)
         return status, payload, request_desc
 
@@ -223,11 +224,11 @@ class ServeServer:
         if path == "/healthz" and method == "GET":
             return 200, self._healthz()
         if path == "/metrics" and method == "GET":
-            return 200, self._metrics()
+            return 200, await self._metrics()
         if parts[:2] == ["v1", "jobs"]:
             if len(parts) == 2:
                 if method == "POST":
-                    return self._submit(raw)
+                    return await self._submit(raw)
                 if method == "GET":
                     return 200, self._list_jobs()
                 return 405, {"error": f"{method} not allowed on {path}"}
@@ -246,7 +247,7 @@ class ServeServer:
         return 404, {"error": f"no route for {method} {path}"}
 
     # -- handlers ----------------------------------------------------------
-    def _submit(self, raw: bytes) -> Tuple[int, Dict[str, object]]:
+    async def _submit(self, raw: bytes) -> Tuple[int, Dict[str, object]]:
         try:
             body = json.loads(raw.decode("utf-8") or "{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
@@ -259,7 +260,7 @@ class ServeServer:
         except JobValidationError as error:
             return 400, {"error": str(error)}
         try:
-            job = self.scheduler.submit(
+            job = await self.scheduler.submit_async(
                 spec, client=str(body.get("client", "anon")),
                 priority=int(body.get("priority", 0)))
         except QueueFull as error:
@@ -311,12 +312,17 @@ class ServeServer:
             "uptime_s": round(time.time() - self.started_at, 3),
         }
 
-    def _metrics(self) -> Dict[str, object]:
+    async def _metrics(self) -> Dict[str, object]:
+        # cache.stats() walks the result tree on disk — off-loop, so
+        # a monitoring scrape never stalls in-flight requests.
+        loop = asyncio.get_running_loop()
+        cache_stats = await loop.run_in_executor(
+            None, self.scheduler.cache.stats)
         return envelope(
             "serve", True, [],
             counters=self.scheduler.counters.to_dict(),
             queue=self.scheduler.queue_stats(),
-            cache=self.scheduler.cache.stats(),
+            cache=cache_stats,
             uptime_s=round(time.time() - self.started_at, 3))
 
 

@@ -48,7 +48,7 @@ from collections import deque
 from concurrent.futures import BrokenExecutor
 from typing import Deque, Dict, List, Optional
 
-from repro.chaos import chaos_point
+from repro.chaos import chaos_point_async
 from repro.core.metrics import ServiceCounters
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpec
@@ -251,13 +251,38 @@ class Scheduler:
     # -- submission --------------------------------------------------------
     def submit(self, spec: JobSpec, client: str = "anon",
                priority: int = 0) -> Job:
-        """Admit one job: cache hit, coalesce, enqueue, or refuse."""
+        """Admit one job: cache hit, coalesce, enqueue, or refuse.
+
+        Synchronous entry (tests, tools): the cache probe reads the
+        disk on the calling thread.  Event-loop callers must use
+        :meth:`submit_async`, which probes off-loop.
+        """
         if self._draining:
             raise Draining("server is draining; no new jobs accepted")
+        cached = self.cache.get(spec.cache_key())
+        return self._admit(spec, client, priority, cached)
+
+    async def submit_async(self, spec: JobSpec, client: str = "anon",
+                           priority: int = 0) -> Job:
+        """:meth:`submit` for coroutines: the cache probe (a disk read
+        and JSON parse) runs on a worker thread so the event loop
+        keeps serving other connections while it seeks."""
+        if self._draining:
+            raise Draining("server is draining; no new jobs accepted")
+        loop = asyncio.get_running_loop()
+        cached = await loop.run_in_executor(None, self.cache.get,
+                                            spec.cache_key())
+        if self._draining:
+            # Drain began while the probe was off-loop.
+            raise Draining("server is draining; no new jobs accepted")
+        return self._admit(spec, client, priority, cached)
+
+    def _admit(self, spec: JobSpec, client: str, priority: int,
+               cached) -> Job:
+        """Admission decision, given the already-probed cache value."""
         self._seq += 1
         job = Job(f"j{self._seq:06d}", spec, client, int(priority),
                   self._seq)
-        cached = self.cache.get(job.key)
         if cached is not None:
             self.jobs[job.job_id] = job
             self.counters.accepted += 1
@@ -388,8 +413,9 @@ class Scheduler:
         timeout = self.job_timeout or None
         timed_out = False
         try:
-            chaos_point("serve.scheduler.dispatch", key=job.key,
-                        attempt=job.infra_retries)
+            await chaos_point_async("serve.scheduler.dispatch",
+                                    key=job.key,
+                                    attempt=job.infra_retries)
             future = loop.run_in_executor(self._executor,
                                           self.pool.execute,
                                           job.spec, job.cancel_event)
@@ -438,8 +464,11 @@ class Scheduler:
                          error=f"{type(error).__name__}: {error}")
             return
         # A cancel/timeout that landed after the last chunk still
-        # yields a whole result — seal and serve it.
-        self.cache.put(job.spec, result)
+        # yields a whole result — seal and serve it.  The seal is a
+        # write + fsync + rename: off-loop, like every other disk
+        # touch on the serving path.
+        await loop.run_in_executor(None, self.cache.put, job.spec,
+                                   result)
         self._settle(self._owner(job), DONE, result=result)
 
     def _requeue(self, job: Job) -> None:

@@ -51,8 +51,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.simlint import (LintFinding, SuppressionTable,
-                                    package_root)
+from repro.analysis.registry import LintFinding, SuppressionTable
+from repro.analysis.simlint import package_root
 
 #: Modules under the repro package root the shipped-tree analysis
 #: covers: everything that owns a lock or runs threaded today.

@@ -1,0 +1,27 @@
+"""Sync helpers the async fixtures call into (S601 chain targets)."""
+
+import json
+import time
+
+
+def read_config(path):
+    # Blocking chain tail: open() two hops below the async frontier.
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def load_indirect(path):
+    return read_config(path)
+
+
+def backoff():
+    time.sleep(0.1)
+
+
+def pure_math(x):
+    return x * x + 1
+
+
+def close_handle(fh):
+    """Callee that closes its parameter (S701 ownership transfer)."""
+    fh.close()

@@ -1,0 +1,29 @@
+"""S601 seeds: blocking work reachable from async defs."""
+
+import asyncio
+import time
+
+from flowpkg.helpers import load_indirect, pure_math
+
+
+async def direct_sleep():
+    time.sleep(0.5)  # S601: direct blocking call on the loop
+
+
+async def chained_read(path):
+    return load_indirect(path)  # S601: open() two calls down
+
+
+async def hopped_read(path):
+    # negative: the executor hop is the sanctioned way off the loop
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, load_indirect, path)
+
+
+async def pure_compute(x):
+    # negative: nothing in this chain blocks
+    return pure_math(x)
+
+
+async def waived_sleep():
+    time.sleep(0.5)  # simlint: disable=S601

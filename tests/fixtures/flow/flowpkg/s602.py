@@ -1,0 +1,24 @@
+"""S602 seeds: coroutines built and dropped."""
+
+import asyncio
+
+
+async def notify(message):
+    await asyncio.sleep(0)
+    return message
+
+
+def fire_and_forget_wrong():
+    notify("lost")  # S602: builds a coroutine, never runs it
+
+
+async def fire_and_forget_right():
+    asyncio.create_task(notify("scheduled"))  # negative: scheduled
+
+
+async def awaited():
+    await notify("done")  # negative: awaited
+
+
+def waived():
+    notify("audited")  # simlint: disable=S602

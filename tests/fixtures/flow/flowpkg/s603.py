@@ -1,0 +1,28 @@
+"""S603 seeds: asyncio state touched from worker threads."""
+
+import asyncio
+import threading
+
+
+def touches_loop_off_thread():
+    loop = asyncio.get_event_loop()  # S603: runs on a plain thread
+    loop.create_task(asyncio.sleep(0))  # S603: loop API off-loop
+
+
+def private_loop_runner():
+    # negative: a private loop started *on* this thread is the
+    # sanctioned background-server shape
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    try:
+        loop.run_until_complete(asyncio.sleep(0))
+    finally:
+        loop.close()
+
+
+def spawn_bad():
+    return threading.Thread(target=touches_loop_off_thread)
+
+
+def spawn_good():
+    return threading.Thread(target=private_loop_runner)

@@ -1,0 +1,47 @@
+"""S701 seeds: resources that leak on exception paths."""
+
+import json
+
+from flowpkg.helpers import close_handle
+
+
+def leaky_read(path):
+    fh = open(path)  # S701: json.load can raise, fh never closed
+    data = json.load(fh)
+    fh.close()
+    return data
+
+
+def with_read(path):
+    # negative: context manager releases on every path
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def finally_read(path):
+    # negative: finally releases on every path
+    fh = open(path)
+    try:
+        return json.load(fh)
+    finally:
+        fh.close()
+
+
+def transferred(path):
+    # negative: ownership moves to the caller
+    fh = open(path)
+    return fh
+
+
+def delegated_close(path):
+    # negative: the callee's summary says it closes its parameter
+    fh = open(path)
+    close_handle(fh)
+    return None
+
+
+def waived_leak(path):
+    fh = open(path)  # simlint: disable=S701
+    data = json.load(fh)
+    fh.close()
+    return data

@@ -1,0 +1,34 @@
+"""S702 seeds: chaos-instrumented temp writes without cleanup."""
+
+import os
+import tempfile
+
+
+def chaos_point(site, key=None, attempt=0):
+    """Stand-in for repro.chaos.chaos_point (name-matched by S702)."""
+    return None
+
+
+def torn_write_leaks(path, data):
+    fd, tmp = tempfile.mkstemp(dir=".")  # S702: fault leaks the tmp
+    chaos_point("fixture.put", key=str(path))
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def torn_write_sealed(path, data):
+    # negative: the exception path unlinks the temp file (the shape
+    # repro.serve.cache.ResultCache._put_sealed ships)
+    fd, tmp = tempfile.mkstemp(dir=".")
+    try:
+        chaos_point("fixture.put", key=str(path))
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,18 @@
+"""U001 seeds: suppression pragmas that earn their keep — or don't."""
+
+import asyncio
+import time
+
+
+async def used_pragma():
+    time.sleep(0.1)  # simlint: disable=S601
+
+# U001: nothing on this line ever violated S601.
+x = 1  # simlint: disable=S601
+
+# Not judged here: S5 belongs to the lockset engine, which a
+# flow-only run never executes.
+y = 2  # simlint: disable=S501
+
+# U001: a rule id outside the catalogue can never suppress anything.
+z = 3  # simlint: disable=S999

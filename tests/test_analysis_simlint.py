@@ -302,9 +302,12 @@ class TestRegistryAndSelfCheck:
     def test_registry_complete(self):
         assert sorted(LINT_RULES) == ["S101", "S102", "S103", "S104", "S201",
                                       "S202", "S301", "S302", "S401",
-                                      "S501", "S502", "S503"]
+                                      "S501", "S502", "S503",
+                                      "S601", "S602", "S603",
+                                      "S701", "S702", "U001"]
         for rule in LINT_RULES.values():
             assert rule.severity in ("error", "warning")
+            assert rule.engine in ("simlint", "lockset", "flow")
             assert rule.summary
 
     def test_shipped_tree_is_strict_clean(self):
@@ -314,4 +317,68 @@ class TestRegistryAndSelfCheck:
 
     def test_select_prefix_filter(self):
         findings = lint_package(select=["S9"])
+        assert findings == []
+
+
+class TestUsageAudit:
+    """U001: pragmas must earn their keep."""
+
+    def run(self, tmp_path, source, engines=("simlint", "usage")):
+        root = tmp_path / "auditpkg"
+        root.mkdir()
+        (root / "mod.py").write_text(textwrap.dedent(source))
+        return lint_package(root=root, engines=list(engines))
+
+    def test_used_pragma_is_silent(self, tmp_path):
+        findings = self.run(tmp_path,
+                            "import random  # simlint: disable=S101\n")
+        assert findings == []
+
+    def test_stale_line_pragma_flagged(self, tmp_path):
+        findings = self.run(tmp_path,
+                            "x = 1\n"
+                            "y = 2  # simlint: disable=S101\n")
+        assert [(f.rule, f.line) for f in findings] == [("U001", 2)]
+        assert "disable=S101" in findings[0].message
+
+    def test_stale_file_pragma_flagged(self, tmp_path):
+        findings = self.run(tmp_path,
+                            "x = 1\n"
+                            "# simlint: disable-file=S101\n")
+        assert [(f.rule, f.line) for f in findings] == [("U001", 2)]
+        assert "disable-file=S101" in findings[0].message
+
+    def test_unknown_rule_id_always_stale(self, tmp_path):
+        # S999 is in no catalogue; no engine selection can judge it
+        # useful.
+        findings = self.run(tmp_path,
+                            "x = 1  # simlint: disable=S999\n",
+                            engines=("usage",))
+        assert [(f.rule, f.line) for f in findings] == [("U001", 1)]
+
+    def test_unevaluated_family_not_judged(self, tmp_path):
+        # An S5 pragma is the lockset engine's business; a run without
+        # it must not call the pragma stale.
+        findings = self.run(tmp_path,
+                            "x = 1  # simlint: disable=S501\n")
+        assert findings == []
+
+    def test_u001_self_suppression(self, tmp_path):
+        findings = self.run(
+            tmp_path, "x = 1  # simlint: disable=S101,U001\n")
+        assert findings == []
+
+    def test_docstring_pragma_text_is_inert(self, tmp_path):
+        # Documentation *about* pragmas is not a pragma: it neither
+        # suppresses nor counts as stale.
+        findings = self.run(tmp_path,
+                            '"""Write `# simlint: disable=S101` to '
+                            'waive a line."""\n'
+                            "import random\n")
+        assert [(f.rule, f.line) for f in findings] == [("S101", 2)]
+
+    def test_usage_engine_off_means_no_audit(self, tmp_path):
+        findings = self.run(tmp_path,
+                            "x = 1  # simlint: disable=S101\n",
+                            engines=("simlint",))
         assert findings == []

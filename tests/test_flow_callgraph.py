@@ -1,0 +1,199 @@
+"""Call-graph construction: name resolution (imports, self chains,
+ctor-typed members, module globals, nested defs), call-site kind
+classification, and the SCC/fixpoint machinery the rules build on."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.callgraph import (build_callgraph,
+                                           solve_bottom_up,
+                                           strongly_connected)
+
+
+def graph_of(sources=None, **kw):
+    """Build a graph from ``{"rel/path.py": source}`` (keyword args
+    spell ``m.py`` as ``m`` for the single-module case)."""
+    sources = dict(sources or {})
+    sources.update({f"{name}.py": src for name, src in kw.items()})
+    modules = [(rel, ast.parse(textwrap.dedent(src)))
+               for rel, src in sources.items()]
+    return build_callgraph(modules, package="pkg")
+
+
+def sites_of(graph, fid):
+    return {(s.name, s.kind, s.target) for s in graph.sites[fid]}
+
+
+class TestResolution:
+    def test_from_import_resolves_across_modules(self):
+        graph = graph_of(
+            a="from pkg.b import helper\n"
+              "def caller():\n"
+              "    helper()\n",
+            b="def helper():\n"
+              "    pass\n")
+        assert ("pkg.b.helper", "call", "b.py::helper") in \
+            sites_of(graph, "a.py::caller")
+
+    def test_reexport_chased_through_package_init(self):
+        graph = graph_of({
+            "sub/__init__.py": "from pkg.sub.impl import helper\n",
+            "sub/impl.py": "def helper():\n"
+                           "    pass\n",
+            "a.py": "from pkg.sub import helper\n"
+                    "def caller():\n"
+                    "    helper()\n"})
+        assert ("pkg.sub.helper", "call", "sub/impl.py::helper") in \
+            sites_of(graph, "a.py::caller")
+
+    def test_self_method_and_ctor_member_chain(self):
+        graph = graph_of(
+            m="class Cache:\n"
+              "    def get(self):\n"
+              "        pass\n"
+              "class Server:\n"
+              "    def __init__(self):\n"
+              "        self.cache = Cache()\n"
+              "    def probe(self):\n"
+              "        self.cache.get()\n"
+              "        self.helper()\n"
+              "    def helper(self):\n"
+              "        pass\n")
+        sites = sites_of(graph, "m.py::Server.probe")
+        assert ("self.cache.get", "call", "m.py::Cache.get") in sites
+        assert ("self.helper", "call", "m.py::Server.helper") in sites
+
+    def test_module_global_and_local_alias(self):
+        graph = graph_of(
+            m="from typing import Optional\n"
+              "class Controller:\n"
+              "    def fire(self):\n"
+              "        pass\n"
+              "_CTRL: Optional[Controller] = None\n"
+              "def hook():\n"
+              "    ctrl = _CTRL\n"
+              "    ctrl.fire()\n")
+        assert ("ctrl.fire", "call", "m.py::Controller.fire") in \
+            sites_of(graph, "m.py::hook")
+
+    def test_annotated_param_resolves_method(self):
+        graph = graph_of(
+            m="class Pool:\n"
+              "    def execute(self):\n"
+              "        pass\n"
+              "def run(pool: Pool):\n"
+              "    pool.execute()\n")
+        assert ("pool.execute", "call", "m.py::Pool.execute") in \
+            sites_of(graph, "m.py::run")
+
+    def test_nested_def_visible_to_encloser_only(self):
+        graph = graph_of(
+            m="def outer():\n"
+              "    def inner():\n"
+              "        pass\n"
+              "    inner()\n")
+        assert ("inner", "call", "m.py::outer.inner") in \
+            sites_of(graph, "m.py::outer")
+        # inner's body is not part of outer's site list
+        assert "m.py::outer.inner" in graph.sites
+
+
+class TestSiteKinds:
+    SRC = """
+        import asyncio
+        import threading
+
+        async def work():
+            pass
+
+        def blocking():
+            pass
+
+        async def caller():
+            await work()
+            asyncio.create_task(work())
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, blocking)
+            asyncio.run(work())
+
+        def spawn():
+            threading.Thread(target=blocking).start()
+
+        def drop():
+            work()
+        """
+
+    def test_kinds(self):
+        graph = graph_of(m=self.SRC)
+        sites = sites_of(graph, "m.py::caller")
+        assert ("work", "await", "m.py::work") in sites
+        assert ("work", "task", "m.py::work") in sites
+        assert ("blocking", "executor", "m.py::blocking") in sites
+        assert ("work", "enters-loop", "m.py::work") in sites
+
+    def test_thread_target_is_executor_kind(self):
+        graph = graph_of(m=self.SRC)
+        assert ("blocking", "executor", "m.py::blocking") in \
+            sites_of(graph, "m.py::spawn")
+
+    def test_discarded_flag_on_expression_statement(self):
+        graph = graph_of(m=self.SRC)
+        site = next(s for s in graph.sites["m.py::drop"]
+                    if s.name == "work")
+        assert site.discarded
+        awaited = next(s for s in graph.sites["m.py::caller"]
+                       if s.kind == "await")
+        assert not awaited.discarded
+
+    def test_partial_unwrapped_to_its_callable(self):
+        graph = graph_of(
+            m="import functools, threading\n"
+              "def blocking(x):\n"
+              "    pass\n"
+              "def spawn():\n"
+              "    t = threading.Thread(\n"
+              "        target=functools.partial(blocking, 1))\n"
+              "    t.start()\n")
+        assert ("blocking", "executor", "m.py::blocking") in \
+            sites_of(graph, "m.py::spawn")
+
+    def test_import_alias_canonicalized(self):
+        graph = graph_of(
+            m="import time as t\n"
+              "def f():\n"
+              "    t.sleep(1)\n")
+        assert any(s.name == "time.sleep"
+                   for s in graph.sites["m.py::f"])
+
+
+class TestFixpoint:
+    def test_tarjan_emits_callees_first(self):
+        edges = {"a": ["b"], "b": ["c", "a"], "c": [], "d": ["c"]}
+        sccs = strongly_connected(sorted(edges), edges.get)
+        flat = {node: pos for pos, scc in enumerate(sccs)
+                for node in scc}
+        assert {"a", "b"} == set(sccs[flat["a"]])  # the cycle is one SCC
+        assert flat["c"] < flat["a"]
+        assert flat["c"] < flat["d"]
+
+    def test_solve_bottom_up_reaches_fixpoint_on_cycle(self):
+        graph = graph_of(
+            m="def a():\n"
+              "    b()\n"
+              "def b():\n"
+              "    a()\n"
+              "    c()\n"
+              "def c():\n"
+              "    pass\n")
+
+        def transfer(fid, summaries):
+            # "reaches c" — must propagate around the a<->b cycle
+            out = fid.endswith("::c")
+            for target in graph.callees(fid, {"call"}):
+                out = out or bool(summaries.get(target))
+            return out
+
+        summaries = solve_bottom_up(graph, {"call"}, transfer)
+        assert summaries["m.py::a"] is True
+        assert summaries["m.py::b"] is True
+        assert summaries["m.py::c"] is True

@@ -1,0 +1,188 @@
+"""Regressions for the async-safety fixes the flow analyzer surfaced
+on the shipped tree: deferred chaos stalls (controller), off-loop cache
+probes in submit_async, off-loop cache.put in the dispatch loop, and
+off-loop cache.stats in the metrics endpoint."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.chaos import chaos_point, chaos_point_async
+from repro.chaos.controller import armed
+from repro.chaos.plan import ChaosPlan, ChaosRule
+from repro.serve.api import ServeServer
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobSpec
+from repro.serve.scheduler import DONE, Draining, Scheduler
+
+
+def stall_plan(delay_s=0.1):
+    return ChaosPlan(seed=1, rules=(
+        ChaosRule("test.stall.site", "stall", delay_s=delay_s),))
+
+
+def spec(tag=0):
+    return JobSpec.build("run", {"kind": "srt", "benchmarks": ["gcc"],
+                                 "instructions": 300 + tag})
+
+
+class InstantPool:
+    def execute(self, job_spec, cancel):
+        return {"echo": job_spec.params["instructions"]}
+
+
+class RecordingCache(ResultCache):
+    """ResultCache that records which thread touches the disk."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.get_threads = []
+        self.put_threads = []
+        self.stats_threads = []
+
+    def get(self, key):
+        self.get_threads.append(threading.current_thread())
+        return super().get(key)
+
+    def put(self, job_spec, result):
+        self.put_threads.append(threading.current_thread())
+        return super().put(job_spec, result)
+
+    def stats(self):
+        self.stats_threads.append(threading.current_thread())
+        return super().stats()
+
+
+async def wait_for(predicate, timeout=5.0):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_event_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.01)
+
+
+class TestDeferredStall:
+    def test_fire_returns_stall_event_without_sleeping(self):
+        plan = stall_plan(delay_s=5.0)
+        with armed(plan) as controller:
+            start = time.monotonic()
+            event = controller.fire("test.stall.site", None, 0)
+            elapsed = time.monotonic() - start
+        assert event is not None
+        assert event.fault == "stall"
+        assert event.delay_s == 5.0
+        assert elapsed < 1.0  # the controller itself never sleeps
+
+    def test_sync_chaos_point_still_sleeps(self):
+        with armed(stall_plan(delay_s=0.05)):
+            start = time.monotonic()
+            result = chaos_point("test.stall.site")
+            elapsed = time.monotonic() - start
+        assert result is None  # stalls are absorbed, not returned
+        assert elapsed >= 0.05
+
+    def test_async_stall_yields_to_the_loop(self):
+        async def scenario():
+            ticks = []
+
+            async def ticker():
+                while True:
+                    ticks.append(1)
+                    await asyncio.sleep(0.005)
+
+            task = asyncio.create_task(ticker())
+            result = await chaos_point_async("test.stall.site")
+            task.cancel()
+            return result, len(ticks)
+
+        with armed(stall_plan(delay_s=0.1)):
+            result, tick_count = asyncio.run(scenario())
+        assert result is None
+        # Other loop work ran *during* the stall — the loop never froze.
+        assert tick_count >= 5
+
+    def test_non_stall_events_still_pass_through(self):
+        plan = ChaosPlan(seed=1, rules=(
+            ChaosRule("test.stall.site", "torn-write"),))
+        with armed(plan):
+            event = chaos_point("test.stall.site")
+            assert event is not None and event.fault == "torn-write"
+
+            async def crossing():
+                return await chaos_point_async("test.stall.site")
+            event = asyncio.run(crossing())
+            assert event is not None and event.fault == "torn-write"
+
+
+class TestSubmitAsyncProbe:
+    def test_cache_probe_runs_off_loop(self, tmp_path):
+        cache = RecordingCache(tmp_path / "cache")
+        scheduler = Scheduler(InstantPool(), cache, max_running=1)
+
+        async def scenario():
+            loop_thread = threading.current_thread()
+            scheduler.start()
+            job = await scheduler.submit_async(spec())
+            await wait_for(lambda: job.state == DONE)
+            await scheduler.drain()
+            return loop_thread
+
+        loop_thread = asyncio.run(scenario())
+        assert cache.get_threads  # the probe happened
+        assert all(t is not loop_thread for t in cache.get_threads)
+
+    def test_drain_during_probe_is_refused(self, tmp_path):
+        cache = RecordingCache(tmp_path / "cache")
+        scheduler = Scheduler(InstantPool(), cache, max_running=1)
+        original_get = cache.get
+
+        def draining_get(key):
+            scheduler._draining = True  # drain lands mid-probe
+            return original_get(key)
+
+        cache.get = draining_get
+
+        async def scenario():
+            with pytest.raises(Draining):
+                await scheduler.submit_async(spec())
+
+        asyncio.run(scenario())
+        assert scheduler.jobs == {}  # nothing was admitted
+
+
+class TestDispatchPut:
+    def test_result_seal_runs_off_loop(self, tmp_path):
+        cache = RecordingCache(tmp_path / "cache")
+        scheduler = Scheduler(InstantPool(), cache, max_running=1)
+
+        async def scenario():
+            loop_thread = threading.current_thread()
+            scheduler.start()
+            job = scheduler.submit(spec())
+            await wait_for(lambda: job.state == DONE)
+            await scheduler.drain()
+            return loop_thread
+
+        loop_thread = asyncio.run(scenario())
+        assert cache.put_threads  # the seal happened
+        assert all(t is not loop_thread for t in cache.put_threads)
+
+
+class TestMetricsStats:
+    def test_cache_stats_runs_off_loop(self, tmp_path):
+        cache = RecordingCache(tmp_path / "cache")
+        scheduler = Scheduler(InstantPool(), cache, max_running=1)
+        server = ServeServer(scheduler=scheduler)
+
+        async def scenario():
+            loop_thread = threading.current_thread()
+            payload = await server._metrics()
+            return loop_thread, payload
+
+        loop_thread, payload = asyncio.run(scenario())
+        assert payload["cache"] == cache.stats()
+        assert cache.stats_threads
+        assert all(t is not loop_thread
+                   for t in cache.stats_threads[:-1])

@@ -1,0 +1,233 @@
+"""CFG lowering semantics: exception edges, finally dual-lowering,
+with-cleanup paths, abrupt-exit unwinding, and the reachability query
+the S7 leak walk is built on."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow.ir import (build_cfg, call_args, dotted_name,
+                                    iter_functions, parse_annotation)
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    decls = list(iter_functions(tree))
+    decl = decls[0] if name is None else next(
+        d for d in decls if d.qualname == name)
+    return build_cfg(decl.node, decl.qualname)
+
+
+def blocks_at(cfg, lineno, kind=None):
+    return [b for b in cfg.blocks
+            if b.line == lineno and (kind is None or b.kind == kind)]
+
+
+def block_at(cfg, lineno, kind=None):
+    found = blocks_at(cfg, lineno, kind)
+    assert len(found) == 1, (lineno, found)
+    return found[0]
+
+
+def reaches_raise(cfg, start, stop_lines=()):
+    return cfg.can_reach(
+        start.idx, cfg.raise_exit,
+        stop=lambda b: b.line in stop_lines and b.kind != "join")
+
+
+class TestExceptionEdges:
+    def test_plain_stmt_raises_to_exit(self):
+        cfg = cfg_of("""
+            def f(path):
+                fh = open(path)
+                fh.read()
+                fh.close()
+            """)
+        acquire = block_at(cfg, 3)
+        assert cfg.blocks[acquire.exc].kind == "raise"
+        # read() can raise before close() runs, so stopping at the
+        # close line does not sever the path to the raise exit.
+        assert reaches_raise(cfg, acquire, stop_lines=(5,))
+
+    def test_start_exc_edge_excluded(self):
+        # If the acquisition itself raises, the resource never
+        # existed: a function whose only statement is the acquisition
+        # must not reach the raise exit from it.
+        cfg = cfg_of("""
+            def f(path):
+                fh = open(path)
+            """)
+        acquire = block_at(cfg, 3)
+        assert not reaches_raise(cfg, acquire)
+
+    def test_handler_catches_but_porous_dispatch_escapes(self):
+        cfg = cfg_of("""
+            def f(path):
+                fh = open(path)
+                try:
+                    fh.read()
+                except ValueError:
+                    fh.close()
+            """)
+        acquire = block_at(cfg, 3)
+        # A non-ValueError escapes the dispatch and bypasses close().
+        assert reaches_raise(cfg, acquire, stop_lines=(7,))
+
+    def test_exhaustive_handler_seals_the_dispatch(self):
+        for clause in ("except BaseException:", "except Exception:",
+                       "except:"):
+            cfg = cfg_of(f"""
+                def f(path):
+                    fh = open(path)
+                    try:
+                        fh.read()
+                    {clause}
+                        fh.close()
+                        raise
+                """)
+            acquire = block_at(cfg, 3)
+            assert not reaches_raise(cfg, acquire, stop_lines=(7,)), clause
+
+
+class TestFinally:
+    def test_finally_lowered_on_both_paths(self):
+        cfg = cfg_of("""
+            def f(fh):
+                try:
+                    fh.read()
+                finally:
+                    fh.close()
+            """)
+        # One copy on the normal path, one on the exception path.
+        assert len(blocks_at(cfg, 6, kind="stmt")) == 2
+
+    def test_exception_path_runs_finally_then_reraises(self):
+        cfg = cfg_of("""
+            def f(fh):
+                try:
+                    fh.read()
+                finally:
+                    fh.close()
+            """)
+        body = block_at(cfg, 4)
+        # Every raise path out of the body passes a close() block.
+        assert not reaches_raise(cfg, body, stop_lines=(6,))
+
+    def test_return_unwinds_through_finally(self):
+        cfg = cfg_of("""
+            def f(fh):
+                try:
+                    return fh.read()
+                finally:
+                    fh.close()
+            """)
+        ret = block_at(cfg, 4)
+        # The return cannot reach the exit without executing a
+        # finally copy.
+        assert not cfg.can_reach(ret.idx, cfg.exit,
+                                 stop=lambda b: b.line == 6)
+        assert cfg.can_reach(ret.idx, cfg.exit, stop=lambda b: False)
+
+
+class TestWith:
+    def test_with_exception_path_passes_cleanup(self):
+        cfg = cfg_of("""
+            def f(path):
+                with open(path) as fh:
+                    fh.read()
+            """)
+        body = block_at(cfg, 4)
+        assert not cfg.can_reach(
+            body.idx, cfg.raise_exit,
+            stop=lambda b: b.kind == "with-cleanup")
+
+    def test_with_enter_exc_bypasses_cleanup(self):
+        # If __enter__ itself raises, __exit__ never runs.
+        cfg = cfg_of("""
+            def f(path):
+                with open(path) as fh:
+                    fh.read()
+            """)
+        enter = block_at(cfg, 3, kind="with-enter")
+        assert cfg.blocks[enter.exc].kind == "raise"
+
+    def test_block_exprs_cover_items_and_targets(self):
+        cfg = cfg_of("""
+            def f(path):
+                with open(path) as fh:
+                    fh.read()
+            """)
+        enter = block_at(cfg, 3, kind="with-enter")
+        exprs = cfg.block_exprs(enter)
+        assert any(isinstance(e, ast.Call) for e in exprs)
+        assert any(isinstance(e, ast.Name) and e.id == "fh"
+                   for e in exprs)
+
+
+class TestLoops:
+    def test_break_exits_continue_loops(self):
+        cfg = cfg_of("""
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                    continue
+                return items
+            """)
+        brk = block_at(cfg, 5)
+        cont = block_at(cfg, 6)
+        head = block_at(cfg, 3, kind="branch")
+        ret = block_at(cfg, 7)
+        assert cfg.can_reach(brk.idx, ret.idx, stop=lambda b: b is head)
+        assert cfg.can_reach(cont.idx, head.idx, stop=lambda b: False)
+        assert not cfg.can_reach(cont.idx, ret.idx,
+                                 stop=lambda b: b is head)
+
+    def test_break_unwinds_inner_with(self):
+        cfg = cfg_of("""
+            def f(items, path):
+                for item in items:
+                    with open(path) as fh:
+                        break
+                return items
+            """)
+        brk = block_at(cfg, 5)
+        ret = block_at(cfg, 6)
+        assert not cfg.can_reach(
+            brk.idx, ret.idx, stop=lambda b: b.kind == "with-cleanup")
+
+
+class TestHelpers:
+    def test_dotted_name(self):
+        assert dotted_name(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+        assert dotted_name(ast.parse("x", mode="eval").body) == "x"
+        assert dotted_name(ast.parse("f().g", mode="eval").body) is None
+
+    def test_iter_functions_qualnames(self):
+        tree = ast.parse(textwrap.dedent("""
+            def top():
+                def inner():
+                    pass
+            class C:
+                async def method(self):
+                    pass
+            """))
+        decls = {d.qualname: d for d in iter_functions(tree)}
+        assert set(decls) == {"top", "top.inner", "C.method"}
+        assert decls["top.inner"].parent == "top"
+        assert decls["C.method"].cls == "C"
+        assert decls["C.method"].is_async
+
+    def test_parse_annotation(self):
+        def ann(src):
+            return ast.parse(src, mode="eval").body
+        assert parse_annotation(ann("Foo")) == "Foo"
+        assert parse_annotation(ann("mod.Foo")) == "Foo"
+        assert parse_annotation(ann("Optional[Foo]")) == "Foo"
+        assert parse_annotation(ann("'Foo'")) == "Foo"
+        assert parse_annotation(ann("Dict[str, int]")) is None
+        assert parse_annotation(None) is None
+
+    def test_call_args_orders_positional_first(self):
+        call = ast.parse("f(1, 2, key=3)", mode="eval").body
+        pairs = call_args(call)
+        assert [kw for kw, _ in pairs] == [None, None, "key"]

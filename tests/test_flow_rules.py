@@ -1,0 +1,128 @@
+"""Flow-rule acceptance: every seeded defect in the fixture package is
+detected with the right rule id and line, every negative and suppressed
+case stays silent, and the JSON envelope matches the checked-in golden.
+Also pins the shipped tree: the flow engines find nothing to report."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import report as rpt
+from repro.analysis.cli import cmd_lint
+from repro.analysis.flow.rules import analyze_source
+from repro.analysis.simlint import lint_package
+
+FIXTURES = Path(__file__).parent / "fixtures" / "flow"
+FIXPKG = FIXTURES / "flowpkg"
+
+EXPECTED = [
+    ("S601", "s601.py", 10),
+    ("S601", "s601.py", 14),
+    ("S602", "s602.py", 12),
+    ("S603", "s603.py", 8),
+    ("S603", "s603.py", 9),
+    ("S701", "s701.py", 9),
+    ("S702", "s702.py", 13),
+    ("U001", "u001.py", 11),
+    ("U001", "u001.py", 18),
+]
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return lint_package(root=FIXPKG, engines=["flow", "usage"])
+
+
+class TestFixturePackage:
+    def test_exact_findings(self, findings):
+        got = [(f.rule, f.path, f.line) for f in findings]
+        assert got == EXPECTED
+
+    def test_chain_message_names_the_path(self, findings):
+        chained = next(f for f in findings
+                       if f.rule == "S601" and f.line == 14)
+        assert "load_indirect -> read_config" in chained.message
+        assert "helpers.py:9" in chained.message
+
+    def test_off_loop_origin_cited(self, findings):
+        s603 = next(f for f in findings if f.rule == "S603")
+        assert "s603.py:24" in s603.message
+
+    def test_suppressed_and_negative_lines_silent(self, findings):
+        lines = {(f.path, f.line) for f in findings}
+        # waived positives (pragma'd) and true negatives
+        for silent in [("s601.py", 20), ("s601.py", 25), ("s601.py", 29),
+                       ("s602.py", 16), ("s602.py", 20), ("s602.py", 24),
+                       ("s603.py", 15), ("s603.py", 18),
+                       ("s701.py", 17), ("s701.py", 23), ("s701.py", 32),
+                       ("s701.py", 38), ("s701.py", 44),
+                       ("s702.py", 23),
+                       ("u001.py", 8), ("u001.py", 15)]:
+            assert silent not in lines, silent
+
+    def test_unjudged_engine_pragma_not_flagged(self, findings):
+        # The S501 pragma belongs to the lockset engine; a flow-only
+        # run must not declare it stale.
+        assert not any(f.rule == "U001" and f.line == 15
+                       for f in findings)
+
+    def test_golden_envelope(self, findings):
+        detail = rpt.lint_to_dict(findings)
+        payload = rpt.envelope("lint", False, detail.pop("findings"),
+                               strict=True, **detail)
+        golden = json.loads((FIXTURES / "expected.json").read_text())
+        assert json.loads(rpt.to_json(payload)) == golden
+
+
+class TestAnalyzeSource:
+    def run(self, source):
+        return analyze_source(source, "mod.py")
+
+    def test_await_is_not_blocking(self):
+        findings = self.run(
+            "import asyncio\n"
+            "async def f(lock):\n"
+            "    async with lock:\n"
+            "        await asyncio.sleep(0)\n")
+        assert findings == []
+
+    def test_mkstemp_fd_consumed_path_leaks(self):
+        findings = self.run(
+            "import tempfile, os\n"
+            "def f(data):\n"
+            "    fd, tmp = tempfile.mkstemp()\n"
+            "    os.fdopen(fd, 'wb').write(data)\n")
+        assert [f.rule for f in findings] == ["S701"]
+        assert findings[0].line == 3
+
+    def test_executor_hop_clears_s601(self):
+        findings = self.run(
+            "import asyncio, time\n"
+            "async def f():\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, time.sleep, 1)\n")
+        assert findings == []
+
+
+class TestShippedTree:
+    def test_flow_engines_clean_on_repro(self):
+        findings = lint_package(engines=["flow", "usage"])
+        assert [(f.path, f.line, f.rule) for f in findings] == []
+
+
+class TestOnlyFlag:
+    def test_only_s6_s7_json(self, capsys):
+        rc = cmd_lint(["--only", "S6,S7", "--format", "json",
+                       str(FIXPKG)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["tool"] == "lint"
+        assert payload["version"] == rpt.SCHEMA_VERSION
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"S601", "S602", "S603", "S701", "S702"}
+
+    def test_only_unknown_family_exits_2(self, capsys):
+        rc = cmd_lint(["--only", "S9", str(FIXPKG)])
+        assert rc == 2
+        assert "no known rule family" in capsys.readouterr().err
