@@ -20,6 +20,9 @@ import pytest
 
 from repro.campaign import CampaignEngine, CampaignSpec
 from repro.chaos import chaos_point, controller
+from repro.obs import bench
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 def env_int(name, default):
@@ -59,6 +62,17 @@ def test_parallel_campaign_speedup(tmp_path, benchmark):
     print(f"campaign {SPEC.total_tasks()} injections: "
           f"jobs=1 {sequential:.2f}s, jobs={JOBS} {parallel:.2f}s "
           f"({sequential / max(parallel, 1e-9):.2f}x)")
+
+    # Bench trajectory (no-op unless REPRO_BENCH_OUT is set).
+    bench.record("campaign.sequential.tasks_per_s",
+                 ops_per_s=SPEC.total_tasks() / sequential,
+                 meta={"injections": INJECTIONS})
+    workers = max(1, min(JOBS, os.cpu_count() or 1))
+    bench.record("campaign.parallel.tasks_per_worker_s",
+                 ops_per_s=SPEC.total_tasks() / max(parallel, 1e-9) / workers,
+                 meta={"injections": INJECTIONS, "jobs": JOBS,
+                       "note": "per-worker rate (comparable across "
+                               "hosts with different core counts)"})
 
     if (os.cpu_count() or 1) < 2 or JOBS < 2:
         pytest.skip("single-core host: no parallelism available")
@@ -103,3 +117,45 @@ def test_unarmed_chaos_hook_overhead(tmp_path):
     assert overhead < 0.01, (
         f"disarmed hook overhead {overhead * 100:.3f}% breaches the "
         f"1% budget ({hook_s * 1e9:.0f} ns/crossing)")
+
+
+def test_disarmed_obs_overhead(tmp_path):
+    """Disarmed tracing + metrics must cost < 2% of a campaign task.
+
+    The observability hooks live on the same hot paths as the chaos
+    hooks: every worker task opens a ``campaign.task`` span, every
+    chunk a ``campaign.chunk`` span, and every store append bumps a
+    registry counter.  With no tracer armed ``span()`` returns a
+    shared no-op context manager; this guard holds the combined
+    disarmed cost of a task's crossings under the 2% acceptance
+    budget against the cheapest realistic per-task campaign cost.
+    """
+    assert obs_trace.tracer() is None, "a tracer leaked into the benchmark"
+
+    def span_crossing():
+        with obs_trace.span("campaign.task", key="t0000"):
+            pass
+
+    crossings = 200_000
+    span_s = timeit.timeit(span_crossing, number=crossings) / crossings
+    counter = obs_metrics.registry().counter("bench.overhead.probe")
+    counter_s = timeit.timeit(counter.inc, number=crossings) / crossings
+
+    spec = CampaignSpec(kinds=("srt",), workloads=("compress",),
+                        models=("transient-result",), injections=40,
+                        instructions=150, warmup=20)
+    start = time.perf_counter()
+    CampaignEngine(spec, tmp_path / "ref", jobs=1).run()
+    task_s = (time.perf_counter() - start) / spec.total_tasks()
+
+    # Per task: its own span, a share of the chunk + run spans, and a
+    # share of the per-append counter bump — call it 3 span crossings
+    # and 1 counter bump, rounded up.
+    per_task_s = 3 * span_s + counter_s
+    overhead = per_task_s / task_s
+    print(f"\ndisarmed obs: {span_s * 1e9:.0f} ns/span, "
+          f"{counter_s * 1e9:.0f} ns/counter-inc, "
+          f"{overhead * 100:.4f}% of a {task_s * 1e3:.1f} ms task")
+    assert overhead < 0.02, (
+        f"disarmed observability overhead {overhead * 100:.3f}% "
+        f"breaches the 2% budget")

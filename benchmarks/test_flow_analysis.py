@@ -18,6 +18,7 @@ import time
 from repro.analysis.flow.callgraph import build_callgraph
 from repro.analysis.flow.rules import analyze_modules
 from repro.analysis.simlint import iter_package_files, package_root
+from repro.obs import bench
 
 ROUNDS = int(os.environ.get("REPRO_FLOW_ROUNDS", 3))
 
@@ -53,3 +54,8 @@ def test_flow_analysis_throughput():
     print(f"flow analysis: {len(modules)} modules, {n_functions} "
           f"functions, {elapsed * 1000:.0f} ms/round "
           f"({n_functions / elapsed:.0f} functions/sec)")
+
+    bench.record("flow.functions_per_s",
+                 ops_per_s=n_functions / elapsed,
+                 meta={"modules": len(modules),
+                       "functions": n_functions})

@@ -11,6 +11,7 @@ always agrees with full BFS on the verdict.
 
 import time
 
+from repro.obs import bench
 from repro.verify.explore import explore_bfs, explore_por
 from repro.verify.protocol import (ProtocolSystem, demo_configuration,
                                    shipped_configurations)
@@ -42,6 +43,10 @@ def test_full_bfs_throughput(benchmark):
           f"{result.transitions} transitions, "
           f"{result.states / elapsed:,.0f} states/sec")
 
+    bench.record("verify.bfs.states_per_s",
+                 ops_per_s=result.states / elapsed,
+                 meta={"states": result.states})
+
 
 def test_por_throughput_and_parity(benchmark):
     por = benchmark.pedantic(
@@ -59,6 +64,11 @@ def test_por_throughput_and_parity(benchmark):
           f"{por.states / elapsed:,.0f} states/sec")
     print(f"  parity:   BFS {full.states} states / "
           f"{full.transitions} transitions")
+
+    bench.record("verify.por.states_per_s",
+                 ops_per_s=por.states / elapsed,
+                 meta={"states": por.states,
+                       "sleep_skips": por.sleep_skips})
 
     assert por.ok == full.ok
     assert por.states == full.states  # sleep sets never prune states

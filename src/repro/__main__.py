@@ -74,6 +74,9 @@ def cmd_list() -> int:
           "demos ('recovery --help')")
     print("  chaos              deterministic infrastructure fault "
           "injection + resilience soak ('chaos --help')")
+    print("\nobservability:")
+    print("  obs                span-log reports, per-stage run "
+          "profiles, bench-trajectory gate ('obs --help')")
     print("\nserving:")
     print("  serve              async simulation-as-a-service daemon "
           "('serve --help')")
@@ -138,6 +141,10 @@ def main(argv=None) -> int:
         # Deterministic infrastructure fault injection.
         from repro.chaos.cli import main as chaos_main
         return chaos_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Observability: span logs, stage profiles, bench gate.
+        from repro.obs.cli import main as obs_main
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()

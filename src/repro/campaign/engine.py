@@ -49,6 +49,8 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import CampaignStore
 from repro.campaign.worker import execute_chunk
 from repro.chaos import chaos_point
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.util.chunking import auto_chunk_size
 
 run_log = logging.getLogger("repro.run")
@@ -101,13 +103,21 @@ def infra_failure_record(task: Dict[str, object],
 
 def _chunks(tasks: List[InjectionTask], size: int,
             config: Optional[Dict[str, object]],
-            timeout: int) -> Iterator[Dict[str, object]]:
+            timeout: int,
+            trace_carry: Optional[Dict[str, str]] = None
+            ) -> Iterator[Dict[str, object]]:
     for start in range(0, len(tasks), size):
-        yield {
+        payload: Dict[str, object] = {
             "tasks": [task.to_dict() for task in tasks[start:start + size]],
             "config": config,
             "timeout": timeout,
         }
+        if trace_carry is not None:
+            # Cross-process span propagation: the worker adopts this
+            # carry so its chunk/task spans nest under the campaign.run
+            # root even across the pickle boundary.
+            payload["trace"] = trace_carry
+        yield payload
 
 
 class CampaignEngine:
@@ -162,16 +172,25 @@ class CampaignEngine:
         started = time.monotonic()
         executed = 0
         size = self.chunk_size or auto_chunk_size(len(remaining), self.jobs)
-        payloads = _chunks(remaining, size, self.spec.config,
-                           self.task_timeout)
-        cancelled = False
-        for records in self._execute(payloads, should_stop):
-            self.store.append(records)
-            executed += len(records)
-            if progress is not None:
-                progress(done_before + executed, total)
-            self.store.write_progress(self._progress_snapshot(
-                done_before + executed, total, started))
+        registry = obs_metrics.registry()
+        # ``jobs`` / chunking are deliberately NOT span attrs: the
+        # normalized span log must be identical at any --jobs level,
+        # exactly like results.jsonl.
+        with obs_trace.span("campaign.run",
+                            key=self.spec.content_hash()[:12],
+                            total=total):
+            payloads = _chunks(remaining, size, self.spec.config,
+                               self.task_timeout,
+                               trace_carry=obs_trace.carry())
+            cancelled = False
+            for records in self._execute(payloads, should_stop):
+                self.store.append(records)
+                executed += len(records)
+                registry.counter("campaign.records").inc(len(records))
+                if progress is not None:
+                    progress(done_before + executed, total)
+                self.store.write_progress(self._progress_snapshot(
+                    done_before + executed, total, started))
         if should_stop is not None and should_stop():
             cancelled = done_before + executed < total
         flushed = self.store.flush()  # land any disk-error-deferred batches
@@ -362,6 +381,7 @@ class CampaignEngine:
                 dict(payload, attempt=int(payload.get("attempt") or 0) + 1))
         self.infra_stats["pool_rebuilds"] += 1
         self.infra_stats["chunk_retries"] += len(reclaimed)
+        obs_metrics.registry().counter("campaign.pool.rebuilds").inc()
         run_log.warning(
             "campaign pool broken (worker died); rebuilt pool and "
             "reclaimed %d in-flight chunk(s) for re-execution",
@@ -398,6 +418,7 @@ class CampaignEngine:
             return None
         backlog.popleft()
         self.infra_stats["quarantined"] += 1
+        obs_metrics.registry().counter("campaign.quarantined").inc()
         run_log.warning(
             "task %s killed the worker pool %d consecutive times; "
             "quarantining it as an infra-failure record",

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from repro.chaos import chaos_point
 from repro.core.config import MachineConfig
+from repro.obs import trace as obs_trace
 from repro.core.faults import (ARCH_FAULT_MODELS, fault_from_dict,
                                run_arch_fault_experiment,
                                run_fault_experiment_detailed)
@@ -146,24 +147,36 @@ def execute_chunk(payload: Dict[str, object]) -> List[Dict[str, object]]:
                  and threading.current_thread() is threading.main_thread())
     cache: Dict[tuple, Program] = {}
     records: List[Dict[str, object]] = []
-    for task in tasks:
-        # Infrastructure fault injection: a `crash` rule hard-kills
-        # this worker (the engine rebuilds the pool and re-executes the
-        # chunk), a `stall` rule simulates a slow/overloaded host.
-        chaos_point("campaign.worker.task", key=task["task_id"],
-                    attempt=attempt)
-        if not use_alarm:
-            records.append(execute_task(task, config, cache))
-            continue
-        holder: List = []
-        previous = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.alarm(timeout)
-        try:
-            records.append(execute_task(task, config, cache, holder))
-        except TaskTimeout:
-            records.append(_timed_out_record(
-                task, machine=holder[-1] if holder else None))
-        finally:
-            signal.alarm(0)
-            signal.signal(signal.SIGALRM, previous)
+    # Adopt the engine's trace carry (shipped in the pickled payload)
+    # so chunk/task spans nest under the campaign.run root even in a
+    # spawned pool process.  The chunk span is infrastructure-shaped
+    # (chaos recovery legitimately re-chunks work), so it is tagged
+    # ``infra`` and stripped from normalized span logs; the per-task
+    # spans are the semantic, byte-comparable record.
+    with obs_trace.adopt(payload.get("trace")), \
+         obs_trace.span("campaign.chunk",
+                        key=str(tasks[0]["task_id"]) if tasks else None,
+                        attempt=attempt, infra=True, tasks=len(tasks)):
+        for task in tasks:
+            # Infrastructure fault injection: a `crash` rule hard-kills
+            # this worker (the engine rebuilds the pool and re-executes
+            # the chunk), a `stall` rule simulates a slow/overloaded
+            # host.
+            chaos_point("campaign.worker.task", key=task["task_id"],
+                        attempt=attempt)
+            with obs_trace.span("campaign.task", key=task["task_id"]):
+                if not use_alarm:
+                    records.append(execute_task(task, config, cache))
+                    continue
+                holder: List = []
+                previous = signal.signal(signal.SIGALRM, _alarm_handler)
+                signal.alarm(timeout)
+                try:
+                    records.append(execute_task(task, config, cache, holder))
+                except TaskTimeout:
+                    records.append(_timed_out_record(
+                        task, machine=holder[-1] if holder else None))
+                finally:
+                    signal.alarm(0)
+                    signal.signal(signal.SIGALRM, previous)
     return records

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 from repro.chaos.controller import arm, armed, controller, disarm
 from repro.chaos.plan import (PRESETS, ChaosPlan, ChaosPlanError,
                               soak_plan)
+from repro.obs import trace as obs_trace
 
 
 def _load_or_preset(args: argparse.Namespace) -> ChaosPlan:
@@ -172,12 +173,22 @@ def _soak_campaign(base: Path, plan: ChaosPlan,
         models=("transient-result",), injections=args.injections,
         seed=0, instructions=120, warmup=10)
     clean_dir, chaos_dir = base / "clean", base / "chaos"
+    clean_dir.mkdir(parents=True, exist_ok=True)
+    chaos_dir.mkdir(parents=True, exist_ok=True)
     print("campaign leg:")
-    clean = run_campaign(spec, clean_dir, jobs=args.jobs)
-    with armed(plan):
+    # Trace both legs: the normalized span log (timing fields stripped,
+    # infrastructure spans dropped) must be byte-identical between the
+    # fault-free and the fault-ridden run — the tracing analogue of the
+    # results.jsonl determinism check below.
+    with obs_trace.traced(clean_dir / "spans.jsonl", trace_id="soak"):
+        clean = run_campaign(spec, clean_dir, jobs=args.jobs)
+    with obs_trace.traced(chaos_dir / "spans.jsonl", trace_id="soak"), \
+            armed(plan):
         chaotic = run_campaign(spec, chaos_dir, jobs=args.jobs)
     clean_bytes = (clean_dir / "results.jsonl").read_bytes()
     chaos_bytes = (chaos_dir / "results.jsonl").read_bytes()
+    clean_spans = obs_trace.normalize_span_log(clean_dir / "spans.jsonl")
+    chaos_spans = obs_trace.normalize_span_log(chaos_dir / "spans.jsonl")
     infra = chaotic.get("infra", {})
     checks = [
         _check("chaos campaign completed",
@@ -193,6 +204,9 @@ def _soak_campaign(base: Path, plan: ChaosPlan,
         _check("no quarantined tasks (all faults ridden out)",
                not infra.get("quarantined"),
                f"quarantined={infra.get('quarantined', 0)}"),
+        _check("span log identical modulo timing/infra fields",
+               bool(clean_spans) and clean_spans == chaos_spans,
+               f"{len(clean_spans.splitlines())} normalized span(s)"),
     ]
     return checks
 

@@ -99,6 +99,10 @@ class ChaosController:
                                             attempt),
                 delay_s=(rule.delay_s if rule.fault == "stall" else 0.0))
             self.log.append(event)
+            # Observability: fired faults show up in /metrics and the
+            # `repro metrics` snapshot alongside the serve counters.
+            from repro.obs.metrics import registry
+            registry().counter(f"chaos.fired.{rule.fault}").inc()
             return self._execute(rule, event)
         return None
 

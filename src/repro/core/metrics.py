@@ -6,7 +6,6 @@ base machine.  The figure-of-merit for a workload is the arithmetic mean
 over its logical threads — Snavely & Tullsen's weighted speedup.
 """
 
-import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -163,32 +162,14 @@ def arithmetic_mean(values: List[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
-@dataclass
-class ServiceCounters:
-    """Monotonic served-job counters (the serve layer's ``/metrics``).
+# ServiceCounters moved to the observability layer (repro.obs.metrics)
+# when it grew a lock and atomic multi-field updates; re-exported here
+# because this module is its historical home and the serve layer's
+# public import path.
+from repro.obs.metrics import ServiceCounters  # noqa: E402
 
-    Invariant: every accepted job ends in exactly one of ``completed``
-    / ``failed`` / ``cancelled``, so once a server drains,
-    ``accepted == completed + failed + cancelled``.  ``rejected``
-    counts admission-control refusals (never accepted), ``cache_hits``
-    the accepted jobs answered from the result cache without pool work,
-    and ``coalesced`` the accepted jobs attached to an identical
-    already-in-flight computation.
-    """
-
-    accepted: int = 0
-    completed: int = 0
-    failed: int = 0
-    cancelled: int = 0
-    rejected: int = 0
-    cache_hits: int = 0
-    coalesced: int = 0
-    timeouts: int = 0
-
-    def to_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
-
-    def consistent(self) -> bool:
-        """Does the lifecycle invariant hold right now (drained state)?"""
-        return self.accepted == (self.completed + self.failed
-                                 + self.cancelled)
+__all__ = [
+    "FaultEvent", "RunResult", "ServiceCounters", "Termination",
+    "ThreadResult", "arithmetic_mean", "mean_smt_efficiency",
+    "smt_efficiency",
+]

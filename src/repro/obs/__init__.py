@@ -1,0 +1,40 @@
+"""repro.obs — the observability layer (metrics, traces, profiles).
+
+Three stdlib-only tools shared by the serve daemon, the campaign
+engine, the chaos soak, and the recovery stack:
+
+- :mod:`repro.obs.metrics` — a typed, thread-safe registry of
+  counters, gauges, and streaming log-bucket histograms (p50/p90/p99),
+  plus the :class:`~repro.obs.metrics.ServiceCounters` group behind
+  ``/metrics`` (re-exported from :mod:`repro.core.metrics` for
+  compatibility);
+- :mod:`repro.obs.trace` — deterministic span tracing with trace-ids
+  that survive the serve API → scheduler → executor bridge → campaign
+  worker *process* boundary (env + pickle carry, the same mechanism as
+  ``REPRO_CHAOS_PLAN``), appended to a torn-tail-tolerant JSONL log;
+- :mod:`repro.obs.profile` — an opt-in per-stage profiler that drives
+  the simulator run loop externally (fetch/queue/verify/commit) so the
+  disarmed hot loop pays nothing;
+- :mod:`repro.obs.bench` — the benchmark trajectory recorder and the
+  CI regression gate behind ``repro obs bench-check``.
+
+Surfacing: ``/metrics`` (histograms + span summaries) and the
+``python -m repro obs report|tail|export|profile|bench-check`` CLI.
+See ``docs/OBSERVABILITY.md`` for the span catalogue and the metric
+naming scheme.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, ServiceCounters,
+                               registry)
+from repro.obs.trace import (adopt, arm_tracing, carry, disarm_tracing,
+                             normalize_span_log, read_spans, span,
+                             trace_summary, traced, tracer)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "ServiceCounters", "registry",
+    "adopt", "arm_tracing", "carry", "disarm_tracing",
+    "normalize_span_log", "read_spans", "span", "trace_summary",
+    "traced", "tracer",
+]

@@ -1,0 +1,187 @@
+"""``python -m repro obs`` — observability verbs.
+
+Examples::
+
+    # Roll up a span log per trace (text or JSON)
+    python -m repro obs report --spans runs/serve/spans.jsonl
+
+    # The last N span records, parsed, newest last
+    python -m repro obs tail --spans runs/serve/spans.jsonl -n 20
+
+    # Full export in the unified JSON envelope; --normalize emits the
+    # deterministic form the chaos soak compares (timing stripped,
+    # infra spans dropped, retries deduplicated)
+    python -m repro obs export --spans spans.jsonl --normalize
+
+    # Per-stage wall-clock profile of one simulated run
+    python -m repro obs profile --kind srt --benchmark gcc \\
+        --instructions 2000 --warmup 500
+
+    # The CI perf gate: normalized current vs committed baseline
+    python -m repro obs bench-check BENCH_ci.json \\
+        --baseline benchmarks/baseline.json --tolerance 0.25
+"""
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import envelope
+from repro.obs import bench, trace
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Observability: span logs, stage profiles, and the "
+                    "benchmark-trajectory gate")
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    report = sub.add_parser("report", help="per-trace rollup of a span "
+                                           "log")
+    report.add_argument("--spans", required=True,
+                        help="span JSONL file (e.g. <workdir>/spans.jsonl)")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    report.add_argument("--limit", type=int, default=20,
+                        help="detail at most N traces (all are counted)")
+
+    tail = sub.add_parser("tail", help="last N span records, parsed")
+    tail.add_argument("--spans", required=True)
+    tail.add_argument("-n", "--lines", type=int, default=20)
+
+    export = sub.add_parser("export", help="span log as one JSON "
+                                           "envelope")
+    export.add_argument("--spans", required=True)
+    export.add_argument("--normalize", action="store_true",
+                        help="deterministic form: timing fields "
+                             "stripped, infra spans dropped, retries "
+                             "deduplicated, sorted")
+
+    profile = sub.add_parser("profile", help="per-stage wall-clock "
+                                             "profile of one run")
+    profile.add_argument("--kind", default="srt",
+                         help="machine kind (base/srt/lockstep/crt)")
+    profile.add_argument("--benchmark", default="gcc")
+    profile.add_argument("--instructions", type=int, default=2000)
+    profile.add_argument("--warmup", type=int, default=500)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--format", choices=("text", "json"),
+                         default="text")
+
+    gate = sub.add_parser("bench-check", help="fail on normalized "
+                                              "benchmark regression")
+    gate.add_argument("current", help="freshly recorded trajectory file "
+                                      "(REPRO_BENCH_OUT output)")
+    gate.add_argument("--baseline", default="benchmarks/baseline.json")
+    gate.add_argument("--tolerance", type=float,
+                      default=bench.DEFAULT_TOLERANCE,
+                      help="allowed fractional regression "
+                           "(default 0.25)")
+    return parser
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    summary = trace.trace_summary(args.spans, limit=args.limit)
+    if args.format == "json":
+        _print_json(envelope("obs", True, [], spans=summary))
+        return 0
+    print(f"span log {summary['path']}: {summary['total_spans']} "
+          f"span(s) across {summary['trace_count']} trace(s)")
+    for trace_id, entry in summary["traces"].items():
+        print(f"  trace {trace_id}: {entry['spans']} span(s), "
+              f"{entry['errors']} error(s)")
+        for name, stats in sorted(entry["by_name"].items()):
+            print(f"    {name:<24s} x{stats['count']:<5d} "
+                  f"{stats['total_s'] * 1e3:9.2f} ms total")
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    records = trace.read_spans(args.spans)
+    for record in records[-max(0, args.lines):]:
+        print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    if args.normalize:
+        lines = trace.normalize_spans(trace.read_spans(args.spans))
+        _print_json(envelope("obs", True, [],
+                             normalized=[json.loads(line)
+                                         for line in lines]))
+        return 0
+    _print_json(envelope("obs", True, [],
+                         spans=trace.read_spans(args.spans)))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.config import MachineConfig
+    from repro.core.machine import make_machine
+    from repro.isa.generator import generate_benchmark
+    from repro.isa.profiles import split_workload
+    from repro.obs.profile import StageProfiler
+
+    name, workload_seed = split_workload(args.benchmark)
+    program = generate_benchmark(name, seed=workload_seed + args.seed)
+    machine = make_machine(args.kind, MachineConfig(), [program])
+    profiler = StageProfiler()
+    result = profiler.run(machine, max_instructions=args.instructions,
+                          warmup=args.warmup)
+    if args.format == "json":
+        _print_json(envelope("obs", True, [],
+                             profile=profiler.to_dict(),
+                             run={"kind": result.kind,
+                                  "cycles": result.cycles,
+                                  "termination":
+                                      result.termination.value}))
+        return 0
+    print(f"{args.kind} on {args.benchmark}: {result.cycles} cycles, "
+          f"termination={result.termination.value}")
+    print(profiler.report())
+    return 0
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    findings = bench.check_files(args.current, args.baseline,
+                                 tolerance=args.tolerance)
+    if not findings:
+        print(f"bench-check: OK — every metric within "
+              f"{args.tolerance * 100:.0f}% of "
+              f"{args.baseline} (normalized)")
+        return 0
+    for finding in findings:
+        if "error" in finding:
+            print(f"bench-check: {finding['metric']}: "
+                  f"{finding['error']}", file=sys.stderr)
+            continue
+        direction = ("slower" if finding["kind"] == "wall"
+                     else "of baseline throughput")
+        print(f"bench-check: REGRESSION {finding['metric']}: "
+              f"normalized {finding['current']} vs baseline "
+              f"{finding['baseline']} "
+              f"(ratio {finding['ratio']} {direction}, tolerance "
+              f"{finding['tolerance'] * 100:.0f}%)", file=sys.stderr)
+    print(f"bench-check: FAIL ({len(findings)} finding(s)); refresh "
+          f"with REPRO_BENCH_OUT={args.baseline} python -m pytest "
+          f"benchmarks/... -q -s if this slowdown is intended",
+          file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"report": cmd_report, "tail": cmd_tail,
+                "export": cmd_export, "profile": cmd_profile,
+                "bench-check": cmd_bench_check}
+    return handlers[args.subcommand](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,398 @@
+"""Typed, thread-safe metrics: counters, gauges, streaming histograms.
+
+One :class:`MetricsRegistry` owns one lock; every metric it creates
+shares that lock, so :meth:`MetricsRegistry.snapshot` is a *single*
+acquisition that reads every counter, gauge, and histogram at one
+consistent instant — the ``/metrics`` endpoint and ``repro metrics``
+CLI can never observe a half-applied update.
+
+Histograms use fixed log-scale buckets (growth factor ``2**(1/8)``,
+~9% relative bucket width): an observation lands in the bucket whose
+upper edge is the smallest power of the base at or above it, and
+quantiles are reported at the geometric midpoint of the selected
+bucket (clamped into the exact observed ``[min, max]``), bounding the
+relative quantile error at ``2**(1/16) - 1`` ≈ 4.4% — tight enough
+for p50/p90/p99 latency tracking at a few hundred sparse buckets.
+
+:class:`ServiceCounters` — the serve layer's monotonic lifecycle
+counters — lives here too (re-exported from :mod:`repro.core.metrics`
+for compatibility).  It is a plain lock-guarded class, not a
+dataclass: multi-field transitions go through one atomic
+:meth:`~ServiceCounters.add` call and ``to_dict()`` snapshots every
+field under the lock, so the ``accepted == completed + failed +
+cancelled`` invariant can never tear mid-read no matter how many
+threads are settling jobs.
+"""
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Histogram bucket growth factor: buckets per octave = 8.
+_BUCKETS_PER_OCTAVE = 8
+_BASE = 2.0 ** (1.0 / _BUCKETS_PER_OCTAVE)
+_LN_BASE = math.log(_BASE)
+
+#: The quantiles every histogram snapshot reports.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def bucket_index(value: float) -> int:
+    """Index of the log-scale bucket holding ``value`` (> 0).
+
+    Bucket ``i`` covers ``(_BASE**(i-1), _BASE**i]``; the epsilon keeps
+    exact powers of the base from being pushed one bucket up by float
+    noise.
+    """
+    return math.ceil(math.log(value) / _LN_BASE - 1e-9)
+
+
+def bucket_edges(index: int) -> Tuple[float, float]:
+    """``(lower, upper]`` edges of bucket ``index``."""
+    return (_BASE ** (index - 1), _BASE ** index)
+
+
+class Counter:
+    """A monotonic counter.
+
+    Concurrency:
+        guarded-by _lock: _value
+        unguarded-ok: name
+    """
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _snapshot_locked(self) -> int:
+        """Caller must hold `_lock`."""
+        return self._value
+
+
+class Gauge:
+    """A settable point-in-time value.
+
+    Concurrency:
+        guarded-by _lock: _value
+        unguarded-ok: name
+    """
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _snapshot_locked(self) -> float:
+        """Caller must hold `_lock`."""
+        return self._value
+
+
+class Histogram:
+    """A streaming histogram over positive values (log-scale buckets).
+
+    Non-positive observations are legal (a zero-duration span) and are
+    counted in a dedicated zero bucket that sorts below every real one.
+
+    Concurrency:
+        guarded-by _lock: _counts, _zeros, _count, _sum, _min, _max
+        unguarded-ok: name
+    """
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._counts: Dict[int, int] = {}
+        self._zeros = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if value <= 0.0:
+                self._zeros += 1
+            else:
+                index = bucket_index(value)
+                self._counts[index] = self._counts.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) of everything observed."""
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        """Caller must hold `_lock`."""
+        if not self._count:
+            return 0.0
+        threshold = q * self._count
+        running = self._zeros
+        if running >= threshold:
+            return max(0.0, self._min or 0.0)
+        for index in sorted(self._counts):
+            running += self._counts[index]
+            if running >= threshold:
+                # Geometric midpoint of the bucket, clamped into the
+                # exact observed range.
+                estimate = _BASE ** (index - 0.5)
+                return min(max(estimate, self._min or estimate),
+                           self._max or estimate)
+        return self._max if self._max is not None else 0.0
+
+    def _snapshot_locked(self) -> Dict[str, float]:
+        """Caller must hold `_lock`."""
+        snapshot: Dict[str, float] = {
+            "count": self._count,
+            "sum": round(self._sum, 9),
+            "min": self._min if self._min is not None else 0.0,
+            "max": self._max if self._max is not None else 0.0,
+        }
+        for q in SNAPSHOT_QUANTILES:
+            snapshot[f"p{int(q * 100)}"] = round(
+                self._quantile_locked(q), 9)
+        return snapshot
+
+
+class MetricsRegistry:
+    """Get-or-create metric factory with consistent whole-set snapshots.
+
+    Every metric created by a registry shares the registry's lock, so
+    :meth:`snapshot` sees all of them at one instant — no per-metric
+    lock juggling, no torn multi-counter invariants.  The lock is
+    never held across anything blocking (pure dict/arithmetic work).
+
+    Concurrency:
+        guarded-by _lock: _counters, _gauges, _histograms
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = Counter(name, self._lock)
+                self._counters[name] = metric
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = Gauge(name, self._lock)
+                self._gauges[name] = metric
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = Histogram(name, self._lock)
+                self._histograms[name] = metric
+            return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every metric, read under one lock acquisition."""
+        with self._lock:
+            return {
+                "counters": {name: metric._snapshot_locked()
+                             for name, metric
+                             in sorted(self._counters.items())},
+                "gauges": {name: metric._snapshot_locked()
+                           for name, metric
+                           in sorted(self._gauges.items())},
+                "histograms": {name: metric._snapshot_locked()
+                               for name, metric
+                               in sorted(self._histograms.items())},
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests; a fresh daemon wants fresh zeros)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide default registry (serve daemon, campaign engine,
+#: chaos controller all publish here).
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+#: ServiceCounters field names, in presentation order.
+SERVICE_COUNTER_FIELDS = (
+    "accepted", "completed", "failed", "cancelled", "rejected",
+    "cache_hits", "coalesced", "timeouts",
+)
+
+
+class ServiceCounters:
+    """Monotonic served-job counters (the serve layer's ``/metrics``).
+
+    Invariant: every accepted job ends in exactly one of ``completed``
+    / ``failed`` / ``cancelled``, so once a server drains,
+    ``accepted == completed + failed + cancelled``.  ``rejected``
+    counts admission-control refusals (never accepted), ``cache_hits``
+    the accepted jobs answered from the result cache without pool work,
+    and ``coalesced`` the accepted jobs attached to an identical
+    already-in-flight computation.
+
+    All mutation goes through :meth:`add`, which applies *every* given
+    delta under one lock acquisition — a settle that bumps several
+    fields is atomic against concurrent :meth:`to_dict` readers, so a
+    drained server's invariant can never be observed torn.
+
+    Picklable (the lock is dropped and re-created), though nothing on
+    the wire path ships one today.
+
+    Concurrency:
+        guarded-by _lock: _counts
+    """
+
+    def __init__(self, **initial: int) -> None:
+        unknown = sorted(set(initial) - set(SERVICE_COUNTER_FIELDS))
+        if unknown:
+            raise TypeError(f"unknown counter field(s): "
+                            f"{', '.join(unknown)}")
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {
+            name: int(initial.get(name, 0))
+            for name in SERVICE_COUNTER_FIELDS}
+
+    def add(self, **deltas: int) -> None:
+        """Apply all given non-negative deltas in one atomic step."""
+        unknown = sorted(set(deltas) - set(SERVICE_COUNTER_FIELDS))
+        if unknown:
+            raise TypeError(f"unknown counter field(s): "
+                            f"{', '.join(unknown)}")
+        with self._lock:
+            for name, delta in deltas.items():
+                if delta < 0:
+                    raise ValueError(f"counter {name!r} cannot decrease")
+                self._counts[name] += delta
+
+    def to_dict(self) -> Dict[str, int]:
+        """One consistent snapshot of every field (single lock hold)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def consistent(self) -> bool:
+        """Does the lifecycle invariant hold right now (drained state)?"""
+        with self._lock:
+            return self._counts["accepted"] == (
+                self._counts["completed"] + self._counts["failed"]
+                + self._counts["cancelled"])
+
+    def __getstate__(self) -> Dict[str, int]:
+        return self.to_dict()
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.__init__(**state)
+
+    def __repr__(self) -> str:
+        counts = self.to_dict()
+        inner = ", ".join(f"{name}={counts[name]}"
+                          for name in SERVICE_COUNTER_FIELDS)
+        return f"ServiceCounters({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceCounters):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def _get(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    # Read-only field accessors (writes go through :meth:`add` only, so
+    # a stray `counters.accepted += 1` fails loudly instead of racing).
+    @property
+    def accepted(self) -> int:
+        return self._get("accepted")
+
+    @property
+    def completed(self) -> int:
+        return self._get("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._get("failed")
+
+    @property
+    def cancelled(self) -> int:
+        return self._get("cancelled")
+
+    @property
+    def rejected(self) -> int:
+        return self._get("rejected")
+
+    @property
+    def cache_hits(self) -> int:
+        return self._get("cache_hits")
+
+    @property
+    def coalesced(self) -> int:
+        return self._get("coalesced")
+
+    @property
+    def timeouts(self) -> int:
+        return self._get("timeouts")
+
+
+def quantile_oracle(values: Iterable[float], q: float) -> float:
+    """Exact nearest-rank quantile of a finite sample (test oracle)."""
+    ordered: List[float] = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]

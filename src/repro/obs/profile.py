@@ -1,0 +1,168 @@
+"""Opt-in per-stage wall-clock profiling of the simulator hot loop.
+
+The determinism linter (S102) bans wall-clock reads inside the cycle
+layers, and the run loop is the hottest code in the repo — so the
+profiler *drives the loop from outside* instead of instrumenting it:
+:meth:`StageProfiler.run` replays ``Machine.step`` / ``Core.tick``
+phase-by-phase with a ``perf_counter`` fence between stage groups,
+exactly the external-driver pattern of
+:class:`repro.harness.tracing.OccupancySampler`.  Disarmed overhead is
+therefore literally zero — the plain ``machine.run`` path is untouched
+(``benchmarks/test_campaign_throughput.py`` holds the whole disarmed
+obs surface under 2% of per-task cost).
+
+Stage mapping (the paper's pipeline vocabulary):
+
+========  ==========================================================
+fetch     ``_deliver_fetch`` + ``ibox.fetch`` (instruction supply)
+queue     event writeback, ``qbox.issue``, queue insert, rename,
+          and the fault injector (in-flight bookkeeping)
+verify    ``_post_tick`` (RMT output comparison / LVQ / slack) +
+          recovery tick + watchdog observation
+commit    ``_retire`` + ``mbox.drain_stores`` + hierarchy tick
+========  ==========================================================
+
+The phase *order* inside a profiled cycle is byte-for-byte the order
+of ``Machine.step`` and ``Core.tick`` — only timing fences are added
+— so a profiled run returns the identical :class:`RunResult` as a
+plain one (pinned by ``tests/test_obs_profile.py``; update the table
+below together with those two methods).
+"""
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.metrics import RunResult
+
+#: Stage names, in presentation order.
+STAGES = ("fetch", "queue", "verify", "commit")
+
+
+class StageProfiler:
+    """Drives a machine's run loop, attributing time to pipeline stages.
+
+    Usage::
+
+        profiler = StageProfiler()
+        result = profiler.run(machine, max_instructions=2000, warmup=500)
+        print(profiler.report())
+
+    ``seconds`` maps each stage to attributed wall time; ``cycles`` is
+    the number of profiled cycles; ``overhead_s`` is loop time not
+    attributed to any stage (the fences themselves, loop control).
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {stage: 0.0 for stage in STAGES}
+        self.cycles = 0
+        self.total_s = 0.0
+
+    # -- driving -----------------------------------------------------------
+    def run(self, machine, max_instructions: int = 10_000,
+            max_cycles: Optional[int] = None,
+            warmup: int = 0) -> RunResult:
+        """``machine.run`` with per-stage timing; identical result."""
+        if warmup:
+            machine.warm(warmup)
+        if max_cycles is None:
+            max_cycles = max_instructions * 60 + 20_000
+        machine._arm(max_instructions)
+        loop_start = time.perf_counter()
+        while machine.now < max_cycles:
+            if machine._halted():
+                break
+            self._profiled_step(machine)
+        self.total_s += time.perf_counter() - loop_start
+        # The post-halt drain inside _finish runs unprofiled (it is the
+        # tail grace window, not steady-state behaviour).
+        return machine._finish(max_instructions, max_cycles)
+
+    def _profiled_step(self, machine) -> None:
+        """``Machine.step`` with stage fences, preserving phase order."""
+        seconds = self.seconds
+        clock = time.perf_counter
+        now = machine.now
+        t0 = clock()
+        if machine.injector is not None:
+            machine.injector.tick(now)
+        t1 = clock()
+        seconds["queue"] += t1 - t0
+        for core in machine.cores:
+            # Core.tick, inlined with fences between phase groups.
+            core.now = now
+            t0 = clock()
+            core._process_events(now)
+            t1 = clock()
+            core._retire(now)
+            core.mbox.drain_stores(now)
+            t2 = clock()
+            core.qbox.issue(now)
+            core._insert_queue(now)
+            core._rename(now)
+            t3 = clock()
+            core._deliver_fetch(now)
+            core.ibox.fetch(now)
+            t4 = clock()
+            core.stats.cycles += 1
+            seconds["queue"] += (t1 - t0) + (t3 - t2)
+            seconds["commit"] += t2 - t1
+            seconds["fetch"] += t4 - t3
+        t0 = clock()
+        machine._post_tick()
+        if machine.recovery is not None:
+            machine.recovery.tick(now)
+        t1 = clock()
+        seconds["verify"] += t1 - t0
+        for hierarchy in machine.hierarchies:
+            hierarchy.tick(now)
+        t2 = clock()
+        seconds["commit"] += t2 - t1
+        machine.now = now + 1
+        if machine.watchdog is not None:
+            machine.watchdog.observe(machine.now)
+        seconds["verify"] += clock() - t2
+        self.cycles += 1
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def attributed_s(self) -> float:
+        return sum(self.seconds.values())
+
+    @property
+    def overhead_s(self) -> float:
+        """Loop time not attributed to a stage (fences, loop control)."""
+        return max(0.0, self.total_s - self.attributed_s)
+
+    def shares(self) -> Dict[str, float]:
+        """Per-stage fraction of attributed time (sums to ~1.0)."""
+        total = self.attributed_s
+        if not total:
+            return {stage: 0.0 for stage in STAGES}
+        return {stage: self.seconds[stage] / total for stage in STAGES}
+
+    def rows(self) -> List[Tuple[str, float, float, float]]:
+        """(stage, seconds, share, ns/cycle) rows, presentation order."""
+        shares = self.shares()
+        per_cycle = self.cycles or 1
+        return [(stage, self.seconds[stage], shares[stage],
+                 self.seconds[stage] / per_cycle * 1e9)
+                for stage in STAGES]
+
+    def report(self) -> str:
+        lines = [f"stage profile: {self.cycles} cycles, "
+                 f"{self.attributed_s * 1e3:.1f} ms attributed "
+                 f"(+{self.overhead_s * 1e3:.1f} ms loop overhead)"]
+        for stage, seconds, share, ns in self.rows():
+            lines.append(f"  {stage:<7s} {seconds * 1e3:9.2f} ms  "
+                         f"{share * 100:5.1f}%  {ns:8.0f} ns/cycle")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycles": self.cycles,
+            "seconds": {stage: round(self.seconds[stage], 9)
+                        for stage in STAGES},
+            "shares": {stage: round(share, 6)
+                       for stage, share in self.shares().items()},
+            "overhead_s": round(self.overhead_s, 9),
+        }

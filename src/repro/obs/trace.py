@@ -1,0 +1,468 @@
+"""Deterministic span tracing across threads and process pools.
+
+Design constraints, in order:
+
+1. **Disarmed is free.**  ``span(...)`` with no tracer armed returns a
+   shared no-op context manager — one global load and a ``None`` test,
+   the same budget as a disarmed ``chaos_point`` (held under 2% of
+   per-task campaign cost by ``benchmarks/test_campaign_throughput``).
+2. **Span identity is content-derived, never random.**  A keyed span's
+   id is a hash of ``(trace_id, name, key)`` — the key IS the identity,
+   the parent is an attribute — and a keyless span's id hashes
+   ``(trace_id, parent_id, name, sibling-ordinal)``.  The same logical
+   work therefore gets the same id in every run, at every ``--jobs``
+   level, and on every chaos retry *even when the retry lands in a
+   differently composed chunk* — which is what lets the soak gate
+   compare span logs across clean and fault-ridden runs.
+3. **Propagation rides the existing carriers.**  Process-wide arming
+   exports ``REPRO_TRACE`` (path + trace id) exactly like
+   ``REPRO_CHAOS_PLAN``: forked pool workers inherit armed module
+   state, spawned ones lazily re-arm from the environment.  The
+   *parent linkage* travels inside pickled chunk payloads (a
+   ``{"trace_id", "parent"}`` dict from :func:`carry`, adopted by the
+   worker with :func:`adopt`), so child spans nest under the
+   submitting job's root span across the process boundary.
+4. **The log is append-only JSONL with torn-tail-tolerant reads**, the
+   campaign store's discipline: each record is one ``json.dumps``
+   line written by a single ``write`` on an ``O_APPEND`` descriptor;
+   a reader skips any line that does not parse (a worker killed
+   mid-write leaves at most one torn line, which is forensic noise,
+   not corruption).
+
+Span records are emitted at *exit*, carrying ``ts``/``dur_s``/``pid``
+(wall-clock, nondeterministic) alongside the deterministic identity
+fields.  :func:`normalize_span_log` strips :data:`TIMING_FIELDS`,
+drops ``infra``-tagged spans (chunk-grouping spans whose shape
+legitimately changes when chaos re-chunks work), deduplicates retry
+re-emissions, and sorts — the canonical form the chaos soak asserts
+byte-identical between clean and fault-injected runs.
+"""
+
+import hashlib
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import registry
+
+#: Environment variable carrying the armed tracer (path + trace id)
+#: into child processes, the ``REPRO_CHAOS_PLAN`` mechanism.
+ENV_TRACE = "REPRO_TRACE"
+
+#: Record fields that are wall-clock/topology noise, stripped by
+#: :func:`normalize_span_log` (``attempt`` counts chaos retries).
+TIMING_FIELDS = ("ts", "dur_s", "pid", "attempt")
+
+#: Hex digits of a span/trace id.
+_ID_LEN = 12
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:_ID_LEN]
+
+
+class Tracer:
+    """One armed span sink: an append-only JSONL file.
+
+    ``emit`` opens, appends one line, and closes — no descriptor is
+    held, so any thread or process can emit concurrently (``O_APPEND``
+    keeps whole lines intact) and a crashed worker leaks nothing.  An
+    emit that fails (disk full) is *dropped*, counted in the
+    ``obs.trace.dropped`` registry counter: observability must never
+    change the outcome of the work it observes.
+
+    Concurrency:
+        unguarded-ok: path, trace_id
+    """
+
+    def __init__(self, path: str, trace_id: str = "t0") -> None:
+        self.path = str(path)
+        self.trace_id = str(trace_id)
+
+    def emit(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        try:
+            with open(self.path, "a", encoding="utf-8") as sink:
+                sink.write(line)
+        except OSError:
+            registry().counter("obs.trace.dropped").inc()
+
+
+# -- ambient span state (per thread) ---------------------------------------
+
+class _Ambient(threading.local):
+    def __init__(self) -> None:
+        self.span: Optional["Span"] = None
+
+
+_AMBIENT = _Ambient()
+
+_TRACER: Optional[Tracer] = None
+#: True only when this process was handed a tracer through the
+#: environment (spawned pool worker) and has not loaded it yet.
+_ENV_PENDING = ENV_TRACE in os.environ
+
+
+def _active_tracer() -> Optional[Tracer]:
+    tracer_ = _TRACER
+    if tracer_ is None and _ENV_PENDING:
+        tracer_ = _arm_from_env()
+    return tracer_
+
+
+def tracer() -> Optional[Tracer]:
+    """The armed tracer, or None."""
+    return _active_tracer()
+
+
+def arm_tracing(path, trace_id: str = "t0") -> Tracer:
+    """Arm span tracing process-wide (and for future child processes)."""
+    global _TRACER, _ENV_PENDING
+    _TRACER = Tracer(path, trace_id)
+    _ENV_PENDING = False
+    os.environ[ENV_TRACE] = json.dumps(
+        {"path": _TRACER.path, "trace_id": _TRACER.trace_id},
+        sort_keys=True)
+    return _TRACER
+
+
+def disarm_tracing() -> None:
+    """Disarm tracing here and stop exporting it to children."""
+    global _TRACER, _ENV_PENDING
+    _TRACER = None
+    _ENV_PENDING = False
+    _AMBIENT.span = None
+    os.environ.pop(ENV_TRACE, None)
+
+
+def _arm_from_env() -> Optional[Tracer]:
+    global _TRACER, _ENV_PENDING
+    _ENV_PENDING = False
+    text = os.environ.get(ENV_TRACE)
+    if not text:
+        return None
+    try:
+        config = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    _TRACER = Tracer(config["path"], config.get("trace_id", "t0"))
+    return _TRACER
+
+
+class traced:
+    """``with traced(path): ...`` — arm for a scope, always disarm."""
+
+    def __init__(self, path, trace_id: str = "t0") -> None:
+        self._path = path
+        self._trace_id = trace_id
+
+    def __enter__(self) -> Tracer:
+        return arm_tracing(self._path, self._trace_id)
+
+    def __exit__(self, *exc_info) -> None:
+        disarm_tracing()
+
+
+# -- spans ------------------------------------------------------------------
+
+class Span:
+    """One open span (the live object; the record is written at exit)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "key",
+                 "attempt", "infra", "attrs", "children", "_t0", "_ts")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: Optional[str], name: str,
+                 key: Optional[str], attempt: int, infra: bool,
+                 attrs: Dict[str, object]) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.key = key
+        self.attempt = attempt
+        self.infra = infra
+        self.attrs = attrs
+        self.children = 0  # keyless-child ordinal counter
+        self._t0 = time.perf_counter()
+        self._ts = time.time()
+
+    def record(self, ok: bool) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "key": self.key,
+            "ok": ok,
+            "ts": round(self._ts, 6),
+            "dur_s": round(time.perf_counter() - self._t0, 9),
+            "pid": os.getpid(),
+        }
+        if self.attempt:
+            payload["attempt"] = self.attempt
+        if self.infra:
+            payload["infra"] = True
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+
+class _RemoteParent:
+    """Ambient stand-in for a span living in another process."""
+
+    __slots__ = ("trace_id", "span_id", "children")
+
+    def __init__(self, trace_id: str, span_id: Optional[str]) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.children = 0
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disarmed fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanContext:
+    """The armed ``with span(...)`` context manager."""
+
+    __slots__ = ("_tracer", "_name", "_key", "_trace_id", "_attempt",
+                 "_infra", "_attrs", "_span", "_prev")
+
+    def __init__(self, tracer_: Tracer, name: str, key: Optional[str],
+                 trace_id: Optional[str], attempt: int, infra: bool,
+                 attrs: Dict[str, object]) -> None:
+        self._tracer = tracer_
+        self._name = name
+        self._key = key
+        self._trace_id = trace_id
+        self._attempt = attempt
+        self._infra = infra
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+        self._prev = None
+
+    def __enter__(self) -> Span:
+        parent = None if self._trace_id is not None else _AMBIENT.span
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = self._trace_id or self._tracer.trace_id
+            parent_id = None
+        if self._key is not None:
+            # Keyed spans are content-addressed by (trace, name, key)
+            # alone — the parent is an attribute, not identity.  A task
+            # re-executed inside a differently composed retry chunk must
+            # get the SAME span id, so the normalized log dedupes it.
+            identity = f"{trace_id}||{self._name}|k:{self._key}"
+        else:
+            # Keyless spans take the parent's child ordinal: stable as
+            # long as keyless siblings open in a deterministic order
+            # (single-threaded parents; cross-process spans carry keys).
+            index = parent.children if parent is not None else 0
+            identity = (f"{trace_id}|{parent_id or ''}|{self._name}"
+                        f"|i:{index}")
+        if parent is not None:
+            parent.children += 1
+        span_id = _digest(identity)
+        self._span = Span(trace_id, span_id, parent_id, self._name,
+                          self._key, self._attempt, self._infra,
+                          self._attrs)
+        self._prev = _AMBIENT.span
+        _AMBIENT.span = self._span
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _AMBIENT.span = self._prev
+        if self._span is not None:
+            self._tracer.emit(self._span.record(ok=exc_type is None))
+        return False
+
+
+def span(name: str, key: Optional[str] = None,
+         trace_id: Optional[str] = None, attempt: int = 0,
+         infra: bool = False, **attrs: object):
+    """Open a span; a cheap no-op unless tracing is armed.
+
+    ``key`` makes the span id content-derived (required for spans that
+    open in worker processes or retry); ``trace_id`` forces a new root
+    span regardless of ambient context (the serve executor bridge);
+    ``attempt`` marks chaos-retry re-executions (stripped from the
+    normalized log); ``infra=True`` tags execution-shape spans (chunk
+    grouping) that the determinism gate ignores; remaining ``attrs``
+    must be deterministic JSON-able values.
+    """
+    tracer_ = _active_tracer()
+    if tracer_ is None:
+        return _NOOP
+    return _SpanContext(tracer_, name, key, trace_id, int(attempt),
+                        bool(infra), attrs)
+
+
+def current_span() -> Optional[Span]:
+    """This thread's innermost open span, if tracing is armed."""
+    if _active_tracer() is None:
+        return None
+    return _AMBIENT.span
+
+
+def carry() -> Optional[Dict[str, Optional[str]]]:
+    """Pickle-able linkage for work shipped to another process/thread.
+
+    Returns ``None`` when disarmed, so payload builders can attach it
+    unconditionally.
+    """
+    tracer_ = _active_tracer()
+    if tracer_ is None:
+        return None
+    current = _AMBIENT.span
+    return {
+        "trace_id": (current.trace_id if current is not None
+                     else tracer_.trace_id),
+        "parent": current.span_id if current is not None else None,
+    }
+
+
+class adopt:
+    """``with adopt(carry_dict): ...`` — parent spans under a carried
+    linkage (the worker-process side of :func:`carry`).  A ``None``
+    carry (or disarmed tracing) is a no-op, so call sites stay
+    unconditional."""
+
+    def __init__(self, carried: Optional[Dict[str, Optional[str]]]) -> None:
+        self._carried = carried
+        self._prev = None
+        self._active = False
+
+    def __enter__(self) -> None:
+        if self._carried is None or _active_tracer() is None:
+            return None
+        self._prev = _AMBIENT.span
+        _AMBIENT.span = _RemoteParent(
+            str(self._carried.get("trace_id") or "t0"),
+            self._carried.get("parent"))
+        self._active = True
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._active:
+            _AMBIENT.span = self._prev
+            self._active = False
+        return False
+
+
+# -- reading ----------------------------------------------------------------
+
+def read_spans(path) -> List[Dict[str, object]]:
+    """Every parseable span record in ``path``, in file order.
+
+    Torn-tail tolerant, like the campaign store: a line that does not
+    parse (a worker killed mid-append) is skipped, never fatal.  A
+    missing file reads as empty — a run that opened no spans.
+    """
+    try:
+        with open(path, "rb") as source:
+            raw = source.read()
+    except FileNotFoundError:
+        return []
+    records: List[Dict[str, object]] = []
+    for line in raw.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def normalize_spans(records: Iterable[Dict[str, object]]) -> List[str]:
+    """Canonical deterministic form of a span set.
+
+    Strips :data:`TIMING_FIELDS`, drops ``infra``-tagged spans (chunk
+    grouping legitimately differs when chaos re-chunks work — the same
+    reason ``results.jsonl`` stays byte-identical *because* it erases
+    chunk structure), deduplicates retry re-emissions (same span id →
+    same normalized line), and sorts.
+
+    Dropping an infra span splices it out of the tree: its children are
+    re-parented to the nearest surviving (non-infra) ancestor.  This is
+    load-bearing for determinism — a task re-executed after a worker
+    crash lands in a *differently composed* chunk, whose content-derived
+    span id differs, but its nearest non-infra ancestor (the campaign
+    root) is identical either way.
+    """
+    records = list(records)
+    infra_parent = {str(record.get("span")): record.get("parent")
+                    for record in records if record.get("infra")}
+    lines = set()
+    for record in records:
+        if record.get("infra"):
+            continue
+        cleaned = {name: value for name, value in record.items()
+                   if name not in TIMING_FIELDS}
+        parent = cleaned.get("parent")
+        hops = 0
+        while parent in infra_parent and hops < len(infra_parent) + 1:
+            parent = infra_parent[parent]
+            hops += 1
+        cleaned["parent"] = parent
+        lines.add(json.dumps(cleaned, sort_keys=True,
+                             separators=(",", ":")))
+    return sorted(lines)
+
+
+def normalize_span_log(path) -> str:
+    """:func:`normalize_spans` over a span file, as one comparable blob."""
+    return "\n".join(normalize_spans(read_spans(path)))
+
+
+def trace_summary(path, limit: int = 20) -> Dict[str, object]:
+    """Per-trace rollup of a span log (the ``/metrics`` spans section).
+
+    ``limit`` keeps the scrape payload bounded: only the ``limit`` most
+    recently finished traces are detailed (all are counted).
+    """
+    records = read_spans(path)
+    traces: Dict[str, Dict[str, object]] = {}
+    last_seen: Dict[str, float] = {}
+    for record in records:
+        trace_id = str(record.get("trace", "?"))
+        entry = traces.setdefault(trace_id, {
+            "spans": 0, "errors": 0, "by_name": {}})
+        entry["spans"] += 1
+        if not record.get("ok", True):
+            entry["errors"] += 1
+        name = str(record.get("name", "?"))
+        by_name: Dict[str, Dict[str, float]] = entry["by_name"]
+        stats = by_name.setdefault(name, {"count": 0, "total_s": 0.0})
+        stats["count"] += 1
+        stats["total_s"] = round(
+            stats["total_s"] + float(record.get("dur_s") or 0.0), 9)
+        ts = float(record.get("ts") or 0.0)
+        if ts >= last_seen.get(trace_id, 0.0):
+            last_seen[trace_id] = ts
+    keep = sorted(last_seen, key=lambda t: (last_seen[t], t))[-limit:]
+    return {
+        "path": str(path),
+        "total_spans": len(records),
+        "traces": {trace_id: traces[trace_id] for trace_id in sorted(keep)},
+        "trace_count": len(traces),
+    }

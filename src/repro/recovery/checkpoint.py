@@ -267,6 +267,10 @@ class RecoveryManager:
         del self.checkpoints[index + 1:]
         self.stats.rollbacks += 1
         self._next_checkpoint_cycle = now + self.interval
+        # Observability: rollbacks are simulated-event counts (cycle
+        # domain), safe to surface without breaking determinism.
+        from repro.obs.metrics import registry
+        registry().counter("recovery.rollbacks").inc()
 
     def _rewind_pair(self, pair: "RedundantPair",
                      ckpt: ThreadCheckpoint, now: int) -> None:

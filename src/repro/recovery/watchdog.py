@@ -196,6 +196,10 @@ class ProgressWatchdog:
         delta = self._activity_delta(fp)
         self.verdict = (Termination.LIVELOCK if delta
                         else Termination.HUNG)
+        # Observability: wedge verdicts are rare, high-signal events.
+        from repro.obs.metrics import registry
+        registry().counter(
+            f"recovery.watchdog.{self.verdict.value}").inc()
         self.report = HangReport(
             verdict=self.verdict.value,
             cycle=now,

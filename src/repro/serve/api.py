@@ -36,6 +36,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.report import SCHEMA_VERSION, envelope
 from repro.chaos import chaos_point_async
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpec, JobValidationError
 from repro.serve.pool import WorkerPool
@@ -125,6 +127,7 @@ class ServeServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         request_desc = "?"
+        request_t0 = time.monotonic()
         try:
             status, payload, request_desc = await asyncio.wait_for(
                 self._handle_request(reader), REQUEST_READ_TIMEOUT)
@@ -137,6 +140,12 @@ class ServeServer:
         except Exception as error:  # never take the daemon down
             status, payload = 500, {"error": f"{type(error).__name__}: "
                                              f"{error}"}
+        # In-memory histogram update: a lock-guarded dict bump, never
+        # a disk or network touch, so it is loop-safe.
+        registry = obs_metrics.registry()
+        registry.histogram("serve.request.duration_s").observe(
+            time.monotonic() - request_t0)
+        registry.counter(f"serve.request.{status // 100}xx").inc()
         body = json.dumps(payload, indent=2, sort_keys=True) + "\n"
         headers = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
@@ -314,16 +323,26 @@ class ServeServer:
 
     async def _metrics(self) -> Dict[str, object]:
         # cache.stats() walks the result tree on disk — off-loop, so
-        # a monitoring scrape never stalls in-flight requests.
+        # a monitoring scrape never stalls in-flight requests.  Same
+        # for the span-log summary (a file read) when tracing is armed.
         loop = asyncio.get_running_loop()
         cache_stats = await loop.run_in_executor(
             None, self.scheduler.cache.stats)
-        return envelope(
+        tracer = obs_trace.tracer()
+        spans: Optional[Dict[str, object]] = None
+        if tracer is not None:
+            spans = await loop.run_in_executor(
+                None, obs_trace.trace_summary, tracer.path)
+        payload = envelope(
             "serve", True, [],
             counters=self.scheduler.counters.to_dict(),
             queue=self.scheduler.queue_stats(),
             cache=cache_stats,
+            histograms=obs_metrics.registry().snapshot()["histograms"],
             uptime_s=round(time.time() - self.started_at, 3))
+        if spans is not None:
+            payload["spans"] = spans
+        return payload
 
 
 async def run_server(**kwargs) -> None:

@@ -85,6 +85,11 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chaos", metavar="PLAN.json", default=None,
                         help="arm a chaos fault-injection plan in the "
                              "daemon (see `python -m repro chaos plan`)")
+    parser.add_argument("--trace", action="store_true",
+                        help="arm span tracing: append spans to "
+                             "<workdir>/spans.jsonl (read them with "
+                             "`python -m repro obs report`; /metrics "
+                             "gains per-trace summaries)")
     return parser
 
 
@@ -103,6 +108,14 @@ def cmd_serve(argv: List[str]) -> int:
         arm(plan)
         print(f"chaos: armed {len(plan.rules)} rule(s) from "
               f"{args.chaos} (seed {plan.seed})", flush=True)
+    if args.trace:
+        from pathlib import Path
+
+        from repro.obs.trace import arm_tracing
+        span_path = Path(args.workdir) / "spans.jsonl"
+        span_path.parent.mkdir(parents=True, exist_ok=True)
+        arm_tracing(span_path)
+        print(f"trace: armed, spans append to {span_path}", flush=True)
     try:
         asyncio.run(run_server(
             host=args.host, port=args.port, workdir=args.workdir,

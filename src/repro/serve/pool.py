@@ -23,6 +23,7 @@ import threading
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.obs import trace as obs_trace
 from repro.serve.jobs import JobSpec
 
 #: Keys of an engine summary that are wall-clock measurements or
@@ -65,7 +66,9 @@ class WorkerPool:
         # late to save any work — the complete result is returned (and
         # cached) rather than discarded; only the campaign handler can
         # actually stop early, and it raises JobCancelled itself.
-        return handler(spec, cancel)
+        with obs_trace.span(f"pool.{spec.type}",
+                            key=spec.cache_key()[:16]):
+            return handler(spec, cancel)
 
     # -- handlers ----------------------------------------------------------
     def _run_campaign(self, spec: JobSpec,

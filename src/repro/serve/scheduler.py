@@ -50,6 +50,8 @@ from typing import Deque, Dict, List, Optional
 
 from repro.chaos import chaos_point_async
 from repro.core.metrics import ServiceCounters
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobSpec
 from repro.serve.pool import JobCancelled
@@ -174,18 +176,20 @@ class Scheduler:
     Lock-free by construction: all mutable scheduler state is
     loop-confined — touched only from coroutines and callbacks running
     on the event loop.  The only work that leaves the loop is
-    ``self.pool.execute`` (handed to the thread-pool executor), which
-    receives the job's spec and cancel event but never this object.
-    The result cache is thread-safe internally (it is called from
-    worker threads in other deployments) and the remaining references
-    are immutable after ``__init__``.
+    :meth:`_execute_job` (handed to the thread-pool executor), which
+    touches the job's unguarded-ok fields and the thread-safe pool but
+    no scheduler state.  The result cache is thread-safe internally
+    (it is called from worker threads in other deployments), the
+    counters group applies and snapshots its fields under its own lock
+    (so ``/metrics`` reads one consistent picture from any thread),
+    and the remaining references are immutable after ``__init__``.
 
     Concurrency:
         loop-confined: jobs, _queued, _running, _by_key, _served
         loop-confined: _durations, _seq, _wake, _draining
-        loop-confined: _dispatcher, _executor, counters, infra_requeues
+        loop-confined: _dispatcher, _executor, infra_requeues
         unguarded-ok: pool, cache, max_queue, max_running
-        unguarded-ok: job_timeout, infra_retry_budget
+        unguarded-ok: job_timeout, infra_retry_budget, counters
     """
 
     def __init__(self, pool, cache: ResultCache, max_queue: int = 16,
@@ -285,8 +289,7 @@ class Scheduler:
                   self._seq)
         if cached is not None:
             self.jobs[job.job_id] = job
-            self.counters.accepted += 1
-            self.counters.cache_hits += 1
+            self.counters.add(accepted=1, cache_hits=1)
             self._finish(job, DONE, result=cached, cache_hit=True)
             return job
         primary = self._by_key.get(job.key)
@@ -295,14 +298,13 @@ class Scheduler:
             job.coalesced_with = primary.job_id
             job.state = primary.state  # queued or running, mirrors primary
             primary.followers.append(job)
-            self.counters.accepted += 1
-            self.counters.coalesced += 1
+            self.counters.add(accepted=1, coalesced=1)
             return job
         if len(self._queued) >= self.max_queue:
-            self.counters.rejected += 1
+            self.counters.add(rejected=1)
             raise QueueFull(self.estimate_retry_after())
         self.jobs[job.job_id] = job
-        self.counters.accepted += 1
+        self.counters.add(accepted=1)
         self._queued.append(job)
         self._by_key[job.key] = job
         self._wake.set()
@@ -406,6 +408,8 @@ class Scheduler:
     async def _run_job(self, job: Job) -> None:
         job.state = RUNNING
         job.started_at = time.time()
+        obs_metrics.registry().histogram("serve.job.queue_wait_s") \
+            .observe(job.started_at - job.submitted_at)
         for follower in job.followers:
             follower.state = RUNNING
             follower.started_at = job.started_at
@@ -417,8 +421,8 @@ class Scheduler:
                                     key=job.key,
                                     attempt=job.infra_retries)
             future = loop.run_in_executor(self._executor,
-                                          self.pool.execute,
-                                          job.spec, job.cancel_event)
+                                          self._execute_job, job,
+                                          job.infra_retries)
             if timeout:
                 try:
                     result = await asyncio.wait_for(
@@ -471,6 +475,23 @@ class Scheduler:
                                    result)
         self._settle(self._owner(job), DONE, result=result)
 
+    def _execute_job(self, job: Job, attempt: int):
+        """Executor-thread entry: root the job's trace, run the work.
+
+        Runs *off-loop* (handed to ``run_in_executor``), touching only
+        the job's unguarded-ok fields and the thread-safe pool
+        (``attempt`` is the loop-confined retry count, captured on the
+        loop at dispatch).  The root span's trace id derives from the
+        job's cache key, so an identical resubmission — or a
+        chaos-requeued retry — lands in the same trace, and the
+        campaign engine's child spans nest under it via the ambient
+        context of this executor thread.
+        """
+        short_key = job.key[:16]
+        with obs_trace.span(f"serve.job.{job.spec.type}", key=short_key,
+                            trace_id=short_key, attempt=attempt):
+            return self.pool.execute(job.spec, job.cancel_event)
+
     def _requeue(self, job: Job) -> None:
         """Put a job that survived an infra failure back on the queue.
 
@@ -510,9 +531,12 @@ class Scheduler:
         if self._by_key.get(job.key) is job:
             del self._by_key[job.key]
         if job.started_at is not None:
-            self._durations.append(time.time() - job.started_at)
+            duration = time.time() - job.started_at
+            self._durations.append(duration)
+            obs_metrics.registry().histogram("serve.job.duration_s") \
+                .observe(duration)
         if timed_out:
-            self.counters.timeouts += 1
+            self.counters.add(timeouts=1)
         followers, job.followers = job.followers, []
         self._finish(job, state, result=result, error=error)
         for follower in followers:
@@ -529,11 +553,11 @@ class Scheduler:
         job.cache_hit = cache_hit
         job.finished_at = time.time()
         if state == DONE:
-            self.counters.completed += 1
+            self.counters.add(completed=1)
         elif state == FAILED:
-            self.counters.failed += 1
+            self.counters.add(failed=1)
         elif state == CANCELLED:
-            self.counters.cancelled += 1
+            self.counters.add(cancelled=1)
         job.done_event.set()
 
     # -- introspection -----------------------------------------------------

@@ -40,6 +40,14 @@ A method docstring containing ``Caller must hold <lock>.`` is trusted
 as a precondition: the body is analyzed with that lock held (the claim
 itself is the caller's obligation — the documented, greppable kind).
 
+A class's locks are discovered two ways: constructed inline in
+``__init__`` (``self._lock = threading.Lock()``) or *injected* — an
+``__init__`` parameter annotated with a lock type assigned to self
+(``def __init__(self, lock: threading.Lock): self._lock = lock``).
+The metrics registry uses the injected form to share one lock across
+every metric it creates, which is what makes its whole-set snapshot a
+single consistent acquisition.
+
 Findings reuse the simlint machinery (:class:`LintFinding`,
 ``# simlint: disable=`` / ``disable-file=`` pragmas, severity registry)
 so ``repro verify lockset`` and ``repro lint`` speak one language.
@@ -65,6 +73,8 @@ LOCKSET_TARGETS = (
     "campaign/store.py",
     "campaign/engine.py",
     "chaos/controller.py",
+    "obs/metrics.py",
+    "obs/trace.py",
 )
 
 _LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
@@ -213,6 +223,7 @@ class _ModuleAnalysis:
                 # the dependency-injection idiom (self.cache = cache
                 # where __init__ takes cache: ResultCache).
                 params: Dict[str, str] = {}
+                lock_params: Set[str] = set()
                 for arg in item.args.args + item.args.kwonlyargs:
                     note = arg.annotation
                     if isinstance(note, ast.Name):
@@ -220,6 +231,16 @@ class _ModuleAnalysis:
                     elif (isinstance(note, ast.Constant)
                           and isinstance(note.value, str)):
                         params[arg.arg] = note.value.strip('"\'')
+                    # Lock injection: `__init__(..., lock: threading.Lock)`
+                    # assigned to self is as much this class's lock as an
+                    # inline construction (the metrics registry shares one
+                    # lock across every metric it creates this way).
+                    note_name = (note.id if isinstance(note, ast.Name)
+                                 else note.attr
+                                 if isinstance(note, ast.Attribute)
+                                 else None)
+                    if note_name in _LOCK_FACTORIES:
+                        lock_params.add(arg.arg)
                 for node in ast.walk(item):
                     if not isinstance(node, ast.Assign):
                         continue
@@ -234,6 +255,9 @@ class _ModuleAnalysis:
                         elif (isinstance(node.value, ast.Call)
                               and isinstance(node.value.func, ast.Name)):
                             model.members[attr] = node.value.func.id
+                        elif (isinstance(node.value, ast.Name)
+                              and node.value.id in lock_params):
+                            model.locks.add(attr)
                         elif (isinstance(node.value, ast.Name)
                               and node.value.id in params):
                             model.members[attr] = params[node.value.id]

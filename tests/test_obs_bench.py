@@ -1,0 +1,145 @@
+"""Bench trajectory recording and the perf-regression gate.
+
+The gate's teeth are proven the mutation-gate way: seed a 2x slowdown
+into a recorded trajectory and assert both :func:`repro.obs.bench.compare`
+and the ``repro obs bench-check`` CLI flag it."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+from repro.obs.cli import main as obs_main
+
+
+@pytest.fixture()
+def bench_out(tmp_path, monkeypatch):
+    out = tmp_path / "bench.json"
+    monkeypatch.setenv(bench.ENV_OUT, str(out))
+    return out
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as source:
+        return json.load(source)
+
+
+class TestRecord:
+    def test_noop_when_env_unset(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(bench.ENV_OUT, raising=False)
+        assert bench.record("m", ops_per_s=100.0) is None
+
+    def test_requires_exactly_one_measurement(self, bench_out):
+        with pytest.raises(ValueError):
+            bench.record("m")
+        with pytest.raises(ValueError):
+            bench.record("m", ops_per_s=1.0, wall_s=1.0)
+
+    def test_records_normalized_rate_and_wall(self, bench_out):
+        bench.record("pkg.rate", ops_per_s=1000.0, meta={"n": 3})
+        bench.record("pkg.wall", wall_s=2.0)
+        data = load(bench_out)
+        calibration = data["calibration"]
+        assert calibration > 0
+        rate = data["metrics"]["pkg.rate"]
+        assert rate["kind"] == "rate"
+        assert rate["raw"] == 1000.0
+        # Stored values are rounded (9 decimals) for stable diffs.
+        assert rate["normalized"] == pytest.approx(
+            1000.0 / calibration, rel=1e-6, abs=1e-9)
+        assert rate["meta"] == {"n": 3}
+        wall = data["metrics"]["pkg.wall"]
+        assert wall["kind"] == "wall"
+        assert wall["normalized"] == pytest.approx(
+            2.0 * calibration, rel=1e-6)
+
+    def test_merges_into_existing_file(self, bench_out):
+        bench.record("a", ops_per_s=1.0)
+        first = load(bench_out)
+        bench.record("b", ops_per_s=2.0)
+        second = load(bench_out)
+        # One calibration per file; both metrics present.
+        assert second["calibration"] == first["calibration"]
+        assert set(second["metrics"]) == {"a", "b"}
+
+
+def trajectory(metrics):
+    return {"version": bench.BENCH_SCHEMA, "calibration": 1.0,
+            "metrics": metrics}
+
+
+class TestCompare:
+    def test_identical_is_clean(self):
+        data = trajectory({"m": {"kind": "rate", "normalized": 10.0}})
+        assert bench.compare(data, data) == []
+
+    def test_seeded_2x_slowdown_is_flagged(self):
+        baseline = trajectory({
+            "rate": {"kind": "rate", "normalized": 10.0},
+            "wall": {"kind": "wall", "normalized": 4.0},
+        })
+        slowed = trajectory({
+            "rate": {"kind": "rate", "normalized": 5.0},   # half speed
+            "wall": {"kind": "wall", "normalized": 8.0},   # twice as long
+        })
+        findings = bench.compare(slowed, baseline)
+        assert sorted(f["metric"] for f in findings) == ["rate", "wall"]
+
+    def test_improvement_never_fails(self):
+        baseline = trajectory({
+            "rate": {"kind": "rate", "normalized": 10.0},
+            "wall": {"kind": "wall", "normalized": 4.0},
+        })
+        faster = trajectory({
+            "rate": {"kind": "rate", "normalized": 40.0},
+            "wall": {"kind": "wall", "normalized": 1.0},
+        })
+        assert bench.compare(faster, baseline) == []
+
+    def test_within_tolerance_is_clean(self):
+        baseline = trajectory({"m": {"kind": "rate", "normalized": 10.0}})
+        slightly = trajectory({"m": {"kind": "rate", "normalized": 8.0}})
+        assert bench.compare(slightly, baseline, tolerance=0.25) == []
+        assert bench.compare(slightly, baseline, tolerance=0.1) != []
+
+    def test_missing_metric_is_a_regression(self):
+        baseline = trajectory({"m": {"kind": "rate", "normalized": 10.0}})
+        findings = bench.compare(trajectory({}), baseline)
+        assert findings and "missing" in findings[0]["error"]
+
+
+class TestBenchCheckCli:
+    def write(self, path, data):
+        with open(path, "w", encoding="utf-8") as sink:
+            json.dump(data, sink)
+        return str(path)
+
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        data = trajectory({"m": {"kind": "rate", "normalized": 10.0}})
+        current = self.write(tmp_path / "current.json", data)
+        baseline = self.write(tmp_path / "baseline.json", data)
+        code = obs_main(["bench-check", current, "--baseline", baseline])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_seeded_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path / "baseline.json",
+            trajectory({"m": {"kind": "rate", "normalized": 10.0}}))
+        current = self.write(
+            tmp_path / "current.json",
+            trajectory({"m": {"kind": "rate", "normalized": 5.0}}))
+        code = obs_main(["bench-check", current, "--baseline", baseline])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSION" in captured.err
+        assert "refresh" in captured.err  # the one-line recipe hint
+
+    def test_empty_baseline_fails_loudly(self, tmp_path, capsys):
+        current = self.write(
+            tmp_path / "current.json",
+            trajectory({"m": {"kind": "rate", "normalized": 5.0}}))
+        baseline = self.write(tmp_path / "baseline.json", {})
+        code = obs_main(["bench-check", current, "--baseline", baseline])
+        assert code == 1
+        assert "no baseline metrics" in capsys.readouterr().err

@@ -1,0 +1,80 @@
+"""``python -m repro obs`` verbs over a real span log, plus the
+top-level dispatch."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.obs import trace
+from repro.obs.cli import main as obs_main
+
+
+@pytest.fixture()
+def span_log(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    with trace.traced(path, trace_id="t1"):
+        with trace.span("campaign.run", key="c"):
+            with trace.span("campaign.chunk", key="k0", infra=True):
+                with trace.span("campaign.task", key="t0"):
+                    pass
+    trace.disarm_tracing()
+    return path
+
+
+def test_report_text(span_log, capsys):
+    assert obs_main(["report", "--spans", str(span_log)]) == 0
+    out = capsys.readouterr().out
+    assert "3 span(s)" in out
+    assert "campaign.task" in out
+
+
+def test_report_json_envelope(span_log, capsys):
+    assert obs_main(["report", "--spans", str(span_log),
+                     "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "obs"
+    assert payload["spans"]["total_spans"] == 3
+
+
+def test_tail(span_log, capsys):
+    assert obs_main(["tail", "--spans", str(span_log), "-n", "2"]) == 0
+    lines = [json.loads(line)
+             for line in capsys.readouterr().out.splitlines()]
+    assert len(lines) == 2
+    # Spans are emitted at exit, so the root closes last.
+    assert lines[-1]["name"] == "campaign.run"
+
+
+def test_export_and_normalize(span_log, capsys):
+    assert obs_main(["export", "--spans", str(span_log)]) == 0
+    full = json.loads(capsys.readouterr().out)
+    assert len(full["spans"]) == 3
+
+    assert obs_main(["export", "--spans", str(span_log),
+                     "--normalize"]) == 0
+    normalized = json.loads(capsys.readouterr().out)["normalized"]
+    names = sorted(record["name"] for record in normalized)
+    assert names == ["campaign.run", "campaign.task"]  # infra dropped
+    assert all("ts" not in record and "dur_s" not in record
+               for record in normalized)
+
+
+def test_profile_json(capsys):
+    assert obs_main(["profile", "--kind", "base",
+                     "--benchmark", "compress", "--instructions", "150",
+                     "--warmup", "10", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["run"]["kind"] == "base"
+    assert set(payload["profile"]["seconds"]) == {"fetch", "queue",
+                                                  "verify", "commit"}
+
+
+def test_main_dispatches_obs(span_log, capsys):
+    assert repro_main(["obs", "tail", "--spans", str(span_log)]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_list_mentions_obs(capsys):
+    assert repro_main(["list"]) == 0
+    assert "obs" in capsys.readouterr().out

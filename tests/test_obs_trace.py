@@ -1,0 +1,225 @@
+"""Span tracing: deterministic identity, torn-tail reads, normalization,
+and cross-process propagation through a spawn-context pool (the trace id
+survives pickling; worker spans nest under the submitting root)."""
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.campaign.sampler import enumerate_tasks
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import execute_chunk
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _always_disarmed():
+    """Every test starts and ends with tracing disarmed (module state
+    and the REPRO_TRACE environment export both cleared)."""
+    trace.disarm_tracing()
+    yield
+    trace.disarm_tracing()
+
+
+def span_file(tmp_path):
+    return tmp_path / "spans.jsonl"
+
+
+class TestArming:
+    def test_disarmed_span_is_shared_noop(self):
+        assert trace.tracer() is None
+        assert trace.span("a") is trace.span("b")
+        with trace.span("a"):
+            assert trace.current_span() is None
+        assert trace.carry() is None
+
+    def test_arm_exports_env_disarm_clears_it(self, tmp_path):
+        trace.arm_tracing(span_file(tmp_path), trace_id="t9")
+        exported = json.loads(os.environ[trace.ENV_TRACE])
+        assert exported == {"path": str(span_file(tmp_path)),
+                            "trace_id": "t9"}
+        assert trace.tracer().trace_id == "t9"
+        trace.disarm_tracing()
+        assert trace.ENV_TRACE not in os.environ
+        assert trace.tracer() is None
+
+    def test_traced_scope_always_disarms(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with trace.traced(span_file(tmp_path)):
+                raise RuntimeError("boom")
+        assert trace.tracer() is None
+
+
+class TestSpanRecords:
+    def test_deterministic_ids_across_runs(self, tmp_path):
+        def emit(path):
+            with trace.traced(path, trace_id="fixed"):
+                with trace.span("outer", key="k"):
+                    with trace.span("inner"):
+                        pass
+                    with trace.span("inner"):
+                        pass
+
+        emit(tmp_path / "a.jsonl")
+        emit(tmp_path / "b.jsonl")
+        ids_a = [(r["name"], r["span"], r["parent"])
+                 for r in trace.read_spans(tmp_path / "a.jsonl")]
+        ids_b = [(r["name"], r["span"], r["parent"])
+                 for r in trace.read_spans(tmp_path / "b.jsonl")]
+        assert ids_a == ids_b
+        # Keyless siblings get distinct ordinal-derived ids.
+        inner = [s for n, s, _ in ids_a if n == "inner"]
+        assert len(set(inner)) == 2
+
+    def test_error_spans_marked_not_ok(self, tmp_path):
+        with trace.traced(span_file(tmp_path)):
+            with pytest.raises(ValueError):
+                with trace.span("work", key="w"):
+                    raise ValueError("nope")
+        [record] = trace.read_spans(span_file(tmp_path))
+        assert record["ok"] is False
+
+    def test_nesting_restores_ambient(self, tmp_path):
+        with trace.traced(span_file(tmp_path)):
+            with trace.span("outer") as outer:
+                with trace.span("inner") as inner:
+                    assert trace.current_span() is inner
+                assert trace.current_span() is outer
+            assert trace.current_span() is None
+
+    def test_forced_root_ignores_ambient(self, tmp_path):
+        """The serve executor bridge roots each job's trace explicitly."""
+        with trace.traced(span_file(tmp_path)):
+            with trace.span("ambient"):
+                with trace.span("job", key="j", trace_id="job-trace"):
+                    pass
+        records = {r["name"]: r for r in trace.read_spans(
+            span_file(tmp_path))}
+        assert records["job"]["parent"] is None
+        assert records["job"]["trace"] == "job-trace"
+
+
+class TestReading:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert trace.read_spans(tmp_path / "absent.jsonl") == []
+        assert trace.normalize_span_log(tmp_path / "absent.jsonl") == ""
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = span_file(tmp_path)
+        good = {"trace": "t", "span": "s1", "parent": None,
+                "name": "a", "key": None, "ok": True,
+                "ts": 1.0, "dur_s": 0.1, "pid": 1}
+        with open(path, "w", encoding="utf-8") as sink:
+            sink.write(json.dumps(good) + "\n")
+            sink.write('{"trace": "t", "span": "s2", "nam')  # torn tail
+        records = trace.read_spans(path)
+        assert [r["span"] for r in records] == ["s1"]
+
+    def test_normalize_strips_timing_drops_infra_dedupes(self):
+        base = {"trace": "t", "span": "s", "parent": None, "name": "a",
+                "key": "k", "ok": True}
+        records = [
+            dict(base, ts=1.0, dur_s=0.5, pid=10, attempt=0),
+            dict(base, ts=9.9, dur_s=0.1, pid=77, attempt=2),  # retry
+            dict(base, span="i", name="chunk", infra=True, ts=2.0),
+        ]
+        lines = trace.normalize_spans(records)
+        assert len(lines) == 1
+        normalized = json.loads(lines[0])
+        assert normalized == {"trace": "t", "span": "s", "parent": None,
+                              "name": "a", "key": "k", "ok": True}
+
+    def test_trace_summary_rollup(self, tmp_path):
+        with trace.traced(span_file(tmp_path), trace_id="t1"):
+            for _ in range(3):
+                with trace.span("step", key="s"):
+                    pass
+        summary = trace.trace_summary(span_file(tmp_path))
+        assert summary["total_spans"] == 3
+        entry = summary["traces"]["t1"]
+        assert entry["spans"] == 3
+        assert entry["errors"] == 0
+        assert entry["by_name"]["step"]["count"] == 3
+
+    def test_trace_summary_limit(self, tmp_path):
+        with trace.traced(span_file(tmp_path)):
+            for index in range(5):
+                with trace.span("job", key=str(index),
+                                trace_id=f"trace-{index}"):
+                    pass
+        summary = trace.trace_summary(span_file(tmp_path), limit=2)
+        assert summary["trace_count"] == 5
+        assert len(summary["traces"]) == 2
+
+
+def small_chunk_payload(carry):
+    spec = CampaignSpec(kinds=("srt",), workloads=("compress",),
+                        models=("transient-result",), injections=2,
+                        seed=0, instructions=60, warmup=5)
+    tasks = [task.to_dict() for task in enumerate_tasks(spec)]
+    payload = {"tasks": tasks, "config": None, "timeout": 0}
+    if carry is not None:
+        payload["trace"] = carry
+    return payload
+
+
+class TestCrossProcessPropagation:
+    def test_trace_id_survives_spawn_pool(self, tmp_path):
+        """The REPRO_TRACE env carry re-arms a spawn-context worker
+        (which shares no module state with the parent), and the pickled
+        payload carry nests its spans under the submitting root."""
+        path = span_file(tmp_path)
+        trace.arm_tracing(path, trace_id="spawned")
+        with trace.span("root", key="r") as root:
+            root_id = root.span_id
+            payload = small_chunk_payload(trace.carry())
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(max_workers=1,
+                                     mp_context=context) as pool:
+                records = pool.submit(execute_chunk, payload).result()
+        assert len(records) == 2
+
+        spans = trace.read_spans(path)
+        by_name = {}
+        for record in spans:
+            by_name.setdefault(record["name"], []).append(record)
+        [chunk] = by_name["campaign.chunk"]
+        tasks = by_name["campaign.task"]
+        assert chunk["trace"] == "spawned"      # trace id survived pickling
+        assert chunk["parent"] == root_id       # nests under the root span
+        assert chunk["infra"] is True
+        assert chunk["pid"] != os.getpid()      # really ran in the child
+        assert len(tasks) == 2
+        assert all(t["parent"] == chunk["span"] for t in tasks)
+        assert all(t["trace"] == "spawned" for t in tasks)
+
+    def test_worker_without_carry_still_roots_locally(self, tmp_path):
+        """A chunk with no carry (tracing armed worker-side only) still
+        produces a well-formed local span tree."""
+        path = span_file(tmp_path)
+        trace.arm_tracing(path, trace_id="local")
+        execute_chunk(small_chunk_payload(None))
+        spans = trace.read_spans(path)
+        chunk = [r for r in spans if r["name"] == "campaign.chunk"]
+        assert len(chunk) == 1 and chunk[0]["parent"] is None
+
+
+@pytest.mark.slow
+class TestCampaignSpanDeterminism:
+    def test_normalized_log_identical_at_any_jobs_level(self, tmp_path):
+        from repro.campaign.engine import run_campaign
+
+        spec = CampaignSpec(kinds=("srt",), workloads=("compress",),
+                            models=("transient-result",), injections=6,
+                            seed=0, instructions=100, warmup=10)
+        with trace.traced(tmp_path / "seq.jsonl", trace_id="t"):
+            run_campaign(spec, tmp_path / "seq", jobs=1)
+        with trace.traced(tmp_path / "par.jsonl", trace_id="t"):
+            run_campaign(spec, tmp_path / "par", jobs=2)
+        sequential = trace.normalize_span_log(tmp_path / "seq.jsonl")
+        parallel = trace.normalize_span_log(tmp_path / "par.jsonl")
+        assert sequential
+        assert sequential == parallel

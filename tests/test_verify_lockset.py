@@ -124,6 +124,39 @@ class C:
 '''
         assert analyze(src) == []
 
+    def test_injected_lock_recognized(self):
+        """A lock handed in through an annotated ``__init__`` parameter
+        (the metrics registry's shared-lock idiom) counts as the
+        class's lock: guarded accesses under it are clean, and the
+        same class without the ``with`` is flagged."""
+        clean = '''
+import threading
+
+class Metric:
+    """M.
+
+    Concurrency:
+        guarded-by _lock: value
+    """
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def _peek_locked(self):
+        """Caller must hold `_lock`."""
+        return self.value
+'''
+        assert analyze(clean) == []
+        bad = clean.replace("        with self._lock:\n"
+                            "            self.value += 1",
+                            "        self.value += 1")
+        assert rules_of(analyze(bad)) == ["S501"]
+
     def test_undeclared_write_flagged(self):
         src = '''
 import threading
